@@ -1,0 +1,43 @@
+//! # tagwatch-analytics
+//!
+//! The experiment harness behind the reproduction of the paper's
+//! evaluation (§6):
+//!
+//! * [`montecarlo`] — single-trial bodies for each experiment (TRP
+//!   detection, UTRP-vs-colluders detection, collect-all cost, false
+//!   alarms).
+//! * [`experiments`] — the full figure sweeps (Figs. 4–7) over the
+//!   paper's `n`/`m` grid, with per-trial seed derivation so results
+//!   are independent of thread count and machine.
+//! * [`parallel`] — deterministic multi-core fan-out.
+//! * [`stats`] — summaries and Wilson intervals for detection rates.
+//! * [`report`] — aligned tables, CSV, and spark-line rendering used by
+//!   the `fig4`…`fig7` binaries in `tagwatch-bench`.
+//! * [`session`] — the operational layer: continuous monitoring with
+//!   alarm-threshold escalation to missing-tag identification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod histogram;
+pub mod montecarlo;
+pub mod parallel;
+pub mod report;
+pub mod session;
+pub mod stats;
+
+pub use experiments::{
+    budget_sweep, fig4, fig4_time, fig5, fig6, fig7, pad_ablation, BudgetSweepRow, Fig4Row,
+    Fig4TimeRow, Fig5Row, Fig6Row, Fig7Row, PadAblationRow, SweepConfig,
+};
+pub use histogram::{percentile, Histogram};
+pub use montecarlo::{
+    collect_all_slots_trial, trp_detection_trial, trp_false_alarm_trial, utrp_detection_cell,
+    utrp_detection_trial,
+};
+pub use parallel::{parallel_count, parallel_map, worker_threads};
+pub use report::{sparkline, Table};
+pub use session::{MonitoringSession, SessionEvent, SessionPolicy, TickProtocol};
+pub use stats::{Proportion, Summary};

@@ -1,0 +1,220 @@
+//! Summary statistics for experiment outputs.
+
+use std::fmt;
+
+/// Five-number summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for `count < 2`).
+    pub std_dev: f64,
+    /// Smallest observation (0 for an empty sample).
+    pub min: f64,
+    /// Largest observation (0 for an empty sample).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count < 2 {
+            0.0
+        } else {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (count - 1) as f64
+        };
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in samples {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Standard error of the mean (0 for empty samples).
+    #[must_use]
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev / (self.count as f64).sqrt()
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.3} ± {:.3} (n={}, range [{:.3}, {:.3}])",
+            self.mean,
+            self.std_err(),
+            self.count,
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// A binomial proportion with a Wilson score interval — the right tool
+/// for detection *rates*, which live near 0.95 where normal intervals
+/// misbehave.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Proportion {
+    /// Number of successes.
+    pub successes: u64,
+    /// Number of trials.
+    pub trials: u64,
+}
+
+impl Proportion {
+    /// Creates a proportion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `successes > trials`.
+    #[must_use]
+    pub fn new(successes: u64, trials: u64) -> Self {
+        assert!(successes <= trials, "successes exceed trials");
+        Proportion { successes, trials }
+    }
+
+    /// The point estimate (0 for zero trials).
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// The Wilson score interval at `z` standard normal quantiles
+    /// (`z = 1.96` for 95%).
+    #[must_use]
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.trials as f64;
+        let p = self.rate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+}
+
+impl fmt::Display for Proportion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (lo, hi) = self.wilson_interval(1.96);
+        write!(
+            f,
+            "{:.4} ({}/{}; 95% CI [{:.4}, {:.4}])",
+            self.rate(),
+            self.successes,
+            self.trials,
+            lo,
+            hi
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - 1.2909944487358056).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_err() - s.std_dev / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_and_singleton() {
+        let empty = Summary::from_samples(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.std_err(), 0.0);
+        let one = Summary::from_samples(&[7.0]);
+        assert_eq!(one.mean, 7.0);
+        assert_eq!(one.std_dev, 0.0);
+    }
+
+    #[test]
+    fn proportion_rate_and_interval() {
+        let p = Proportion::new(95, 100);
+        assert!((p.rate() - 0.95).abs() < 1e-12);
+        let (lo, hi) = p.wilson_interval(1.96);
+        assert!(lo > 0.88 && lo < 0.95, "lo = {lo}");
+        assert!(hi > 0.95 && hi < 1.0, "hi = {hi}");
+    }
+
+    #[test]
+    fn wilson_stays_in_unit_interval_at_extremes() {
+        let zero = Proportion::new(0, 50);
+        let (lo, _) = zero.wilson_interval(1.96);
+        assert_eq!(lo, 0.0);
+        let all = Proportion::new(50, 50);
+        let (_, hi) = all.wilson_interval(1.96);
+        assert!(hi <= 1.0);
+        assert!(all.wilson_interval(1.96).0 > 0.9);
+    }
+
+    #[test]
+    fn zero_trials_is_vacuous() {
+        let p = Proportion::new(0, 0);
+        assert_eq!(p.rate(), 0.0);
+        assert_eq!(p.wilson_interval(1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "successes exceed trials")]
+    fn proportion_validates() {
+        let _ = Proportion::new(5, 4);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let s = Summary::from_samples(&[1.0, 2.0]);
+        assert!(s.to_string().contains("mean 1.500"));
+        let p = Proportion::new(9, 10);
+        assert!(p.to_string().contains("9/10"));
+    }
+
+    #[test]
+    fn tighter_interval_with_more_trials() {
+        let small = Proportion::new(19, 20);
+        let large = Proportion::new(1900, 2000);
+        let w = |p: Proportion| {
+            let (lo, hi) = p.wilson_interval(1.96);
+            hi - lo
+        };
+        assert!(w(large) < w(small) / 3.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! The split-set collusion attack against TRP (paper Alg. 4, Fig. 1).
+//!
+//! The dishonest reader `R1` steals a subset `s2` and hands it to a
+//! collaborator `R2` with their own reader. When the server issues
+//! `(f, r)`, both scan their halves under the same challenge and `R1`
+//! returns `b̂s = bs_{s1} ∨ bs_{s2}` — which equals the honest `bs`
+//! exactly, because TRP slot choice depends only on `(id, r, f)` and a
+//! set-union of responders ORs into a bitwise union of slots. **One
+//! message** on the side channel suffices, so no realistic timer stops
+//! it. This module exists to demonstrate that TRP alone is broken
+//! against colluders, motivating UTRP.
+
+use tagwatch_core::trp::{observed_bitstring, TrpChallenge};
+use tagwatch_core::{Bitstring, CoreError};
+use tagwatch_sim::TagId;
+
+/// Executes the Alg. 4 attack: scans `s1` and `s2` independently under
+/// the same challenge and merges the bitstrings.
+///
+/// # Errors
+///
+/// Infallible for well-formed inputs; the `Result` surfaces bitstring
+/// length mismatches defensively (cannot occur when both scans use the
+/// same challenge).
+pub fn split_set_attack(
+    s1_ids: &[TagId],
+    s2_ids: &[TagId],
+    challenge: &TrpChallenge,
+) -> Result<Bitstring, CoreError> {
+    let bs1 = observed_bitstring(s1_ids, challenge);
+    let bs2 = observed_bitstring(s2_ids, challenge);
+    bs1.or(&bs2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tagwatch_core::trp::{expected_bitstring, verify};
+    use tagwatch_core::{trp_frame_size, MonitorParams, Verdict};
+    use tagwatch_sim::{FrameSize, TagPopulation};
+
+    #[test]
+    fn merged_bitstring_equals_honest_bitstring() {
+        // The core of Alg. 4: OR of the halves = scan of the whole.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s1 = TagPopulation::with_sequential_ids(500);
+        let s2 = s1.split_random(123, &mut rng).unwrap();
+        let ch = TrpChallenge::generate(FrameSize::new(900).unwrap(), &mut rng);
+
+        let all_ids: Vec<_> = s1.ids().into_iter().chain(s2.ids()).collect();
+        let honest = expected_bitstring(&all_ids, &ch);
+        let forged = split_set_attack(&s1.ids(), &s2.ids(), &ch).unwrap();
+        assert_eq!(forged, honest);
+    }
+
+    #[test]
+    fn attack_defeats_trp_with_eq2_frame() {
+        // Full protocol flow: Eq. 2-sized frame, m + 1 tags "stolen"
+        // (held by the collaborator), forged bitstring — verification
+        // passes every time. TRP is broken against colluders.
+        let params = MonitorParams::new(400, 10, 0.95).unwrap();
+        let f = trp_frame_size(&params).unwrap();
+        let mut fooled = 0;
+        let trials = 50;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s1 = TagPopulation::with_sequential_ids(400);
+            let s2 = s1.split_random(11, &mut rng).unwrap();
+            let ch = TrpChallenge::generate(f, &mut rng);
+            let all_ids: Vec<_> = s1.ids().into_iter().chain(s2.ids()).collect();
+            let forged = split_set_attack(&s1.ids(), &s2.ids(), &ch).unwrap();
+            let report = verify(&all_ids, ch, &forged).unwrap();
+            if report.verdict == Verdict::Intact {
+                fooled += 1;
+            }
+        }
+        assert_eq!(fooled, trials, "alg. 4 must always defeat plain TRP");
+    }
+
+    #[test]
+    fn without_collusion_the_theft_is_usually_caught() {
+        // Control experiment: same theft, but R1 returns only its own
+        // half — detection works as designed.
+        let params = MonitorParams::new(400, 10, 0.95).unwrap();
+        let f = trp_frame_size(&params).unwrap();
+        let mut detected = 0;
+        let trials = 200;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let mut s1 = TagPopulation::with_sequential_ids(400);
+            let s2 = s1.split_random(11, &mut rng).unwrap();
+            let ch = TrpChallenge::generate(f, &mut rng);
+            let all_ids: Vec<_> = s1.ids().into_iter().chain(s2.ids()).collect();
+            let alone = observed_bitstring(&s1.ids(), &ch);
+            let report = verify(&all_ids, ch, &alone).unwrap();
+            if report.verdict == Verdict::NotIntact {
+                detected += 1;
+            }
+        }
+        assert!(
+            detected as f64 / trials as f64 > 0.9,
+            "detected only {detected}/{trials}"
+        );
+    }
+
+    #[test]
+    fn attack_works_for_any_split_ratio() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for steal in [1usize, 50, 150, 299] {
+            let mut s1 = TagPopulation::with_sequential_ids(300);
+            let s2 = s1.split_random(steal, &mut rng).unwrap();
+            let ch = TrpChallenge::generate(FrameSize::new(512).unwrap(), &mut rng);
+            let all_ids: Vec<_> = s1.ids().into_iter().chain(s2.ids()).collect();
+            let honest = expected_bitstring(&all_ids, &ch);
+            let forged = split_set_attack(&s1.ids(), &s2.ids(), &ch).unwrap();
+            assert_eq!(forged, honest, "steal = {steal}");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * fast sub-frame-skipping UTRP engine vs the slot-by-slot reference;
+//! * PGF-collapsed Eq. 3 vs the literal triple sum;
+//! * Poisson vs exact empty-slot models in the Eq. 2 search;
+//! * DFSA frame policies (Lee-optimal vs fixed vs adaptive).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use tagwatch_core::math::detection::EmptySlotModel;
+use tagwatch_core::math::utrp::{utrp_detection_probability, utrp_detection_probability_reference};
+use tagwatch_core::utrp::{
+    simulate_round, simulate_round_reference, UtrpChallenge, UtrpParticipant,
+};
+use tagwatch_core::{trp_frame_size_with_model, MonitorParams};
+use tagwatch_protocols::collect_all::{collect_all, CollectAllConfig, FramePolicy};
+use tagwatch_sim::{
+    Channel, Counter, FrameSize, Reader, ReaderConfig, TagId, TagPopulation, TimingModel,
+};
+
+fn parts(n: u64) -> Vec<UtrpParticipant> {
+    (1..=n)
+        .map(|i| UtrpParticipant::new(TagId::from(i), Counter::ZERO))
+        .collect()
+}
+
+fn bench_round_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/utrp_round_engine");
+    group.sample_size(10);
+    let n = 500u64;
+    let f = FrameSize::new(1000).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let ch = UtrpChallenge::generate(f, &TimingModel::gen2(), &mut rng);
+
+    group.bench_function("fast_subframe_skipping", |b| {
+        b.iter(|| {
+            let mut p = parts(n);
+            simulate_round(black_box(&mut p), f, ch.nonces()).unwrap()
+        });
+    });
+    group.bench_function("reference_slot_by_slot", |b| {
+        b.iter(|| {
+            let mut p = parts(n);
+            simulate_round_reference(black_box(&mut p), f, ch.nonces()).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_eq3_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/eq3_evaluation");
+    group.sample_size(10);
+    let (n, m, f, budget) = (400u64, 10u64, 700u64, 20u64);
+    group.bench_function("pgf_collapsed", |b| {
+        b.iter(|| utrp_detection_probability(black_box(n), m, f, budget, EmptySlotModel::Poisson));
+    });
+    group.bench_function("literal_triple_sum", |b| {
+        b.iter(|| {
+            utrp_detection_probability_reference(
+                black_box(n),
+                m,
+                f,
+                budget,
+                EmptySlotModel::Poisson,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_empty_slot_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/empty_slot_model");
+    for model in [EmptySlotModel::Poisson, EmptySlotModel::Exact] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{model:?}")),
+            &model,
+            |b, &model| {
+                let params = MonitorParams::new(1000, 10, 0.95).unwrap();
+                b.iter(|| trp_frame_size_with_model(black_box(&params), model).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dfsa_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/dfsa_policy");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("lee_optimal", FramePolicy::LeeOptimal),
+        ("fixed_128", FramePolicy::Fixed(128)),
+        ("adaptive_16", FramePolicy::Adaptive(16)),
+    ] {
+        group.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut reader = Reader::new(ReaderConfig::default());
+                let mut pop = TagPopulation::with_sequential_ids(500);
+                collect_all(
+                    &mut reader,
+                    &mut pop,
+                    &Channel::ideal(),
+                    &CollectAllConfig {
+                        expected_tags: 500,
+                        tolerance: 0,
+                        policy,
+                        max_rounds: 100_000,
+                    },
+                    &mut rng,
+                )
+                .unwrap()
+                .total_slots
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_round_engines,
+    bench_eq3_forms,
+    bench_empty_slot_models,
+    bench_dfsa_policies
+);
+criterion_main!(benches);

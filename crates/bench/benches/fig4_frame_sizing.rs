@@ -1,0 +1,42 @@
+//! Criterion bench behind Fig. 4: the cost of producing each curve —
+//! Eq. 2 frame sizing (TRP curve) and one collect-all inventory trial
+//! (collect-all curve) — across the paper's tolerance panels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tagwatch_analytics::collect_all_slots_trial;
+use tagwatch_core::{trp_frame_size, MonitorParams};
+
+fn bench_trp_sizing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/trp_frame_size");
+    for &(n, m) in &[(100u64, 5u64), (1000, 10), (2000, 30)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &(n, m),
+            |b, &(n, m)| {
+                let params = MonitorParams::new(n, m, 0.95).unwrap();
+                b.iter(|| trp_frame_size(black_box(&params)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_collect_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/collect_all_trial");
+    group.sample_size(20);
+    for &n in &[100u64, 1000, 2000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                collect_all_slots_trial(black_box(n), 5, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trp_sizing, bench_collect_all);
+criterion_main!(benches);

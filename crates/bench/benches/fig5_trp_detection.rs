@@ -1,0 +1,32 @@
+//! Criterion bench behind Fig. 5: one TRP detection trial (steal
+//! `m + 1`, scan, verify) at the Eq. 2 frame size, across population
+//! sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tagwatch_analytics::trp_detection_trial;
+use tagwatch_core::{trp_frame_size, MonitorParams};
+
+fn bench_trp_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/trp_detection_trial");
+    for &(n, m) in &[(100u64, 5u64), (1000, 10), (2000, 30)] {
+        let params = MonitorParams::new(n, m, 0.95).unwrap();
+        let f = trp_frame_size(&params).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &(n, m),
+            |b, &(n, m)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    trp_detection_trial(black_box(n), m, f, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trp_trial);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench behind Fig. 6: Eq. 3 frame sizing (the UTRP curve),
+//! the most numerically involved computation in the workspace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tagwatch_core::{utrp_frame_size, MonitorParams, UtrpSizing};
+
+fn bench_utrp_sizing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/utrp_frame_size");
+    group.sample_size(20);
+    for &(n, m) in &[(100u64, 5u64), (1000, 10), (2000, 30)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &(n, m),
+            |b, &(n, m)| {
+                let params = MonitorParams::new(n, m, 0.95).unwrap();
+                b.iter(|| utrp_frame_size(black_box(&params), UtrpSizing::default()).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_utrp_sizing);
+criterion_main!(benches);

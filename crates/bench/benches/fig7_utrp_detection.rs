@@ -1,0 +1,33 @@
+//! Criterion bench behind Fig. 7: one UTRP detection trial — the
+//! best-strategy collusion attack plus the server's expected-round
+//! recomputation — at the Eq. 3 frame size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tagwatch_analytics::utrp_detection_trial;
+use tagwatch_core::{utrp_frame_size, MonitorParams, UtrpSizing};
+
+fn bench_utrp_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/utrp_detection_trial");
+    group.sample_size(10);
+    for &(n, m) in &[(100u64, 5u64), (500, 10), (1000, 10)] {
+        let params = MonitorParams::new(n, m, 0.95).unwrap();
+        let f = utrp_frame_size(&params, UtrpSizing::default()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &(n, m),
+            |b, &(n, m)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    utrp_detection_trial(black_box(n), m, f, 20, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_utrp_trial);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the primitives every experiment is built on:
+//! the slot hash, bitstring algebra, the Theorem-1 detection
+//! probability, and a full honest UTRP round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use tagwatch_core::math::detection::{detection_probability, EmptySlotModel};
+use tagwatch_core::utrp::{simulate_round, UtrpChallenge, UtrpParticipant};
+use tagwatch_core::Bitstring;
+use tagwatch_sim::hash::{mix64, slot_for};
+use tagwatch_sim::{Counter, FrameSize, Nonce, TagId, TimingModel};
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/hash");
+    group.bench_function("mix64", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = mix64(black_box(x));
+            x
+        });
+    });
+    group.bench_function("slot_for", |b| {
+        let f = FrameSize::new(1478).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            slot_for(TagId::from(i), Nonce::new(42), black_box(f))
+        });
+    });
+    group.finish();
+}
+
+fn bench_bitstring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/bitstring");
+    let a: Bitstring = (0..4096).map(|i| i % 3 == 0).collect();
+    let b_: Bitstring = (0..4096).map(|i| i % 5 == 0).collect();
+    group.bench_function("xor_4096", |b| {
+        b.iter(|| black_box(&a).xor(black_box(&b_)).unwrap())
+    });
+    group.bench_function("hamming_4096", |b| {
+        b.iter(|| black_box(&a).hamming_distance(black_box(&b_)).unwrap())
+    });
+    group.bench_function("count_ones_4096", |b| b.iter(|| black_box(&a).count_ones()));
+    group.finish();
+}
+
+fn bench_detection_math(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/detection_probability");
+    for &f in &[500u64, 2000, 4000] {
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, &f| {
+            b.iter(|| {
+                detection_probability(black_box(1000), 11, black_box(f), EmptySlotModel::Poisson)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_utrp_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/utrp_round");
+    group.sample_size(20);
+    for &n in &[100u64, 500, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let f = FrameSize::new(2 * n).unwrap();
+            let challenge = UtrpChallenge::generate(f, &TimingModel::gen2(), &mut rng);
+            b.iter(|| {
+                let mut parts: Vec<UtrpParticipant> = (1..=n)
+                    .map(|i| UtrpParticipant::new(TagId::from(i), Counter::ZERO))
+                    .collect();
+                simulate_round(black_box(&mut parts), f, challenge.nonces()).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hash,
+    bench_bitstring,
+    bench_detection_math,
+    bench_utrp_round
+);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! # tagwatch-cli
+//!
+//! Command-line tooling over the `tagwatch` workspace: frame sizing,
+//! detection math, Monte-Carlo simulations, and registry-snapshot
+//! utilities, with a hand-rolled dependency-free argument parser.
+//!
+//! The binary is `tagwatch-cli`; every command is also exposed as a
+//! library function returning its output as a `String`, which is how
+//! the unit tests drive it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod parse;
+
+pub use commands::run;
+pub use parse::{CliError, Command};

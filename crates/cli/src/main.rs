@@ -1,0 +1,41 @@
+//! The `tagwatch-cli` binary: parse args, dispatch, print.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use tagwatch_cli::{parse, run, Command};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // `registry info` streams the snapshot from stdin.
+    let command = match command {
+        Command::RegistryInfo { .. } => {
+            let mut text = String::new();
+            if std::io::stdin().read_to_string(&mut text).is_err() {
+                eprintln!("error: failed to read snapshot from stdin");
+                return ExitCode::FAILURE;
+            }
+            Command::RegistryInfo { text }
+        }
+        other => other,
+    };
+
+    match run(command) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Argument parsing for the `tagwatch-cli` binary.
+//!
+//! Hand-rolled on purpose: the workspace's dependency policy admits no
+//! argument-parsing crates, and the grammar is small enough that a
+//! direct parser is clearer than a DSL anyway.
+
+use std::error::Error;
+use std::fmt;
+
+/// A fully parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `size trp <n> <m> <alpha>` — Eq. 2 frame size.
+    SizeTrp {
+        /// Population size.
+        n: u64,
+        /// Tolerance.
+        m: u64,
+        /// Confidence.
+        alpha: f64,
+    },
+    /// `size utrp <n> <m> <alpha> [c]` — Eq. 3 frame size.
+    SizeUtrp {
+        /// Population size.
+        n: u64,
+        /// Tolerance.
+        m: u64,
+        /// Confidence.
+        alpha: f64,
+        /// Colluder sync budget (default 20).
+        c: u64,
+    },
+    /// `detection <n> <x> <f>` — evaluate g(n, x, f).
+    Detection {
+        /// Population size.
+        n: u64,
+        /// Missing-tag count.
+        x: u64,
+        /// Frame size.
+        f: u64,
+    },
+    /// `simulate trp <n> <m> [--trials T] [--seed S]`.
+    SimulateTrp {
+        /// Population size.
+        n: u64,
+        /// Tolerance (adversary steals `m + 1`).
+        m: u64,
+        /// Monte-Carlo trials.
+        trials: u64,
+        /// Root seed.
+        seed: u64,
+    },
+    /// `simulate utrp <n> <m> [--budget C] [--trials T] [--seed S]`.
+    SimulateUtrp {
+        /// Population size.
+        n: u64,
+        /// Tolerance.
+        m: u64,
+        /// Colluder sync budget.
+        budget: u64,
+        /// Monte-Carlo trials.
+        trials: u64,
+        /// Root seed.
+        seed: u64,
+    },
+    /// `identify <n> --steal K [--seed S]` — demo run of the
+    /// missing-tag identification protocol.
+    Identify {
+        /// Population size.
+        n: u64,
+        /// Number of tags stolen before identification.
+        steal: u64,
+        /// Root seed.
+        seed: u64,
+    },
+    /// `registry new <n> <m> <alpha>` — print a fresh snapshot.
+    RegistryNew {
+        /// Population size (sequential IDs).
+        n: u64,
+        /// Tolerance.
+        m: u64,
+        /// Confidence.
+        alpha: f64,
+    },
+    /// `registry info` — summarize a snapshot read from stdin text.
+    RegistryInfo {
+        /// The snapshot text (the binary reads stdin; tests inject).
+        text: String,
+    },
+    /// `help` (also the zero-argument default).
+    Help,
+}
+
+/// CLI usage errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// What went wrong, user-facing.
+    pub message: String,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for CliError {}
+
+fn err(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+    }
+}
+
+fn want<T: std::str::FromStr>(args: &[String], idx: usize, name: &str) -> Result<T, CliError> {
+    args.get(idx)
+        .ok_or_else(|| err(format!("missing <{name}>")))?
+        .parse()
+        .map_err(|_| err(format!("bad <{name}>: `{}`", args[idx])))
+}
+
+fn flag(args: &[String], name: &str, default: u64) -> Result<u64, CliError> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| err(format!("{name} needs a value")))?
+            .parse()
+            .map_err(|_| err(format!("bad {name} value"))),
+        None => Ok(default),
+    }
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a user-facing [`CliError`] for unknown commands or malformed
+/// values.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return Ok(Command::Help);
+    };
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "size" => match args.get(1).map(String::as_str) {
+            Some("trp") => Ok(Command::SizeTrp {
+                n: want(args, 2, "n")?,
+                m: want(args, 3, "m")?,
+                alpha: want(args, 4, "alpha")?,
+            }),
+            Some("utrp") => Ok(Command::SizeUtrp {
+                n: want(args, 2, "n")?,
+                m: want(args, 3, "m")?,
+                alpha: want(args, 4, "alpha")?,
+                c: if args.len() > 5 {
+                    want(args, 5, "c")?
+                } else {
+                    20
+                },
+            }),
+            _ => Err(err("usage: size trp|utrp <n> <m> <alpha> [c]")),
+        },
+        "detection" => Ok(Command::Detection {
+            n: want(args, 1, "n")?,
+            x: want(args, 2, "x")?,
+            f: want(args, 3, "f")?,
+        }),
+        "simulate" => {
+            let trials = flag(args, "--trials", 500)?;
+            let seed = flag(args, "--seed", 1)?;
+            match args.get(1).map(String::as_str) {
+                Some("trp") => Ok(Command::SimulateTrp {
+                    n: want(args, 2, "n")?,
+                    m: want(args, 3, "m")?,
+                    trials,
+                    seed,
+                }),
+                Some("utrp") => Ok(Command::SimulateUtrp {
+                    n: want(args, 2, "n")?,
+                    m: want(args, 3, "m")?,
+                    budget: flag(args, "--budget", 20)?,
+                    trials,
+                    seed,
+                }),
+                _ => Err(err(
+                    "usage: simulate trp|utrp <n> <m> [--budget C] [--trials T] [--seed S]",
+                )),
+            }
+        }
+        "identify" => Ok(Command::Identify {
+            n: want(args, 1, "n")?,
+            steal: flag(args, "--steal", 5)?,
+            seed: flag(args, "--seed", 1)?,
+        }),
+        "registry" => match args.get(1).map(String::as_str) {
+            Some("new") => Ok(Command::RegistryNew {
+                n: want(args, 2, "n")?,
+                m: want(args, 3, "m")?,
+                alpha: want(args, 4, "alpha")?,
+            }),
+            Some("info") => Ok(Command::RegistryInfo {
+                text: String::new(),
+            }),
+            _ => Err(err("usage: registry new <n> <m> <alpha> | registry info")),
+        },
+        other => Err(err(format!(
+            "unknown command `{other}` (try `tagwatch-cli help`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_size_commands() {
+        assert_eq!(
+            parse(&argv("size trp 1000 10 0.95")).unwrap(),
+            Command::SizeTrp {
+                n: 1000,
+                m: 10,
+                alpha: 0.95
+            }
+        );
+        assert_eq!(
+            parse(&argv("size utrp 1000 10 0.95 40")).unwrap(),
+            Command::SizeUtrp {
+                n: 1000,
+                m: 10,
+                alpha: 0.95,
+                c: 40
+            }
+        );
+        // Default budget.
+        assert!(matches!(
+            parse(&argv("size utrp 1000 10 0.95")).unwrap(),
+            Command::SizeUtrp { c: 20, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_detection() {
+        assert_eq!(
+            parse(&argv("detection 500 6 700")).unwrap(),
+            Command::Detection {
+                n: 500,
+                x: 6,
+                f: 700
+            }
+        );
+    }
+
+    #[test]
+    fn parses_simulate_with_flags() {
+        assert_eq!(
+            parse(&argv("simulate trp 300 5 --trials 50 --seed 9")).unwrap(),
+            Command::SimulateTrp {
+                n: 300,
+                m: 5,
+                trials: 50,
+                seed: 9
+            }
+        );
+        assert_eq!(
+            parse(&argv("simulate utrp 300 5 --budget 30")).unwrap(),
+            Command::SimulateUtrp {
+                n: 300,
+                m: 5,
+                budget: 30,
+                trials: 500,
+                seed: 1
+            }
+        );
+    }
+
+    #[test]
+    fn empty_and_help_yield_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn rejects_bad_input_with_messages() {
+        let e = parse(&argv("size trp 1000 ten 0.95")).unwrap_err();
+        assert!(e.message.contains("<m>"));
+        let e = parse(&argv("frobnicate")).unwrap_err();
+        assert!(e.message.contains("unknown command"));
+        let e = parse(&argv("simulate trp 300 5 --trials")).unwrap_err();
+        assert!(e.message.contains("--trials"));
+    }
+
+    #[test]
+    fn parses_identify() {
+        assert_eq!(
+            parse(&argv("identify 200 --steal 7 --seed 3")).unwrap(),
+            Command::Identify {
+                n: 200,
+                steal: 7,
+                seed: 3
+            }
+        );
+        // Defaults.
+        assert_eq!(
+            parse(&argv("identify 200")).unwrap(),
+            Command::Identify {
+                n: 200,
+                steal: 5,
+                seed: 1
+            }
+        );
+    }
+
+    #[test]
+    fn parses_registry_commands() {
+        assert_eq!(
+            parse(&argv("registry new 100 5 0.9")).unwrap(),
+            Command::RegistryNew {
+                n: 100,
+                m: 5,
+                alpha: 0.9
+            }
+        );
+        assert!(matches!(
+            parse(&argv("registry info")).unwrap(),
+            Command::RegistryInfo { .. }
+        ));
+    }
+}

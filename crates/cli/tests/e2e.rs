@@ -1,0 +1,129 @@
+//! End-to-end tests of the `tagwatch-cli` binary as a real process:
+//! exit codes, stdout shapes, stdin plumbing, stderr on misuse.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tagwatch-cli"))
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    let out = cli().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("size trp"));
+}
+
+#[test]
+fn no_args_behaves_like_help() {
+    let out = cli().output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("USAGE"));
+}
+
+#[test]
+fn size_trp_prints_the_frame() {
+    let out = cli()
+        .args(["size", "trp", "1000", "10", "0.95"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("694 slots"), "{text}");
+}
+
+#[test]
+fn unknown_command_fails_with_stderr() {
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown command"));
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn bad_parameters_fail_cleanly() {
+    let out = cli()
+        .args(["size", "trp", "10", "10", "0.95"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("tolerance"), "{err}");
+}
+
+#[test]
+fn registry_pipeline_new_into_info() {
+    let new_out = cli()
+        .args(["registry", "new", "30", "2", "0.9"])
+        .output()
+        .unwrap();
+    assert!(new_out.status.success());
+    let snapshot = String::from_utf8(new_out.stdout).unwrap();
+    assert!(snapshot.starts_with("tagwatch-registry v1"));
+
+    let mut info = cli()
+        .args(["registry", "info"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    info.stdin
+        .as_mut()
+        .unwrap()
+        .write_all(snapshot.as_bytes())
+        .unwrap();
+    let out = info.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("30 tags"), "{text}");
+}
+
+#[test]
+fn registry_info_rejects_garbage_on_stdin() {
+    let mut info = cli()
+        .args(["registry", "info"])
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    info.stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"not a snapshot")
+        .unwrap();
+    let out = info.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("parse error"));
+}
+
+#[test]
+fn simulate_trp_is_deterministic_per_seed() {
+    let run = || {
+        let out = cli()
+            .args([
+                "simulate", "trp", "150", "5", "--trials", "100", "--seed", "4",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).unwrap()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn identify_reports_exact_match() {
+    let out = cli()
+        .args(["identify", "120", "--steal", "4", "--seed", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("match: exact"), "{text}");
+}

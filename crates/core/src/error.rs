@@ -1,0 +1,164 @@
+//! Error types for the monitoring protocols.
+
+use std::error::Error;
+use std::fmt;
+
+use tagwatch_sim::SimError;
+
+/// Errors produced by the monitoring protocol layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Monitoring parameters failed validation (e.g. `m >= n`, or a
+    /// confidence level outside `(0, 1)`).
+    InvalidParams {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Two bitstrings of different lengths were combined or compared.
+    LengthMismatch {
+        /// Length of the left operand in bits.
+        left: usize,
+        /// Length of the right operand in bits.
+        right: usize,
+    },
+    /// A bit index was outside the bitstring.
+    BitOutOfRange {
+        /// The rejected index.
+        index: usize,
+        /// The bitstring length.
+        len: usize,
+    },
+    /// A tag ID was not found in the server's registry.
+    UnknownTag {
+        /// The unknown ID in canonical form.
+        id: String,
+    },
+    /// The UTRP nonce sequence was exhausted (more re-seeds than
+    /// pre-committed nonces — impossible for a protocol-following
+    /// reader, so this indicates a protocol violation).
+    NonceSequenceExhausted,
+    /// The frame-size search could not satisfy the accuracy constraint
+    /// within [`tagwatch_sim::FrameSize::MAX`] slots.
+    NoFeasibleFrame {
+        /// Population size of the failing instance.
+        n: u64,
+        /// Tolerance of the failing instance.
+        m: u64,
+    },
+    /// A response's bitstring length disagreed with the challenge.
+    ResponseShapeMismatch {
+        /// Expected number of slots (the challenge's frame size).
+        expected: u64,
+        /// Received bitstring length.
+        received: u64,
+    },
+    /// The reader's response arrived after the challenge deadline —
+    /// treated as a failed proof in UTRP (paper Alg. 5 line 5).
+    DeadlineExceeded {
+        /// The deadline, microseconds of simulated time.
+        deadline_micros: u64,
+        /// The actual completion time.
+        completed_micros: u64,
+    },
+    /// A persisted registry snapshot failed to parse.
+    ParseSnapshot {
+        /// 1-based line number of the offending record (0 for
+        /// document-level problems such as a missing policy line).
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The server's counter mirror is out of sync with the field tags
+    /// (a previous UTRP round failed verification), so UTRP challenges
+    /// cannot be issued until a trusted resynchronization.
+    CounterDesync,
+    /// An underlying simulation error.
+    Sim(SimError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParams { reason } => {
+                write!(f, "invalid monitoring parameters: {reason}")
+            }
+            CoreError::LengthMismatch { left, right } => {
+                write!(f, "bitstring length mismatch: {left} vs {right} bits")
+            }
+            CoreError::BitOutOfRange { index, len } => {
+                write!(f, "bit index {index} outside bitstring of {len} bits")
+            }
+            CoreError::UnknownTag { id } => write!(f, "tag {id} not in server registry"),
+            CoreError::NonceSequenceExhausted => {
+                write!(f, "utrp nonce sequence exhausted (protocol violation)")
+            }
+            CoreError::NoFeasibleFrame { n, m } => write!(
+                f,
+                "no frame size satisfies the accuracy constraint for n={n}, m={m}"
+            ),
+            CoreError::ResponseShapeMismatch { expected, received } => write!(
+                f,
+                "response has {received} slots but the challenge frame has {expected}"
+            ),
+            CoreError::DeadlineExceeded {
+                deadline_micros,
+                completed_micros,
+            } => write!(
+                f,
+                "response completed at t={completed_micros}us after deadline t={deadline_micros}us"
+            ),
+            CoreError::ParseSnapshot { line, reason } => {
+                write!(f, "registry snapshot parse error at line {line}: {reason}")
+            }
+            CoreError::CounterDesync => write!(
+                f,
+                "server counter mirror is desynchronized; resynchronize before issuing utrp challenges"
+            ),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::LengthMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains("3 vs 5"));
+        let e = CoreError::UnknownTag {
+            id: "epc:1".to_owned(),
+        };
+        assert!(e.to_string().contains("epc:1"));
+    }
+
+    #[test]
+    fn sim_errors_wrap_with_source() {
+        let e = CoreError::from(SimError::EmptyFrame);
+        assert!(matches!(e, CoreError::Sim(_)));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

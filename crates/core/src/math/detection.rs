@@ -1,0 +1,252 @@
+//! The TRP detection probability `g(n, x, f)` (paper Theorem 1).
+//!
+//! With `n − x` tags present in a frame of `f` slots, let `N₀` be the
+//! number of slots no present tag picked. A missing tag is *detected*
+//! exactly when it hashes into one of those `N₀` empty slots — the
+//! server expected a `1` there and the reader reports `0`. Averaging
+//! over `N₀ ~ Binomial(f, p)`:
+//!
+//! ```text
+//! g(n, x, f) = 1 − Σᵢ C(f, i) pⁱ (1 − p)^{f−i} · (1 − i/f)ˣ
+//! ```
+//!
+//! The paper Poissonizes the empty-slot probability, `p = e^{−(n−x)/f}`;
+//! the exact per-slot value is `p = (1 − 1/f)^{n−x}`. Both are provided
+//! via [`EmptySlotModel`]; they agree to within `O(1/f)` and the paper's
+//! figures use the Poisson form.
+
+use super::binomial::{binomial_terms, LnFactorial};
+
+/// How the per-slot empty probability `p` is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EmptySlotModel {
+    /// `p = e^{−(n−x)/f}` — the paper's Poisson approximation
+    /// (Theorem 1). Used for all figure reproductions.
+    #[default]
+    Poisson,
+    /// `p = (1 − 1/f)^{n−x}` — the exact probability that a given slot
+    /// is chosen by none of the present tags.
+    Exact,
+}
+
+impl EmptySlotModel {
+    /// The per-slot empty probability with `present` tags and `f` slots.
+    #[must_use]
+    pub fn empty_slot_probability(self, present: u64, f: u64) -> f64 {
+        debug_assert!(f >= 1);
+        match self {
+            EmptySlotModel::Poisson => (-(present as f64) / f as f64).exp(),
+            EmptySlotModel::Exact => (1.0 - 1.0 / f as f64)
+                .powi(i32::try_from(present.min(i32::MAX as u64)).expect("clamped")),
+        }
+    }
+}
+
+/// Width (in standard deviations) of the binomial window used when
+/// summing over `N₀`; the excluded tail mass is ≈ `10⁻³¹`.
+pub const WINDOW_SIGMAS: f64 = 12.0;
+
+/// `g(n, x, f)`: the probability of detecting a non-intact set when
+/// exactly `x` of `n` tags are missing and the frame has `f` slots
+/// (Theorem 1).
+///
+/// Returns 0 when `x = 0` (nothing missing, nothing to detect).
+///
+/// # Panics
+///
+/// Panics if `x > n` or `f == 0` — caller bugs, as protocol code
+/// validates parameters before reaching the math layer.
+#[must_use]
+pub fn detection_probability(n: u64, x: u64, f: u64, model: EmptySlotModel) -> f64 {
+    let table = LnFactorial::up_to(f);
+    detection_probability_with(&table, n, x, f, model)
+}
+
+/// [`detection_probability`] with a caller-supplied log-factorial table
+/// (must cover at least `f`), for tight search loops.
+#[must_use]
+pub fn detection_probability_with(
+    table: &LnFactorial,
+    n: u64,
+    x: u64,
+    f: u64,
+    model: EmptySlotModel,
+) -> f64 {
+    assert!(x <= n, "cannot miss more tags than exist: x={x} > n={n}");
+    assert!(f >= 1, "frame must have at least one slot");
+    if x == 0 {
+        return 0.0;
+    }
+    let present = n - x;
+    let p = model.empty_slot_probability(present, f);
+    let undetected: f64 = binomial_terms(table, f, p, WINDOW_SIGMAS)
+        .map(|(i, pmf)| {
+            let occupied_fraction = 1.0 - i as f64 / f as f64;
+            pmf * powi_u64(occupied_fraction, x)
+        })
+        .sum();
+    (1.0 - undetected).clamp(0.0, 1.0)
+}
+
+/// `base^exp` for a `u64` exponent via binary exponentiation (stable,
+/// no `powf` domain surprises at `base = 0`).
+#[must_use]
+pub(crate) fn powi_u64(base: f64, mut exp: u64) -> f64 {
+    if exp == 0 {
+        return 1.0;
+    }
+    let mut acc = 1.0f64;
+    let mut b = base;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc *= b;
+        }
+        b *= b;
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POISSON: EmptySlotModel = EmptySlotModel::Poisson;
+    const EXACT: EmptySlotModel = EmptySlotModel::Exact;
+
+    #[test]
+    fn zero_missing_is_never_detected() {
+        assert_eq!(detection_probability(100, 0, 128, POISSON), 0.0);
+    }
+
+    #[test]
+    fn all_missing_with_empty_expected_frame() {
+        // n = x: no tags present, every slot empty, any missing tag that
+        // hashes anywhere lands in an empty slot → detection certain.
+        let g = detection_probability(10, 10, 64, EXACT);
+        assert!((g - 1.0).abs() < 1e-9, "g = {g}");
+    }
+
+    #[test]
+    fn single_present_tag_small_frame_closed_form() {
+        // n = 2, x = 1, f = 2: one present tag occupies one slot, so the
+        // missing tag is detected iff it picks the other: g = 1/2.
+        let g = detection_probability(2, 1, 2, EXACT);
+        assert!((g - 0.5).abs() < 1e-9, "g = {g}");
+    }
+
+    #[test]
+    fn matches_independent_closed_form_for_one_missing() {
+        // For x = 1: g = 1 − Σ pmf·(1 − i/f) = 1 − (1 − E[N₀]/f)
+        //          = E[N₀]/f = p.
+        for &(n, f) in &[(50u64, 100u64), (200, 300), (1000, 1200)] {
+            let p = EXACT.empty_slot_probability(n - 1, f);
+            let g = detection_probability(n, 1, f, EXACT);
+            assert!((g - p).abs() < 1e-9, "n={n} f={f}: {g} vs {p}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_missing_count() {
+        // Lemma 1: more missing tags are easier to detect.
+        let f = 500;
+        let mut prev = 0.0;
+        for x in 1..=40u64 {
+            let g = detection_probability(400, x, f, POISSON);
+            assert!(g >= prev - 1e-12, "x={x}: {g} < {prev}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn monotone_in_frame_size() {
+        // Bigger frames leave more empty slots → easier detection.
+        let mut prev = 0.0;
+        for f in (100..=3000).step_by(100) {
+            let g = detection_probability(1000, 11, f, POISSON);
+            assert!(g >= prev - 1e-9, "f={f}: {g} < {prev}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn poisson_and_exact_agree_for_large_frames() {
+        let a = detection_probability(1000, 11, 2000, POISSON);
+        let b = detection_probability(1000, 11, 2000, EXACT);
+        assert!((a - b).abs() < 5e-3, "poisson {a} vs exact {b}");
+    }
+
+    #[test]
+    fn agrees_with_monte_carlo_estimate() {
+        // Ground truth by direct simulation of the occupancy process.
+        use rand::Rng;
+        use rand::SeedableRng;
+        let (n, x, f) = (300u64, 6u64, 500u64);
+        let g = detection_probability(n, x, f, EXACT);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12345);
+        let trials = 40_000;
+        let mut detected = 0u64;
+        for _ in 0..trials {
+            let mut occupied = vec![false; f as usize];
+            for _ in 0..(n - x) {
+                occupied[rng.gen_range(0..f) as usize] = true;
+            }
+            // Detected iff any of the x missing tags hashes to an
+            // empty slot.
+            let hit = (0..x).any(|_| !occupied[rng.gen_range(0..f) as usize]);
+            if hit {
+                detected += 1;
+            }
+        }
+        let estimate = detected as f64 / trials as f64;
+        // Binomial std err ~ sqrt(g(1-g)/trials) ≈ 0.0015; allow 5σ.
+        assert!(
+            (g - estimate).abs() < 0.01,
+            "analytic {g} vs monte-carlo {estimate}"
+        );
+    }
+
+    #[test]
+    fn values_are_probabilities() {
+        for x in [1u64, 5, 50] {
+            for f in [1u64, 10, 1000] {
+                let g = detection_probability(100, x, f, POISSON);
+                assert!((0.0..=1.0).contains(&g), "g({x},{f}) = {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_slot_frame_rarely_detects() {
+        // f = 1: the one slot is occupied whenever any tag is present,
+        // so a missing tag can never be noticed.
+        let g = detection_probability(10, 2, 1, EXACT);
+        assert!(g < 1e-9, "g = {g}");
+    }
+
+    #[test]
+    fn powi_u64_matches_std_powi() {
+        for &b in &[0.0f64, 0.25, 0.5, 0.99, 1.0] {
+            for e in [0u64, 1, 2, 7, 31, 100] {
+                let ours = powi_u64(b, e);
+                let std = b.powi(e as i32);
+                assert!((ours - std).abs() < 1e-12 * (1.0 + std.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_table_variant_matches() {
+        let table = LnFactorial::up_to(800);
+        let a = detection_probability(500, 6, 800, POISSON);
+        let b = detection_probability_with(&table, 500, 6, 800, POISSON);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot miss more tags")]
+    fn rejects_x_above_n() {
+        let _ = detection_probability(5, 6, 10, POISSON);
+    }
+}

@@ -1,0 +1,164 @@
+//! Slot-occupancy moments for framed slotted ALOHA.
+//!
+//! The whole analysis — Theorem 1's empty-slot binomial, the zero
+//! estimator, the Lee frame-sizing rule — reduces to properties of the
+//! balls-into-bins occupancy process: `n` tags hashing uniformly into
+//! `f` slots. This module provides the exact first two moments of the
+//! empty-slot count `N₀` (and the singleton count `N₁`, which DFSA
+//! throughput analysis needs), so code and tests can reference one
+//! vetted source instead of re-deriving expectations inline.
+//!
+//! Exact formulas (occupancy distribution classics):
+//!
+//! ```text
+//! E[N₀]   = f·(1 − 1/f)ⁿ
+//! E[N₀²]  = f·(1−1/f)ⁿ + f(f−1)·(1 − 2/f)ⁿ
+//! E[N₁]   = n·(1 − 1/f)^{n−1}
+//! ```
+
+/// Expected number of empty slots with `n` tags in `f` slots.
+///
+/// # Panics
+///
+/// Panics if `f == 0`.
+#[must_use]
+pub fn expected_empty_slots(n: u64, f: u64) -> f64 {
+    assert!(f >= 1, "frame must have at least one slot");
+    f as f64 * (1.0 - 1.0 / f as f64).powi(clamp_i32(n))
+}
+
+/// Variance of the empty-slot count.
+///
+/// # Panics
+///
+/// Panics if `f == 0`.
+#[must_use]
+pub fn empty_slots_variance(n: u64, f: u64) -> f64 {
+    assert!(f >= 1, "frame must have at least one slot");
+    let f_f = f as f64;
+    let p1 = (1.0 - 1.0 / f_f).powi(clamp_i32(n));
+    let p2 = if f == 1 {
+        0.0
+    } else {
+        (1.0 - 2.0 / f_f).powi(clamp_i32(n))
+    };
+    let mean = f_f * p1;
+    let second_moment = f_f * p1 + f_f * (f_f - 1.0) * p2;
+    (second_moment - mean * mean).max(0.0)
+}
+
+/// Expected number of singleton slots (exactly one tag) — the decode
+/// throughput of a collection frame, maximized at `f = n` (the Lee
+/// rule the collect-all baseline uses).
+///
+/// # Panics
+///
+/// Panics if `f == 0`.
+#[must_use]
+pub fn expected_singleton_slots(n: u64, f: u64) -> f64 {
+    assert!(f >= 1, "frame must have at least one slot");
+    if n == 0 {
+        return 0.0;
+    }
+    n as f64 * (1.0 - 1.0 / f as f64).powi(clamp_i32(n - 1))
+}
+
+/// Expected collided slots: `f − E[N₀] − E[N₁]`… careful — `E[N₁]`
+/// counts *slots* with one tag, and equals `n·(1−1/f)^{n−1}` only when
+/// read as slots; the identity `f = E[N₀] + E[N₁] + E[N₂₊]` then gives
+/// the collision expectation.
+///
+/// # Panics
+///
+/// Panics if `f == 0`.
+#[must_use]
+pub fn expected_collided_slots(n: u64, f: u64) -> f64 {
+    (f as f64 - expected_empty_slots(n, f) - expected_singleton_slots(n, f)).max(0.0)
+}
+
+fn clamp_i32(n: u64) -> i32 {
+    i32::try_from(n.min(i32::MAX as u64)).expect("clamped")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_tags_leave_everything_empty() {
+        assert_eq!(expected_empty_slots(0, 50), 50.0);
+        assert_eq!(expected_singleton_slots(0, 50), 0.0);
+        assert_eq!(expected_collided_slots(0, 50), 0.0);
+        assert_eq!(empty_slots_variance(0, 50), 0.0);
+    }
+
+    #[test]
+    fn single_slot_frame() {
+        assert_eq!(expected_empty_slots(3, 1), 0.0);
+        assert_eq!(expected_singleton_slots(1, 1), 1.0);
+        assert!(expected_collided_slots(3, 1) > 0.99);
+    }
+
+    #[test]
+    fn categories_partition_the_frame() {
+        for &(n, f) in &[(10u64, 16u64), (100, 128), (500, 500), (2000, 700)] {
+            let total = expected_empty_slots(n, f)
+                + expected_singleton_slots(n, f)
+                + expected_collided_slots(n, f);
+            assert!((total - f as f64).abs() < 1e-6, "n={n} f={f}: {total}");
+        }
+    }
+
+    #[test]
+    fn singleton_throughput_peaks_near_f_equals_n() {
+        // The Lee rule: frames equal to the contender count maximize
+        // decodes per slot.
+        let n = 200u64;
+        let at = |f: u64| expected_singleton_slots(n, f) / f as f64;
+        let peak = at(n);
+        for f in [n / 4, n / 2, 2 * n, 4 * n] {
+            assert!(at(f) <= peak + 1e-9, "f={f} beats f=n");
+        }
+    }
+
+    #[test]
+    fn moments_match_simulation() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let (n, f) = (300u64, 400u64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let trials = 20_000;
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        for _ in 0..trials {
+            let mut counts = vec![0u32; f as usize];
+            for _ in 0..n {
+                counts[rng.gen_range(0..f) as usize] += 1;
+            }
+            let empty = counts.iter().filter(|&&c| c == 0).count() as f64;
+            sum += empty;
+            sum_sq += empty * empty;
+        }
+        let mean = sum / trials as f64;
+        let var = sum_sq / trials as f64 - mean * mean;
+        assert!(
+            (mean - expected_empty_slots(n, f)).abs() < 0.5,
+            "mean {mean} vs {}",
+            expected_empty_slots(n, f)
+        );
+        assert!(
+            (var - empty_slots_variance(n, f)).abs() < empty_slots_variance(n, f) * 0.15,
+            "var {var} vs {}",
+            empty_slots_variance(n, f)
+        );
+    }
+
+    #[test]
+    fn variance_is_nonnegative_everywhere() {
+        for n in [0u64, 1, 10, 1000] {
+            for f in [1u64, 2, 64, 4096] {
+                assert!(empty_slots_variance(n, f) >= 0.0, "n={n} f={f}");
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Registry persistence: the server's durable state.
+//!
+//! The server's ground truth — IDs, the monitoring policy, and (for
+//! UTRP) every tag's counter mirror plus the sync flag — must survive
+//! restarts; losing the counter mirror after a power cycle would force
+//! a physical audit of the whole warehouse. [`RegistrySnapshot`] is a
+//! plain-old-data image of that state with a line-oriented text codec
+//! (versioned, human-inspectable, no external parser dependencies):
+//!
+//! ```text
+//! tagwatch-registry v1
+//! policy m=10 alpha=0.95
+//! synced true
+//! tag 000000000000000000000001 0
+//! tag 000000000000000000000002 17
+//! ```
+
+use std::fmt::Write as _;
+
+use tagwatch_sim::{Counter, TagId};
+
+use crate::error::CoreError;
+
+/// A durable image of a [`MonitorServer`](crate::server::MonitorServer)'s
+/// state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Tolerance `m`.
+    pub tolerance: u64,
+    /// Confidence `α`.
+    pub alpha: f64,
+    /// Whether the counter mirror was trusted at snapshot time.
+    pub counters_synced: bool,
+    /// Every registered tag with its mirrored counter, ascending by ID.
+    pub entries: Vec<(TagId, Counter)>,
+}
+
+impl RegistrySnapshot {
+    /// Serializes to the versioned text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("tagwatch-registry v1\n");
+        let _ = writeln!(out, "policy m={} alpha={}", self.tolerance, self.alpha);
+        let _ = writeln!(out, "synced {}", self.counters_synced);
+        for (id, ct) in &self.entries {
+            let _ = writeln!(out, "tag {:024x} {}", id.as_u128(), ct.get());
+        }
+        out
+    }
+
+    /// Parses the text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ParseSnapshot`] with the offending line
+    /// number for any malformed input (wrong magic, bad field, dupes).
+    pub fn from_text(text: &str) -> Result<Self, CoreError> {
+        let fail = |line: usize, reason: &str| CoreError::ParseSnapshot {
+            line,
+            reason: reason.to_owned(),
+        };
+        let mut lines = text.lines().enumerate();
+
+        let (ln, magic) = lines.next().ok_or_else(|| fail(0, "empty snapshot"))?;
+        if magic.trim() != "tagwatch-registry v1" {
+            return Err(fail(
+                ln + 1,
+                "bad magic line (expected `tagwatch-registry v1`)",
+            ));
+        }
+
+        let mut tolerance: Option<u64> = None;
+        let mut alpha: Option<f64> = None;
+        let mut synced: Option<bool> = None;
+        let mut entries: Vec<(TagId, Counter)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+
+        for (idx, raw) in lines {
+            let ln = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("policy") => {
+                    for field in parts {
+                        if let Some(v) = field.strip_prefix("m=") {
+                            tolerance = Some(v.parse().map_err(|_| fail(ln, "bad m value"))?);
+                        } else if let Some(v) = field.strip_prefix("alpha=") {
+                            alpha = Some(v.parse().map_err(|_| fail(ln, "bad alpha value"))?);
+                        } else {
+                            return Err(fail(ln, "unknown policy field"));
+                        }
+                    }
+                }
+                Some("synced") => {
+                    let v = parts
+                        .next()
+                        .ok_or_else(|| fail(ln, "missing synced value"))?;
+                    synced = Some(match v {
+                        "true" => true,
+                        "false" => false,
+                        _ => return Err(fail(ln, "synced must be true or false")),
+                    });
+                }
+                Some("tag") => {
+                    let id_hex = parts.next().ok_or_else(|| fail(ln, "missing tag id"))?;
+                    let ct_str = parts.next().ok_or_else(|| fail(ln, "missing counter"))?;
+                    let raw_id =
+                        u128::from_str_radix(id_hex, 16).map_err(|_| fail(ln, "bad tag id hex"))?;
+                    let ct: u64 = ct_str.parse().map_err(|_| fail(ln, "bad counter"))?;
+                    let id = TagId::new(raw_id);
+                    if !seen.insert(id) {
+                        return Err(fail(ln, "duplicate tag id"));
+                    }
+                    entries.push((id, Counter::new(ct)));
+                }
+                Some(other) => {
+                    return Err(fail(ln, &format!("unknown record kind `{other}`")));
+                }
+                None => unreachable!("blank lines skipped above"),
+            }
+        }
+
+        Ok(RegistrySnapshot {
+            tolerance: tolerance.ok_or_else(|| fail(0, "missing policy line"))?,
+            alpha: alpha.ok_or_else(|| fail(0, "missing alpha in policy"))?,
+            counters_synced: synced.unwrap_or(true),
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RegistrySnapshot {
+        RegistrySnapshot {
+            tolerance: 10,
+            alpha: 0.95,
+            counters_synced: true,
+            entries: (1..=5u64)
+                .map(|i| (TagId::from(i), Counter::new(i * 3)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let snap = sample();
+        let text = snap.to_text();
+        let back = RegistrySnapshot::from_text(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn round_trip_preserves_desync_flag() {
+        let mut snap = sample();
+        snap.counters_synced = false;
+        let back = RegistrySnapshot::from_text(&snap.to_text()).unwrap();
+        assert!(!back.counters_synced);
+    }
+
+    #[test]
+    fn format_is_human_readable() {
+        let text = sample().to_text();
+        assert!(text.starts_with("tagwatch-registry v1\n"));
+        assert!(text.contains("policy m=10 alpha=0.95"));
+        assert!(text.contains("tag 000000000000000000000001 3"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text =
+            "tagwatch-registry v1\n# a comment\n\npolicy m=1 alpha=0.9\nsynced true\ntag 01 0\n";
+        let snap = RegistrySnapshot::from_text(text).unwrap();
+        assert_eq!(snap.entries.len(), 1);
+    }
+
+    #[test]
+    fn bad_inputs_name_the_line() {
+        let cases: Vec<(&str, usize)> = vec![
+            ("nope", 1),
+            ("tagwatch-registry v1\npolicy m=x alpha=0.9", 2),
+            (
+                "tagwatch-registry v1\npolicy m=1 alpha=0.9\nsynced maybe",
+                3,
+            ),
+            ("tagwatch-registry v1\npolicy m=1 alpha=0.9\ntag zz 0", 3),
+            (
+                "tagwatch-registry v1\npolicy m=1 alpha=0.9\ntag 01 0\ntag 01 0",
+                4,
+            ),
+            ("tagwatch-registry v1\npolicy m=1 alpha=0.9\nwhatis this", 3),
+        ];
+        for (text, line) in cases {
+            match RegistrySnapshot::from_text(text) {
+                Err(CoreError::ParseSnapshot { line: l, .. }) => {
+                    assert_eq!(l, line, "wrong line for {text:?}");
+                }
+                other => panic!("expected parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_policy_is_rejected() {
+        let text = "tagwatch-registry v1\ntag 01 0\n";
+        assert!(RegistrySnapshot::from_text(text).is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_is_rejected() {
+        assert!(RegistrySnapshot::from_text("").is_err());
+    }
+
+    #[test]
+    fn large_ids_and_counters_round_trip() {
+        let snap = RegistrySnapshot {
+            tolerance: 0,
+            alpha: 0.5,
+            counters_synced: true,
+            entries: vec![(TagId::new(TagId::MASK), Counter::new(u64::MAX))],
+        };
+        let back = RegistrySnapshot::from_text(&snap.to_text()).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,626 @@
+//! The monitoring server.
+//!
+//! The server owns the ground truth: the registry of tag IDs (and, for
+//! UTRP, a mirror of every tag's hardware counter), the monitoring
+//! policy `(m, α)`, and the challenge/verify lifecycle. Challenges are
+//! consumed by value at verification so no `(f, r)` can be replayed —
+//! the paper's freshness requirement enforced by the type system.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::Rng;
+
+use tagwatch_sim::{Counter, FrameSize, TagId, TimingModel};
+
+use crate::bitstring::Bitstring;
+use crate::error::CoreError;
+use crate::frame::{trp_frame_size, utrp_frame_size, UtrpSizing};
+use crate::params::MonitorParams;
+use crate::trp::{self, TrpChallenge};
+use crate::utrp::{expected_round, UtrpChallenge, UtrpResponse};
+use crate::verdict::{MonitorReport, ProtocolKind, Verdict};
+
+/// Configuration for a [`MonitorServer`] beyond the core policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Timing model used to derive UTRP deadlines.
+    pub timing: TimingModel,
+    /// UTRP frame sizing knobs (sync budget `c`, safety pad).
+    pub utrp_sizing: UtrpSizing,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            timing: TimingModel::gen2(),
+            utrp_sizing: UtrpSizing::default(),
+        }
+    }
+}
+
+/// The back-end server of the monitoring system.
+///
+/// ```rust
+/// use rand::SeedableRng;
+/// use tagwatch_core::MonitorServer;
+/// use tagwatch_sim::TagId;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let ids: Vec<TagId> = (1..=500u64).map(TagId::from).collect();
+/// let mut server = MonitorServer::new(ids, 10, 0.95)?;
+///
+/// let challenge = server.issue_trp_challenge(&mut rng)?;
+/// // ... field: reader scans tags, returns a bitstring ...
+/// # let bs = tagwatch_core::trp::expected_bitstring(&server.registered_ids(), &challenge);
+/// let report = server.verify_trp(challenge, &bs)?;
+/// assert!(report.verdict.is_intact());
+/// # Ok::<(), tagwatch_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MonitorServer {
+    params: MonitorParams,
+    config: ServerConfig,
+    registry: BTreeMap<TagId, Counter>,
+    counters_synced: bool,
+    history: Vec<MonitorReport>,
+}
+
+impl MonitorServer {
+    /// Creates a server monitoring `ids` with tolerance `m` and
+    /// confidence `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] for duplicate IDs or an
+    /// invalid `(n, m, alpha)` combination (see [`MonitorParams::new`]).
+    pub fn new<I: IntoIterator<Item = TagId>>(
+        ids: I,
+        m: u64,
+        alpha: f64,
+    ) -> Result<Self, CoreError> {
+        Self::with_config(ids, m, alpha, ServerConfig::default())
+    }
+
+    /// [`MonitorServer::new`] with explicit timing and sizing knobs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MonitorServer::new`].
+    pub fn with_config<I: IntoIterator<Item = TagId>>(
+        ids: I,
+        m: u64,
+        alpha: f64,
+        config: ServerConfig,
+    ) -> Result<Self, CoreError> {
+        let mut registry = BTreeMap::new();
+        for id in ids {
+            if registry.insert(id, Counter::ZERO).is_some() {
+                return Err(CoreError::InvalidParams {
+                    reason: format!("duplicate tag id {id} in registry"),
+                });
+            }
+        }
+        let params = MonitorParams::new(registry.len() as u64, m, alpha)?;
+        Ok(MonitorServer {
+            params,
+            config,
+            registry,
+            counters_synced: true,
+            history: Vec::new(),
+        })
+    }
+
+    /// The monitoring policy.
+    #[must_use]
+    pub fn params(&self) -> MonitorParams {
+        self.params
+    }
+
+    /// The server configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Number of registered tags.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Whether the registry is empty (never true for a constructed
+    /// server, which requires `n ≥ 1`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.registry.is_empty()
+    }
+
+    /// All registered IDs, ascending.
+    #[must_use]
+    pub fn registered_ids(&self) -> Vec<TagId> {
+        self.registry.keys().copied().collect()
+    }
+
+    /// The mirrored counter for one tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownTag`] for unregistered IDs.
+    pub fn counter_of(&self, id: TagId) -> Result<Counter, CoreError> {
+        self.registry
+            .get(&id)
+            .copied()
+            .ok_or_else(|| CoreError::UnknownTag { id: id.to_string() })
+    }
+
+    /// Whether the counter mirror is trusted (see
+    /// [`CoreError::CounterDesync`]).
+    #[must_use]
+    pub fn counters_synced(&self) -> bool {
+        self.counters_synced
+    }
+
+    /// Every verification this server has performed, in order.
+    #[must_use]
+    pub fn history(&self) -> &[MonitorReport] {
+        &self.history
+    }
+
+    /// Reports that raised an alarm.
+    #[must_use]
+    pub fn alarms(&self) -> Vec<&MonitorReport> {
+        self.history.iter().filter(|r| r.is_alarm()).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // TRP
+    // ------------------------------------------------------------------
+
+    /// Issues a fresh TRP challenge: frame sized by Eq. 2, random nonce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoFeasibleFrame`] if sizing fails
+    /// (practically unreachable for valid parameters).
+    pub fn issue_trp_challenge<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<TrpChallenge, CoreError> {
+        let f = trp_frame_size(&self.params)?;
+        Ok(TrpChallenge::generate(f, rng))
+    }
+
+    /// Issues a TRP challenge with an explicit frame size (experiments
+    /// sweeping `f`).
+    pub fn issue_trp_challenge_with_frame<R: Rng + ?Sized>(
+        &self,
+        f: FrameSize,
+        rng: &mut R,
+    ) -> TrpChallenge {
+        TrpChallenge::generate(f, rng)
+    }
+
+    /// Verifies a TRP response, consuming the challenge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ResponseShapeMismatch`] if the bitstring
+    /// length disagrees with the challenge.
+    pub fn verify_trp(
+        &mut self,
+        challenge: TrpChallenge,
+        observed: &Bitstring,
+    ) -> Result<MonitorReport, CoreError> {
+        let ids = self.registered_ids();
+        let report = trp::verify(&ids, challenge, observed)?;
+        self.history.push(report.clone());
+        Ok(report)
+    }
+
+    // ------------------------------------------------------------------
+    // UTRP
+    // ------------------------------------------------------------------
+
+    /// Issues a fresh UTRP challenge: frame sized by Eq. 3 (plus the
+    /// configured pad), a committed nonce sequence, and a deadline.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::CounterDesync`] — a previous UTRP round failed, so
+    ///   the counter mirror cannot be trusted; call
+    ///   [`MonitorServer::resync_counters`] after a physical audit.
+    /// * [`CoreError::InvalidParams`] / [`CoreError::NoFeasibleFrame`] —
+    ///   sizing failures.
+    pub fn issue_utrp_challenge<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<UtrpChallenge, CoreError> {
+        let f = utrp_frame_size(&self.params, self.config.utrp_sizing)?;
+        self.issue_utrp_challenge_with_frame(f, rng)
+    }
+
+    /// Issues a UTRP challenge with an explicit frame size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CounterDesync`] when the mirror is
+    /// untrusted.
+    pub fn issue_utrp_challenge_with_frame<R: Rng + ?Sized>(
+        &self,
+        f: FrameSize,
+        rng: &mut R,
+    ) -> Result<UtrpChallenge, CoreError> {
+        if !self.counters_synced {
+            return Err(CoreError::CounterDesync);
+        }
+        Ok(UtrpChallenge::generate(f, &self.config.timing, rng))
+    }
+
+    /// Verifies a UTRP response, consuming the challenge.
+    ///
+    /// The server recomputes the expected round from its registry
+    /// mirror. A response is accepted only if it arrived within the
+    /// deadline *and* matches bit-for-bit; on success the counter mirror
+    /// advances by the round's announcement count, otherwise the mirror
+    /// is marked desynchronized (the field tags' counters are now
+    /// unknown).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ResponseShapeMismatch`] for a wrong-length
+    /// bitstring.
+    pub fn verify_utrp(
+        &mut self,
+        challenge: UtrpChallenge,
+        response: &UtrpResponse,
+    ) -> Result<MonitorReport, CoreError> {
+        let f = challenge.frame_size().get();
+        if response.bitstring.len() as u64 != f {
+            return Err(CoreError::ResponseShapeMismatch {
+                expected: f,
+                received: response.bitstring.len() as u64,
+            });
+        }
+        let registry: Vec<(TagId, Counter)> =
+            self.registry.iter().map(|(&id, &ct)| (id, ct)).collect();
+        let expected = expected_round(&registry, &challenge)?;
+        let late = !challenge.timer().accepts(response.elapsed);
+        let mismatched = expected.bitstring.hamming_distance(&response.bitstring)?;
+        let verdict = if late || mismatched > 0 {
+            Verdict::NotIntact
+        } else {
+            Verdict::Intact
+        };
+
+        if verdict.is_intact() {
+            for ct in self.registry.values_mut() {
+                *ct = Counter::new(ct.get().wrapping_add(expected.announcements));
+            }
+        } else {
+            self.counters_synced = false;
+        }
+
+        let report = MonitorReport {
+            protocol: ProtocolKind::Utrp,
+            verdict,
+            frame_size: f,
+            mismatched_slots: mismatched,
+            late,
+            elapsed: Some(response.elapsed),
+        };
+        self.history.push(report.clone());
+        Ok(report)
+    }
+
+    /// Captures a durable image of the server's state (see
+    /// [`crate::registry`]).
+    #[must_use]
+    pub fn snapshot(&self) -> crate::registry::RegistrySnapshot {
+        crate::registry::RegistrySnapshot {
+            tolerance: self.params.tolerance(),
+            alpha: self.params.confidence(),
+            counters_synced: self.counters_synced,
+            entries: self.registry.iter().map(|(&id, &ct)| (id, ct)).collect(),
+        }
+    }
+
+    /// Restores a server from a snapshot (verification history is not
+    /// persisted; it restarts empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] if the snapshot's policy or
+    /// ID set fails validation.
+    pub fn from_snapshot(
+        snapshot: crate::registry::RegistrySnapshot,
+        config: ServerConfig,
+    ) -> Result<Self, CoreError> {
+        let mut server = MonitorServer::with_config(
+            snapshot.entries.iter().map(|&(id, _)| id),
+            snapshot.tolerance,
+            snapshot.alpha,
+            config,
+        )?;
+        for (id, ct) in snapshot.entries {
+            *server
+                .registry
+                .get_mut(&id)
+                .expect("ids inserted just above") = ct;
+        }
+        server.counters_synced = snapshot.counters_synced;
+        Ok(server)
+    }
+
+    /// Restores the counter mirror from a trusted physical audit and
+    /// marks it synchronized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownTag`] if the audit mentions an
+    /// unregistered tag; registered tags absent from the audit keep
+    /// their current mirror value.
+    pub fn resync_counters<I: IntoIterator<Item = (TagId, Counter)>>(
+        &mut self,
+        audited: I,
+    ) -> Result<(), CoreError> {
+        for (id, ct) in audited {
+            match self.registry.get_mut(&id) {
+                Some(slot) => *slot = ct,
+                None => {
+                    return Err(CoreError::UnknownTag { id: id.to_string() });
+                }
+            }
+        }
+        self.counters_synced = true;
+        Ok(())
+    }
+}
+
+impl fmt::Display for MonitorServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "monitor server: {} tags, {}, {} verifications, {} alarms",
+            self.registry.len(),
+            self.params,
+            self.history.len(),
+            self.alarms().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trp::observed_bitstring;
+    use crate::utrp::run_honest_reader;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tagwatch_sim::TagPopulation;
+
+    fn ids(n: u64) -> Vec<TagId> {
+        (1..=n).map(TagId::from).collect()
+    }
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(MonitorServer::new(ids(100), 5, 0.95).is_ok());
+        assert!(MonitorServer::new(ids(5), 5, 0.95).is_err());
+        let dup = vec![TagId::new(1), TagId::new(1)];
+        assert!(matches!(
+            MonitorServer::new(dup, 0, 0.9),
+            Err(CoreError::InvalidParams { .. })
+        ));
+    }
+
+    #[test]
+    fn trp_round_trip_intact() {
+        let mut server = MonitorServer::new(ids(300), 5, 0.95).unwrap();
+        let mut r = rng(1);
+        let ch = server.issue_trp_challenge(&mut r).unwrap();
+        let bs = observed_bitstring(&server.registered_ids(), &ch);
+        let report = server.verify_trp(ch, &bs).unwrap();
+        assert!(report.verdict.is_intact());
+        assert_eq!(server.history().len(), 1);
+        assert!(server.alarms().is_empty());
+    }
+
+    #[test]
+    fn trp_detects_theft_beyond_tolerance() {
+        let mut server = MonitorServer::new(ids(300), 5, 0.95).unwrap();
+        let mut detected = 0;
+        let trials = 300;
+        for seed in 0..trials {
+            let mut r = rng(seed);
+            let ch = server.issue_trp_challenge(&mut r).unwrap();
+            let mut pop = TagPopulation::with_sequential_ids(300);
+            pop.remove_random(6, &mut r).unwrap();
+            let bs = observed_bitstring(&pop.ids(), &ch);
+            let report = server.verify_trp(ch, &bs).unwrap();
+            if report.is_alarm() {
+                detected += 1;
+            }
+        }
+        assert!(
+            detected as f64 / trials as f64 > 0.9,
+            "detected {detected}/{trials}"
+        );
+    }
+
+    #[test]
+    fn utrp_round_trip_intact_advances_mirror() {
+        let mut server = MonitorServer::new(ids(100), 5, 0.95).unwrap();
+        let mut r = rng(2);
+        let ch = server.issue_utrp_challenge(&mut r).unwrap();
+        let mut pop = TagPopulation::with_sequential_ids(100);
+        let response = run_honest_reader(&mut pop, &ch, &server.config().timing.clone()).unwrap();
+        let report = server.verify_utrp(ch, &response).unwrap();
+        assert!(report.verdict.is_intact(), "{report}");
+        assert!(server.counters_synced());
+        // Mirror matches the field counters exactly.
+        for tag in pop.iter() {
+            assert_eq!(server.counter_of(tag.id()).unwrap(), tag.counter());
+        }
+        assert_eq!(
+            response.announcements,
+            server.counter_of(TagId::new(1)).unwrap().get()
+        );
+    }
+
+    #[test]
+    fn consecutive_utrp_rounds_stay_synced() {
+        let mut server = MonitorServer::new(ids(60), 3, 0.9).unwrap();
+        let mut pop = TagPopulation::with_sequential_ids(60);
+        let timing = server.config().timing;
+        for seed in 0..5u64 {
+            let mut r = rng(100 + seed);
+            let ch = server.issue_utrp_challenge(&mut r).unwrap();
+            let response = run_honest_reader(&mut pop, &ch, &timing).unwrap();
+            let report = server.verify_utrp(ch, &response).unwrap();
+            assert!(report.verdict.is_intact(), "round {seed}: {report}");
+        }
+        assert_eq!(server.history().len(), 5);
+    }
+
+    #[test]
+    fn utrp_failure_desyncs_and_blocks_until_resync() {
+        let mut server = MonitorServer::new(ids(100), 5, 0.95).unwrap();
+        let mut r = rng(3);
+        let ch = server.issue_utrp_challenge(&mut r).unwrap();
+
+        // Steal 6 tags (> m): honest scan of the remainder must fail.
+        let mut pop = TagPopulation::with_sequential_ids(100);
+        pop.split_random(6, &mut r).unwrap();
+        let response = run_honest_reader(&mut pop, &ch, &server.config().timing.clone()).unwrap();
+        let report = server.verify_utrp(ch, &response).unwrap();
+        assert!(report.is_alarm());
+        assert!(!server.counters_synced());
+
+        // Further UTRP challenges blocked...
+        assert!(matches!(
+            server.issue_utrp_challenge(&mut r),
+            Err(CoreError::CounterDesync)
+        ));
+        // ...until a physical audit resyncs the mirror.
+        server
+            .resync_counters(pop.iter().map(|t| (t.id(), t.counter())))
+            .unwrap();
+        assert!(server.issue_utrp_challenge(&mut r).is_ok());
+    }
+
+    #[test]
+    fn late_utrp_response_is_rejected() {
+        let mut server = MonitorServer::new(ids(50), 3, 0.9).unwrap();
+        let mut r = rng(4);
+        let ch = server.issue_utrp_challenge(&mut r).unwrap();
+        let mut pop = TagPopulation::with_sequential_ids(50);
+        let mut response =
+            run_honest_reader(&mut pop, &ch, &server.config().timing.clone()).unwrap();
+        // Correct bitstring, blown deadline.
+        response.elapsed = ch.timer().deadline() + tagwatch_sim::SimDuration::from_micros(1);
+        let report = server.verify_utrp(ch, &response).unwrap();
+        assert!(report.is_alarm());
+        assert!(report.late);
+        assert_eq!(report.mismatched_slots, 0);
+    }
+
+    #[test]
+    fn wrong_shape_utrp_response_errors() {
+        let mut server = MonitorServer::new(ids(50), 3, 0.9).unwrap();
+        let mut r = rng(5);
+        let ch = server.issue_utrp_challenge(&mut r).unwrap();
+        let response = UtrpResponse {
+            bitstring: Bitstring::zeros(1),
+            elapsed: tagwatch_sim::SimDuration::ZERO,
+            announcements: 1,
+        };
+        assert!(matches!(
+            server.verify_utrp(ch, &response),
+            Err(CoreError::ResponseShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn resync_rejects_unknown_tags() {
+        let mut server = MonitorServer::new(ids(10), 1, 0.9).unwrap();
+        let err = server
+            .resync_counters([(TagId::new(999), Counter::ZERO)])
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UnknownTag { .. }));
+    }
+
+    #[test]
+    fn counter_of_unknown_tag_errors() {
+        let server = MonitorServer::new(ids(10), 1, 0.9).unwrap();
+        assert!(server.counter_of(TagId::new(11)).is_err());
+        assert_eq!(server.counter_of(TagId::new(10)).unwrap(), Counter::ZERO);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_counters_and_policy() {
+        let mut server = MonitorServer::new(ids(40), 3, 0.9).unwrap();
+        let mut pop = TagPopulation::with_sequential_ids(40);
+        let mut r = rng(31);
+        // Advance state with a real round so counters are non-trivial.
+        let ch = server.issue_utrp_challenge(&mut r).unwrap();
+        let response = run_honest_reader(&mut pop, &ch, &server.config().timing.clone()).unwrap();
+        server.verify_utrp(ch, &response).unwrap();
+
+        let text = server.snapshot().to_text();
+        let restored = MonitorServer::from_snapshot(
+            crate::registry::RegistrySnapshot::from_text(&text).unwrap(),
+            *server.config(),
+        )
+        .unwrap();
+        assert_eq!(restored.params(), server.params());
+        assert_eq!(restored.counters_synced(), server.counters_synced());
+        for id in server.registered_ids() {
+            assert_eq!(
+                restored.counter_of(id).unwrap(),
+                server.counter_of(id).unwrap()
+            );
+        }
+        // The restored server verifies the field exactly like the old one.
+        let ch = restored.issue_utrp_challenge(&mut r).unwrap();
+        let mut restored = restored;
+        let response = run_honest_reader(&mut pop, &ch, &restored.config().timing.clone()).unwrap();
+        assert!(restored
+            .verify_utrp(ch, &response)
+            .unwrap()
+            .verdict
+            .is_intact());
+    }
+
+    #[test]
+    fn snapshot_preserves_desync_state() {
+        let mut server = MonitorServer::new(ids(30), 2, 0.9).unwrap();
+        let mut r = rng(32);
+        let ch = server.issue_utrp_challenge(&mut r).unwrap();
+        let mut robbed = TagPopulation::with_sequential_ids(30);
+        robbed.remove_random(3, &mut r).unwrap();
+        let response =
+            run_honest_reader(&mut robbed, &ch, &server.config().timing.clone()).unwrap();
+        server.verify_utrp(ch, &response).unwrap();
+        assert!(!server.counters_synced());
+
+        let restored = MonitorServer::from_snapshot(server.snapshot(), *server.config()).unwrap();
+        assert!(!restored.counters_synced());
+        assert!(matches!(
+            restored.issue_utrp_challenge(&mut r),
+            Err(CoreError::CounterDesync)
+        ));
+    }
+
+    #[test]
+    fn display_summarizes_state() {
+        let server = MonitorServer::new(ids(10), 1, 0.9).unwrap();
+        let text = server.to_string();
+        assert!(text.contains("10 tags"));
+        assert!(text.contains("0 alarms"));
+    }
+}

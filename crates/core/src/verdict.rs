@@ -1,0 +1,144 @@
+//! Verification outcomes and monitoring reports.
+
+use std::fmt;
+
+use tagwatch_sim::SimDuration;
+
+/// Which protocol produced a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ProtocolKind {
+    /// Trusted Reader Protocol (§4).
+    Trp,
+    /// Untrusted Reader Protocol (§5).
+    Utrp,
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolKind::Trp => write!(f, "TRP"),
+            ProtocolKind::Utrp => write!(f, "UTRP"),
+        }
+    }
+}
+
+/// The server's conclusion about the monitored set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Verdict {
+    /// The returned bitstring matched the prediction: at most `m` tags
+    /// are missing, with the configured confidence.
+    Intact,
+    /// The evidence is inconsistent with an intact set (bitstring
+    /// mismatch, malformed response, or a blown deadline) — raise the
+    /// alarm.
+    NotIntact,
+}
+
+impl Verdict {
+    /// Whether the set passed verification.
+    #[must_use]
+    pub fn is_intact(self) -> bool {
+        matches!(self, Verdict::Intact)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Intact => write!(f, "intact"),
+            Verdict::NotIntact => write!(f, "NOT intact"),
+        }
+    }
+}
+
+/// Everything the server records about one verification.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MonitorReport {
+    /// The protocol that ran.
+    pub protocol: ProtocolKind,
+    /// The server's conclusion.
+    pub verdict: Verdict,
+    /// The challenge's frame size (slots — the paper's cost metric).
+    pub frame_size: u64,
+    /// Slots where the response disagreed with the prediction.
+    pub mismatched_slots: usize,
+    /// Whether the response missed the deadline (UTRP only; always
+    /// `false` for TRP).
+    pub late: bool,
+    /// The response's reported scanning time, when available.
+    pub elapsed: Option<SimDuration>,
+}
+
+impl MonitorReport {
+    /// Whether this report should page somebody.
+    #[must_use]
+    pub fn is_alarm(&self) -> bool {
+        !self.verdict.is_intact()
+    }
+}
+
+impl fmt::Display for MonitorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ({} slots, {} mismatched{})",
+            self.protocol,
+            self.verdict,
+            self.frame_size,
+            self.mismatched_slots,
+            if self.late { ", late" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_predicates() {
+        assert!(Verdict::Intact.is_intact());
+        assert!(!Verdict::NotIntact.is_intact());
+    }
+
+    #[test]
+    fn report_alarm_tracks_verdict() {
+        let mut report = MonitorReport {
+            protocol: ProtocolKind::Trp,
+            verdict: Verdict::Intact,
+            frame_size: 100,
+            mismatched_slots: 0,
+            late: false,
+            elapsed: None,
+        };
+        assert!(!report.is_alarm());
+        report.verdict = Verdict::NotIntact;
+        assert!(report.is_alarm());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let report = MonitorReport {
+            protocol: ProtocolKind::Utrp,
+            verdict: Verdict::NotIntact,
+            frame_size: 64,
+            mismatched_slots: 3,
+            late: true,
+            elapsed: Some(SimDuration::from_micros(99)),
+        };
+        let text = report.to_string();
+        assert!(text.contains("UTRP"));
+        assert!(text.contains("NOT intact"));
+        assert!(text.contains("3 mismatched"));
+        assert!(text.contains("late"));
+    }
+
+    #[test]
+    fn protocol_kind_display() {
+        assert_eq!(ProtocolKind::Trp.to_string(), "TRP");
+        assert_eq!(ProtocolKind::Utrp.to_string(), "UTRP");
+    }
+}

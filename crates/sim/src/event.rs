@@ -1,0 +1,315 @@
+//! A deterministic discrete-event scheduler.
+//!
+//! [`EventQueue`] is the kernel every timed simulation in this workspace
+//! runs on: events are scheduled at absolute [`SimTime`]s and popped in
+//! time order, with *insertion order* breaking ties so that runs are
+//! bit-for-bit reproducible (a plain `BinaryHeap` over `(time, event)`
+//! would pop equal-time events in an unspecified order).
+//!
+//! The queue owns the simulation clock: popping an event advances
+//! [`EventQueue::now`] to that event's activation time, and scheduling
+//! into the past is an error rather than a silent reordering.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::error::SimError;
+use crate::time::{SimDuration, SimTime};
+
+/// An event with its activation time and tie-breaking sequence number.
+#[derive(Debug, Clone)]
+pub struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> Scheduled<E> {
+    /// The event's activation time.
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// The scheduling sequence number (insertion order).
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Shared access to the event payload.
+    #[must_use]
+    pub fn event(&self) -> &E {
+        &self.event
+    }
+
+    /// Consumes the entry, returning the payload.
+    #[must_use]
+    pub fn into_event(self) -> E {
+        self.event
+    }
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time (then lowest
+        // sequence number) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic event queue with an embedded simulation clock.
+///
+/// ```rust
+/// use tagwatch_sim::event::EventQueue;
+/// use tagwatch_sim::time::{SimDuration, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_after(SimDuration::from_micros(20), "second")?;
+/// q.schedule_after(SimDuration::from_micros(10), "first")?;
+///
+/// assert_eq!(q.pop().unwrap().into_event(), "first");
+/// assert_eq!(q.now(), SimTime::from_micros(10));
+/// assert_eq!(q.pop().unwrap().into_event(), "second");
+/// assert!(q.pop().is_none());
+/// # Ok::<(), tagwatch_sim::SimError>(())
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    /// The current simulation time (the activation time of the most
+    /// recently popped event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at the absolute time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ScheduleInPast`] if `at` precedes the current
+    /// clock.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> Result<(), SimError> {
+        if at < self.now {
+            return Err(SimError::ScheduleInPast {
+                now_micros: self.now.as_micros(),
+                at_micros: at.as_micros(),
+            });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            event,
+        });
+        Ok(())
+    }
+
+    /// Schedules `event` at `now + delay`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today (the activation time cannot precede `now`);
+    /// returns `Result` for signature symmetry with
+    /// [`EventQueue::schedule_at`].
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> Result<(), SimError> {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its
+    /// activation time. Returns `None` when the queue is drained.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some(entry)
+    }
+
+    /// The activation time of the next event without popping it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(Scheduled::time)
+    }
+
+    /// Pops and collects every event with activation time `<= until`,
+    /// advancing the clock along the way (and finally to `until` if that
+    /// is later than the last popped event).
+    pub fn drain_until(&mut self, until: SimTime) -> Vec<Scheduled<E>> {
+        let mut out = Vec::new();
+        while matches!(self.peek_time(), Some(t) if t <= until) {
+            out.push(self.pop().expect("peeked"));
+        }
+        self.now = self.now.max(until);
+        out
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(30), "c").unwrap();
+        q.schedule_at(SimTime::from_micros(10), "a").unwrap();
+        q.schedule_at(SimTime::from_micros(20), "b").unwrap();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(Scheduled::into_event)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for label in ["first", "second", "third"] {
+            q.schedule_at(t, label).unwrap();
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(Scheduled::into_event)).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(42), ()).unwrap();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop().unwrap();
+        assert_eq!(q.now(), SimTime::from_micros(42));
+    }
+
+    #[test]
+    fn rejects_scheduling_in_past() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(10), ()).unwrap();
+        q.pop().unwrap();
+        let err = q.schedule_at(SimTime::from_micros(5), ()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ScheduleInPast {
+                now_micros: 10,
+                at_micros: 5
+            }
+        );
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(100), "anchor").unwrap();
+        q.pop().unwrap();
+        q.schedule_after(SimDuration::from_micros(50), "later")
+            .unwrap();
+        let e = q.pop().unwrap();
+        assert_eq!(e.time(), SimTime::from_micros(150));
+    }
+
+    #[test]
+    fn drain_until_collects_prefix_and_advances_clock() {
+        let mut q = EventQueue::new();
+        for t in [10u64, 20, 30, 40] {
+            q.schedule_at(SimTime::from_micros(t), t).unwrap();
+        }
+        let drained = q.drain_until(SimTime::from_micros(25));
+        let times: Vec<_> = drained.iter().map(|e| e.time().as_micros()).collect();
+        assert_eq!(times, [10, 20]);
+        assert_eq!(q.now(), SimTime::from_micros(25));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_advance_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(7), ()).unwrap();
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn len_and_is_empty_track_contents() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_after(SimDuration::ZERO, ()).unwrap();
+        assert_eq!(q.len(), 1);
+        q.pop().unwrap();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn debug_shows_clock_and_pending() {
+        let q: EventQueue<u8> = EventQueue::new();
+        let text = format!("{q:?}");
+        assert!(text.contains("now"));
+        assert!(text.contains("pending"));
+    }
+
+    #[test]
+    fn scheduled_accessors() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(3), "payload").unwrap();
+        let e = q.pop().unwrap();
+        assert_eq!(*e.event(), "payload");
+        assert_eq!(e.seq(), 0);
+        assert_eq!(e.time(), SimTime::from_micros(3));
+    }
+}

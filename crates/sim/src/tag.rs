@@ -1,0 +1,418 @@
+//! The passive-tag device model.
+//!
+//! A [`Tag`] is a small state machine driven entirely by reader
+//! broadcasts, mirroring Algorithms 2 and 7 of the paper:
+//!
+//! 1. On receiving a frame announcement `(f, r)` the tag computes its
+//!    reply slot. In *counted* mode (UTRP, Alg. 7) it first increments
+//!    its monotone hardware counter `ct` and mixes it into the hash, so
+//!    a reader that replays or rewinds a frame gets a different — and
+//!    therefore server-detectably wrong — bitstring.
+//! 2. On hearing its own slot number broadcast, a ready tag answers:
+//!    a short random burst in presence mode, or its full ID in
+//!    collection mode (the collect-all baseline).
+//! 3. A tag that successfully delivered its ID is *silenced* for the
+//!    rest of the inventory (paper §3, "tags that successfully transmit
+//!    their data are instructed to keep silent").
+//!
+//! Failure injection: a *detuned* tag is physically present but never
+//! replies (a scratched or blocked tag, exactly the false-alarm source
+//! the tolerance `m` exists for).
+
+use std::fmt;
+
+use crate::hash::{short_reply_bits, slot_for, slot_for_counted};
+use crate::ident::{FrameSize, Nonce, TagId};
+
+/// The monotone per-tag counter `ct` required by UTRP (paper §5.2).
+///
+/// The counter increments every time the tag receives a new `(f, r)`
+/// announcement and can never be reset or decremented — the hardware
+/// assumption the paper adopts from the yoking-proof literature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter at zero (factory state).
+    pub const ZERO: Counter = Counter(0);
+
+    /// Creates a counter at an arbitrary value (e.g. when the server
+    /// restores its mirror of a tag's counter from storage).
+    #[must_use]
+    pub const fn new(value: u64) -> Self {
+        Counter(value)
+    }
+
+    /// The current counter value.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the incremented counter. The hardware counter wraps at
+    /// `u64::MAX`, which at one increment per slot would take half a
+    /// million years of continuous interrogation to reach.
+    #[must_use]
+    pub const fn incremented(self) -> Counter {
+        Counter(self.0.wrapping_add(1))
+    }
+
+    /// Increments the counter in place.
+    pub fn increment(&mut self) {
+        *self = self.incremented();
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ct:{}", self.0)
+    }
+}
+
+impl From<u64> for Counter {
+    fn from(value: u64) -> Self {
+        Counter(value)
+    }
+}
+
+/// Whether a tag participates in the current inventory round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TagState {
+    /// Powered and listening; will answer in its slot.
+    #[default]
+    Ready,
+    /// Acknowledged by the reader after delivering its ID; keeps silent
+    /// until the next inventory begins.
+    Silenced,
+}
+
+/// How tags hash a frame announcement into a slot choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotMode {
+    /// TRP / collect-all: `sn = h(id ⊕ r) mod f`.
+    Plain,
+    /// UTRP: `sn = h(id ⊕ r ⊕ ct) mod f`, counter incremented first.
+    Counted,
+}
+
+/// What a tag transmits when its slot comes up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagReply {
+    /// A short random burst claiming the slot (presence protocols).
+    Presence {
+        /// The 10 random bits transmitted (never interpreted).
+        bits: u16,
+    },
+    /// The tag's full 96-bit ID (collection protocols).
+    Id(TagId),
+}
+
+/// A simulated passive RFID tag.
+///
+/// ```rust
+/// use tagwatch_sim::tag::{SlotMode, Tag};
+/// use tagwatch_sim::{FrameSize, Nonce, TagId};
+///
+/// let mut tag = Tag::new(TagId::new(7));
+/// let f = FrameSize::new(16)?;
+///
+/// // Frame announcement: the tag picks a slot.
+/// let slot = tag.on_frame(f, Nonce::new(1), SlotMode::Plain);
+/// // It answers exactly when that slot is broadcast.
+/// assert!(tag.on_slot(slot, false).is_some());
+/// assert!(tag.on_slot((slot + 1) % f.get(), false).is_none());
+/// # Ok::<(), tagwatch_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tag {
+    id: TagId,
+    counter: Counter,
+    state: TagState,
+    detuned: bool,
+    pending_slot: Option<u64>,
+}
+
+impl Tag {
+    /// Creates a ready tag with a zeroed counter.
+    #[must_use]
+    pub fn new(id: TagId) -> Self {
+        Tag {
+            id,
+            counter: Counter::ZERO,
+            state: TagState::Ready,
+            detuned: false,
+            pending_slot: None,
+        }
+    }
+
+    /// Creates a tag whose counter starts at `ct` (used by tests and by
+    /// the server's mirror of tag state).
+    #[must_use]
+    pub fn with_counter(id: TagId, ct: Counter) -> Self {
+        Tag {
+            counter: ct,
+            ..Tag::new(id)
+        }
+    }
+
+    /// The tag's identifier.
+    #[must_use]
+    pub fn id(&self) -> TagId {
+        self.id
+    }
+
+    /// The tag's current counter value.
+    #[must_use]
+    pub fn counter(&self) -> Counter {
+        self.counter
+    }
+
+    /// The tag's inventory state.
+    #[must_use]
+    pub fn state(&self) -> TagState {
+        self.state
+    }
+
+    /// Whether this tag is detuned (present but mute).
+    #[must_use]
+    pub fn is_detuned(&self) -> bool {
+        self.detuned
+    }
+
+    /// Marks the tag detuned (failure injection) or restores it.
+    pub fn set_detuned(&mut self, detuned: bool) {
+        self.detuned = detuned;
+    }
+
+    /// Handles a frame announcement `(f, r)`, returning the slot the tag
+    /// will answer in.
+    ///
+    /// In [`SlotMode::Counted`] the hardware counter is incremented
+    /// *before* hashing, as in Alg. 7 line 1 — the increment happens on
+    /// every announcement the tag hears, even if it later turns out to
+    /// be silenced, which is exactly what makes replays detectable.
+    pub fn on_frame(&mut self, f: FrameSize, r: Nonce, mode: SlotMode) -> u64 {
+        let slot = match mode {
+            SlotMode::Plain => slot_for(self.id, r, f),
+            SlotMode::Counted => {
+                self.counter.increment();
+                slot_for_counted(self.id, r, self.counter, f)
+            }
+        };
+        self.pending_slot = Some(slot);
+        slot
+    }
+
+    /// Handles the reader broadcasting slot number `sn`.
+    ///
+    /// Returns the tag's transmission if `sn` is its pending slot and it
+    /// is ready and tuned; `None` otherwise. `collect_id` selects
+    /// between presence bursts and full-ID replies.
+    pub fn on_slot(&mut self, sn: u64, collect_id: bool) -> Option<TagReply> {
+        if self.state == TagState::Silenced || self.detuned {
+            return None;
+        }
+        if self.pending_slot != Some(sn) {
+            return None;
+        }
+        if collect_id {
+            Some(TagReply::Id(self.id))
+        } else {
+            // Derive the burst from the slot so reruns are reproducible.
+            Some(TagReply::Presence {
+                bits: short_reply_bits(self.id, Nonce::new(sn)),
+            })
+        }
+    }
+
+    /// Advances the counter by `announcements` increments at once.
+    ///
+    /// Used by bulk protocol simulations that compute a whole UTRP round
+    /// without driving the per-slot state machine: the round determines
+    /// how many `(f, r)` announcements every in-range tag heard, and the
+    /// caller applies them here. Equivalent to hearing that many frames
+    /// through [`Tag::on_frame`] in [`SlotMode::Counted`].
+    pub fn advance_counter(&mut self, announcements: u64) {
+        self.counter = Counter::new(self.counter.get().wrapping_add(announcements));
+    }
+
+    /// Silences the tag for the remainder of the inventory (successful
+    /// ID delivery in collect-all).
+    pub fn silence(&mut self) {
+        self.state = TagState::Silenced;
+        self.pending_slot = None;
+    }
+
+    /// Re-arms the tag for a fresh inventory round.
+    pub fn reset_inventory(&mut self) {
+        self.state = TagState::Ready;
+        self.pending_slot = None;
+    }
+
+    /// The slot this tag is waiting on, if a frame is active.
+    #[must_use]
+    pub fn pending_slot(&self) -> Option<u64> {
+        self.pending_slot
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag({}, {}, {:?})", self.id, self.counter, self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(n: u64) -> FrameSize {
+        FrameSize::new(n).unwrap()
+    }
+
+    #[test]
+    fn counter_increments_monotonically() {
+        let mut ct = Counter::ZERO;
+        for expect in 1..=5u64 {
+            ct.increment();
+            assert_eq!(ct.get(), expect);
+        }
+        assert_eq!(Counter::new(7).incremented(), Counter::new(8));
+    }
+
+    #[test]
+    fn counter_wraps_at_max() {
+        assert_eq!(Counter::new(u64::MAX).incremented(), Counter::ZERO);
+    }
+
+    #[test]
+    fn plain_frame_does_not_touch_counter() {
+        let mut tag = Tag::new(TagId::new(3));
+        tag.on_frame(frame(8), Nonce::new(1), SlotMode::Plain);
+        assert_eq!(tag.counter(), Counter::ZERO);
+    }
+
+    #[test]
+    fn counted_frame_increments_counter_every_announcement() {
+        // Alg. 7 line 1: increment on *every* (f, r) received — this is
+        // what defeats re-scanning.
+        let mut tag = Tag::new(TagId::new(3));
+        for i in 1..=4u64 {
+            tag.on_frame(frame(8), Nonce::new(i), SlotMode::Counted);
+            assert_eq!(tag.counter().get(), i);
+        }
+    }
+
+    #[test]
+    fn replaying_same_announcement_moves_the_slot() {
+        let mut tag = Tag::new(TagId::new(55));
+        let s1 = tag.on_frame(frame(1 << 20), Nonce::new(9), SlotMode::Counted);
+        let s2 = tag.on_frame(frame(1 << 20), Nonce::new(9), SlotMode::Counted);
+        // With a 2^20-slot frame a coincidental equality has probability
+        // 2^-20; deterministic inputs make this test stable.
+        assert_ne!(s1, s2, "counter failed to re-randomize the slot");
+    }
+
+    #[test]
+    fn tag_answers_only_its_own_slot() {
+        let mut tag = Tag::new(TagId::new(11));
+        let f = frame(32);
+        let slot = tag.on_frame(f, Nonce::new(2), SlotMode::Plain);
+        for sn in 0..32u64 {
+            let reply = tag.on_slot(sn, false);
+            assert_eq!(reply.is_some(), sn == slot);
+        }
+    }
+
+    #[test]
+    fn presence_reply_carries_short_burst_not_id() {
+        let mut tag = Tag::new(TagId::new(0xdead_beef));
+        let f = frame(4);
+        let slot = tag.on_frame(f, Nonce::new(5), SlotMode::Plain);
+        match tag.on_slot(slot, false) {
+            Some(TagReply::Presence { bits }) => assert!(bits < 1024),
+            other => panic!("expected presence burst, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collection_reply_carries_full_id() {
+        let id = TagId::new(0xcafe);
+        let mut tag = Tag::new(id);
+        let f = frame(4);
+        let slot = tag.on_frame(f, Nonce::new(5), SlotMode::Plain);
+        assert_eq!(tag.on_slot(slot, true), Some(TagReply::Id(id)));
+    }
+
+    #[test]
+    fn silenced_tag_stays_quiet_until_reset() {
+        let mut tag = Tag::new(TagId::new(1));
+        let f = frame(4);
+        let slot = tag.on_frame(f, Nonce::new(1), SlotMode::Plain);
+        tag.silence();
+        assert_eq!(tag.on_slot(slot, true), None);
+        assert_eq!(tag.state(), TagState::Silenced);
+
+        tag.reset_inventory();
+        let slot = tag.on_frame(f, Nonce::new(1), SlotMode::Plain);
+        assert!(tag.on_slot(slot, true).is_some());
+    }
+
+    #[test]
+    fn detuned_tag_is_present_but_mute() {
+        let mut tag = Tag::new(TagId::new(1));
+        tag.set_detuned(true);
+        let f = frame(4);
+        let slot = tag.on_frame(f, Nonce::new(1), SlotMode::Plain);
+        assert_eq!(tag.on_slot(slot, false), None);
+        assert!(tag.is_detuned());
+
+        tag.set_detuned(false);
+        assert!(tag.on_slot(slot, false).is_some());
+    }
+
+    #[test]
+    fn detuned_tag_still_counts_announcements() {
+        // Physical blocking attenuates the reply path more than the
+        // (much stronger) reader broadcast; we model the tag as still
+        // hearing announcements, so its counter stays in sync.
+        let mut tag = Tag::new(TagId::new(1));
+        tag.set_detuned(true);
+        tag.on_frame(frame(4), Nonce::new(1), SlotMode::Counted);
+        assert_eq!(tag.counter().get(), 1);
+    }
+
+    #[test]
+    fn with_counter_restores_mirror_state() {
+        let tag = Tag::with_counter(TagId::new(9), Counter::new(41));
+        assert_eq!(tag.counter().get(), 41);
+        assert_eq!(tag.state(), TagState::Ready);
+    }
+
+    #[test]
+    fn display_mentions_id_and_counter() {
+        let tag = Tag::new(TagId::new(5));
+        let text = tag.to_string();
+        assert!(text.contains("ct:0"));
+        assert!(text.contains("epc:"));
+    }
+
+    #[test]
+    fn tag_matches_server_side_prediction() {
+        // The foundational protocol property: tag and server compute the
+        // identical slot from shared knowledge.
+        use crate::hash::{slot_for, slot_for_counted};
+        let id = TagId::new(0x1234_5678_9abc);
+        let f = frame(709);
+        let r = Nonce::new(0x5eed);
+
+        let mut tag = Tag::new(id);
+        assert_eq!(tag.on_frame(f, r, SlotMode::Plain), slot_for(id, r, f));
+        assert_eq!(
+            tag.on_frame(f, r, SlotMode::Counted),
+            slot_for_counted(id, r, Counter::new(1), f)
+        );
+    }
+}

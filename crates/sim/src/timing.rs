@@ -1,0 +1,204 @@
+//! Air-interface timing: converting slot counts into simulated time.
+//!
+//! The paper measures protocol cost in *slots* and assumes "the duration
+//! of each slot is equally long" (§6) — but it also notes that
+//! collect-all's real cost is higher because a 96-bit ID takes far
+//! longer to transmit than TRP's short random burst. [`TimingModel`]
+//! captures both views: a uniform-slot model for reproducing the paper's
+//! figures, and an EPC-Gen2-inspired model with distinct durations per
+//! slot kind for the time-domain comparison.
+//!
+//! The Gen2-inspired constants are derived from the Class-1 Gen-2 air
+//! interface at a 40 kbps backscatter link rate: an empty slot costs only
+//! the detection timeout, a short (RN16-style) reply ~16 bits plus
+//! turnaround times, and a 96-bit EPC reply several times that. They are
+//! deliberately round numbers — the *ratios* are what matter for the
+//! comparison, not absolute microseconds.
+
+use crate::radio::SlotOutcome;
+use crate::tag::TagReply;
+use crate::time::SimDuration;
+
+/// Per-slot-kind durations for a framed-slotted-ALOHA inventory.
+///
+/// This is a passive parameter block: all fields are public and the
+/// model performs no validation beyond what [`SimDuration`] enforces
+/// (non-negative by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TimingModel {
+    /// Broadcasting a frame announcement `(f, r)` — a Query-style
+    /// command carrying the frame size and nonce.
+    pub frame_announce: SimDuration,
+    /// Broadcasting one slot number (QueryRep-style command).
+    pub slot_broadcast: SimDuration,
+    /// An empty slot: the reader's energy-detection timeout.
+    pub empty_slot: SimDuration,
+    /// A slot carrying one short presence burst (~10 random bits).
+    pub presence_reply: SimDuration,
+    /// A slot carrying one full 96-bit ID reply.
+    pub id_reply: SimDuration,
+    /// A collided slot (reader listens for the longest possible reply
+    /// of the round before giving up).
+    pub collision_slot: SimDuration,
+}
+
+impl TimingModel {
+    /// The paper's model: every slot costs exactly one unit
+    /// (1 µs), commands are free. `total_duration` then equals the slot
+    /// count, which is what Figures 4 and 6 plot.
+    #[must_use]
+    pub fn uniform_slots() -> Self {
+        TimingModel {
+            frame_announce: SimDuration::ZERO,
+            slot_broadcast: SimDuration::ZERO,
+            empty_slot: SimDuration::from_micros(1),
+            presence_reply: SimDuration::from_micros(1),
+            id_reply: SimDuration::from_micros(1),
+            collision_slot: SimDuration::from_micros(1),
+        }
+    }
+
+    /// EPC-Gen2-inspired timings at a 40 kbps backscatter link.
+    ///
+    /// | event | budget |
+    /// |---|---|
+    /// | frame announce | 800 µs (Query + 64-bit nonce) |
+    /// | slot broadcast | 100 µs (QueryRep) |
+    /// | empty slot | 100 µs (detection timeout) |
+    /// | presence reply | 400 µs (turnaround + ~16 bits) |
+    /// | ID reply | 2 400 µs (turnaround + 96 bits) |
+    /// | collision | 400 µs (garbled burst, short timeout) |
+    #[must_use]
+    pub fn gen2() -> Self {
+        TimingModel {
+            frame_announce: SimDuration::from_micros(800),
+            slot_broadcast: SimDuration::from_micros(100),
+            empty_slot: SimDuration::from_micros(100),
+            presence_reply: SimDuration::from_micros(400),
+            id_reply: SimDuration::from_micros(2_400),
+            collision_slot: SimDuration::from_micros(400),
+        }
+    }
+
+    /// Duration of one slot given its outcome.
+    ///
+    /// A collided *ID* round listens for the full ID duration (the reader
+    /// cannot tell early that the burst is garbage), so collisions in
+    /// collection mode are billed at [`TimingModel::id_reply`].
+    #[must_use]
+    pub fn slot_duration(&self, outcome: &SlotOutcome) -> SimDuration {
+        match outcome {
+            SlotOutcome::Empty => self.empty_slot,
+            SlotOutcome::Single(TagReply::Presence { .. }) => self.presence_reply,
+            SlotOutcome::Single(TagReply::Id(_)) => self.id_reply,
+            SlotOutcome::Collision { .. } => self.collision_slot,
+        }
+    }
+
+    /// Duration of a whole executed frame: the announcement, one slot
+    /// broadcast per slot, and each slot's outcome-dependent body.
+    #[must_use]
+    pub fn frame_duration(&self, outcomes: &[SlotOutcome]) -> SimDuration {
+        let body: SimDuration = outcomes.iter().map(|o| self.slot_duration(o)).sum();
+        self.frame_announce + self.slot_broadcast * outcomes.len() as u64 + body
+    }
+
+    /// Duration of a frame in *collection* mode, where collisions are
+    /// billed at the ID-reply length (see [`TimingModel::slot_duration`]).
+    #[must_use]
+    pub fn collection_frame_duration(&self, outcomes: &[SlotOutcome]) -> SimDuration {
+        let body: SimDuration = outcomes
+            .iter()
+            .map(|o| match o {
+                SlotOutcome::Collision { .. } => self.id_reply,
+                other => self.slot_duration(other),
+            })
+            .sum();
+        self.frame_announce + self.slot_broadcast * outcomes.len() as u64 + body
+    }
+}
+
+impl Default for TimingModel {
+    /// Defaults to the paper's [uniform-slot](TimingModel::uniform_slots)
+    /// model so slot counts and durations agree out of the box.
+    fn default() -> Self {
+        TimingModel::uniform_slots()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::TagId;
+
+    fn empty() -> SlotOutcome {
+        SlotOutcome::Empty
+    }
+    fn burst() -> SlotOutcome {
+        SlotOutcome::Single(TagReply::Presence { bits: 1 })
+    }
+    fn id() -> SlotOutcome {
+        SlotOutcome::Single(TagReply::Id(TagId::new(1)))
+    }
+    fn collision() -> SlotOutcome {
+        SlotOutcome::Collision { transmitters: 2 }
+    }
+
+    #[test]
+    fn uniform_model_counts_slots() {
+        let t = TimingModel::uniform_slots();
+        let outcomes = vec![empty(), burst(), collision(), id()];
+        assert_eq!(t.frame_duration(&outcomes).as_micros(), 4);
+    }
+
+    #[test]
+    fn default_is_uniform() {
+        assert_eq!(TimingModel::default(), TimingModel::uniform_slots());
+    }
+
+    #[test]
+    fn gen2_id_reply_dominates_presence_reply() {
+        // The paper's footnote: collect-all slots are longer because the
+        // tag returns its ID rather than a short random number.
+        let t = TimingModel::gen2();
+        assert!(t.id_reply > t.presence_reply * 2);
+        assert!(t.presence_reply > t.empty_slot);
+    }
+
+    #[test]
+    fn frame_duration_includes_command_overhead() {
+        let t = TimingModel::gen2();
+        let outcomes = vec![empty(); 10];
+        let expected = t.frame_announce + t.slot_broadcast * 10 + t.empty_slot * 10;
+        assert_eq!(t.frame_duration(&outcomes), expected);
+    }
+
+    #[test]
+    fn collection_mode_bills_collisions_as_id_slots() {
+        let t = TimingModel::gen2();
+        let outcomes = vec![collision()];
+        let presence_billed = t.frame_duration(&outcomes);
+        let collection_billed = t.collection_frame_duration(&outcomes);
+        assert!(collection_billed > presence_billed);
+        assert_eq!(
+            collection_billed,
+            t.frame_announce + t.slot_broadcast + t.id_reply
+        );
+    }
+
+    #[test]
+    fn slot_duration_matches_outcome_kind() {
+        let t = TimingModel::gen2();
+        assert_eq!(t.slot_duration(&empty()), t.empty_slot);
+        assert_eq!(t.slot_duration(&burst()), t.presence_reply);
+        assert_eq!(t.slot_duration(&id()), t.id_reply);
+        assert_eq!(t.slot_duration(&collision()), t.collision_slot);
+    }
+
+    #[test]
+    fn empty_frame_costs_only_announcement() {
+        let t = TimingModel::gen2();
+        assert_eq!(t.frame_duration(&[]), t.frame_announce);
+    }
+}

@@ -1,0 +1,234 @@
+//! Structured execution traces.
+//!
+//! A [`Trace`] records what happened on the air, event by event, so
+//! tests can assert protocol behaviour ("the reader re-seeded exactly
+//! after each reply slot") and failures can be diagnosed without a
+//! debugger. Tracing is opt-in per reader and cheap when disabled.
+
+use std::fmt;
+
+use crate::ident::{FrameSize, Nonce};
+use crate::radio::SlotOutcome;
+use crate::time::SimTime;
+
+/// One observable air-interface event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// The reader announced a frame `(f, r)`.
+    FrameAnnounced {
+        /// Announced frame size.
+        f: FrameSize,
+        /// Announced nonce.
+        r: Nonce,
+    },
+    /// The reader broadcast a slot number and observed an outcome.
+    SlotResolved {
+        /// Zero-based slot number within the *original* frame.
+        slot: u64,
+        /// What the reader observed.
+        outcome: SlotOutcome,
+    },
+    /// A UTRP re-seed: remaining tags were re-announced a shrunken
+    /// frame with the next nonce.
+    Reseeded {
+        /// The shrunken frame size.
+        f: FrameSize,
+        /// The nonce used for the re-seed.
+        r: Nonce,
+    },
+    /// An inventory round completed.
+    RoundCompleted {
+        /// Total slots consumed across all frames of the round.
+        slots_used: u64,
+    },
+}
+
+/// A timestamped sequence of [`TraceEvent`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<(SimTime, TraceEvent)>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates an enabled, empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace {
+            entries: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled trace: [`Trace::record`] becomes a no-op.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Trace {
+            entries: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether recording is active.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an event at the given simulated time (no-op if disabled).
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if self.enabled {
+            self.entries.push((at, event));
+        }
+    }
+
+    /// All recorded entries in order.
+    #[must_use]
+    pub fn entries(&self) -> &[(SimTime, TraceEvent)] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over events matching a predicate.
+    pub fn filter<'a, P>(&'a self, mut pred: P) -> impl Iterator<Item = &'a (SimTime, TraceEvent)>
+    where
+        P: FnMut(&TraceEvent) -> bool + 'a,
+    {
+        self.entries.iter().filter(move |(_, e)| pred(e))
+    }
+
+    /// Count of re-seed events — handy in UTRP assertions.
+    #[must_use]
+    pub fn reseed_count(&self) -> usize {
+        self.filter(|e| matches!(e, TraceEvent::Reseeded { .. }))
+            .count()
+    }
+
+    /// Count of occupied slots observed.
+    #[must_use]
+    pub fn occupied_slots(&self) -> usize {
+        self.filter(
+            |e| matches!(e, TraceEvent::SlotResolved { outcome, .. } if outcome.is_occupied()),
+        )
+        .count()
+    }
+
+    /// Clears all recorded entries, keeping the enabled flag.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return write!(f, "(empty trace)");
+        }
+        for (t, e) in &self.entries {
+            writeln!(f, "[{t}] {e:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn announce() -> TraceEvent {
+        TraceEvent::FrameAnnounced {
+            f: FrameSize::new(8).unwrap(),
+            r: Nonce::new(1),
+        }
+    }
+
+    fn reply_slot(slot: u64) -> TraceEvent {
+        TraceEvent::SlotResolved {
+            slot,
+            outcome: SlotOutcome::Single(crate::tag::TagReply::Presence { bits: 0 }),
+        }
+    }
+
+    fn empty_slot(slot: u64) -> TraceEvent {
+        TraceEvent::SlotResolved {
+            slot,
+            outcome: SlotOutcome::Empty,
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut tr = Trace::new();
+        tr.record(SimTime::from_micros(1), announce());
+        tr.record(SimTime::from_micros(2), empty_slot(0));
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.entries()[0].0, SimTime::from_micros(1));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::disabled();
+        tr.record(SimTime::ZERO, announce());
+        assert!(tr.is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn counts_reseeds_and_occupied_slots() {
+        let mut tr = Trace::new();
+        tr.record(SimTime::ZERO, announce());
+        tr.record(SimTime::from_micros(1), reply_slot(0));
+        tr.record(
+            SimTime::from_micros(2),
+            TraceEvent::Reseeded {
+                f: FrameSize::new(7).unwrap(),
+                r: Nonce::new(2),
+            },
+        );
+        tr.record(SimTime::from_micros(3), empty_slot(1));
+        assert_eq!(tr.reseed_count(), 1);
+        assert_eq!(tr.occupied_slots(), 1);
+    }
+
+    #[test]
+    fn filter_selects_matching_events() {
+        let mut tr = Trace::new();
+        for i in 0..5 {
+            tr.record(SimTime::from_micros(i), empty_slot(i));
+        }
+        let later: Vec<_> = tr
+            .filter(|e| matches!(e, TraceEvent::SlotResolved { slot, .. } if *slot >= 3))
+            .collect();
+        assert_eq!(later.len(), 2);
+    }
+
+    #[test]
+    fn clear_resets_entries_but_not_enabled() {
+        let mut tr = Trace::new();
+        tr.record(SimTime::ZERO, announce());
+        tr.clear();
+        assert!(tr.is_empty());
+        assert!(tr.is_enabled());
+    }
+
+    #[test]
+    fn display_renders_events_or_placeholder() {
+        let mut tr = Trace::new();
+        assert_eq!(tr.to_string(), "(empty trace)");
+        tr.record(SimTime::from_micros(9), announce());
+        let text = tr.to_string();
+        assert!(text.contains("[9us]"));
+        assert!(text.contains("FrameAnnounced"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Continuous monitoring with escalation, identification, and restarts.
+//!
+//! ```text
+//! cargo run --release --example continuous_monitoring
+//! ```
+//!
+//! The operational loop around the paper's protocols:
+//!
+//! 1. routine cheap checks on a schedule (a `MonitoringSession`);
+//! 2. transient blocking rides out below the escalation threshold;
+//! 3. a real theft triggers two consecutive alarms → the session
+//!    escalates to iterative *identification* and names the missing
+//!    tags — still without collecting a single ID over the air;
+//! 4. the server state (including UTRP counters) survives a restart
+//!    via the text snapshot format.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch::analytics::{MonitoringSession, SessionEvent, SessionPolicy};
+use tagwatch::core::registry::RegistrySnapshot;
+use tagwatch::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(404);
+
+    let mut floor = TagPopulation::with_sequential_ids(600);
+    let server = MonitorServer::new(floor.ids(), 5, 0.95)?;
+    let mut session = MonitoringSession::new(server, SessionPolicy::default());
+
+    // --- Week 1: routine, with one transiently blocked tag ------------
+    println!("week 1: routine monitoring");
+    let ids = floor.ids();
+    for day in 1..=5 {
+        // Day 3: a pallet blocks one tag; day 4: it is moved away.
+        floor.get_mut(ids[17]).unwrap().set_detuned(day == 3);
+        let event = session.tick(&mut floor, &mut rng)?;
+        if let SessionEvent::Checked(report) = event {
+            println!("  day {day}: {report}");
+        }
+    }
+    assert_eq!(session.consecutive_alarms(), 0);
+
+    // --- Week 2: a real theft ------------------------------------------
+    println!("\nweek 2: eight items stolen overnight");
+    let stolen = floor.remove_random(8, &mut rng)?;
+    let mut stolen_ids: Vec<TagId> = stolen.iter().map(|t| t.id()).collect();
+    stolen_ids.sort_unstable();
+
+    for day in 6..=10 {
+        let event = session.tick(&mut floor, &mut rng)?;
+        match event {
+            SessionEvent::Checked(report) => println!("  day {day}: {report}"),
+            SessionEvent::Escalated {
+                missing,
+                slots_used,
+                ..
+            } => {
+                println!(
+                    "  day {day}: ESCALATED — identification named {} missing tags in {} slots",
+                    missing.len(),
+                    slots_used
+                );
+                assert_eq!(missing, &stolen_ids);
+                println!("           exact stolen set recovered: {missing:?}");
+                break;
+            }
+        }
+    }
+
+    // --- Restart: persistence round trip --------------------------------
+    println!("\nserver restart: snapshot → text → restore");
+    let text = session.server().snapshot().to_text();
+    println!(
+        "  snapshot is {} lines of plain text (policy + {} counters)",
+        text.lines().count(),
+        session.server().len()
+    );
+    let restored = MonitorServer::from_snapshot(
+        RegistrySnapshot::from_text(&text)?,
+        *session.server().config(),
+    )?;
+    assert_eq!(restored.params(), session.server().params());
+    println!("  restored: {restored}");
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Sizing explorer: interrogate the paper's analysis directly.
+//!
+//! ```text
+//! cargo run --release --example sizing_explorer [n] [m] [alpha] [c]
+//! ```
+//!
+//! For the given parameters (defaults: n = 1000, m = 10, α = 0.95,
+//! c = 20), prints:
+//!
+//! * the Eq. 2 TRP frame and the Eq. 3 UTRP frame;
+//! * the detection-probability curve `g(n, m+1, f)` around the chosen
+//!   frame, showing how sharply confidence rises with slots;
+//! * the marginal cost of tolerance: frames for m' = 0 … 2m;
+//! * the marginal cost of collusion resistance: UTRP frames vs budget c.
+
+use tagwatch::analytics::{sparkline, Table};
+use tagwatch::core::math::detection::{detection_probability, EmptySlotModel};
+use tagwatch::core::math::utrp::{sync_horizon, utrp_detection_probability};
+use tagwatch::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1_000);
+    let m: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let alpha: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.95);
+    let c: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+
+    let params = MonitorParams::new(n, m, alpha)?;
+    let f_trp = trp_frame_size(&params)?;
+    let sizing = UtrpSizing {
+        sync_budget: c,
+        safety_pad: 8,
+    };
+    let f_utrp = utrp_frame_size(&params, sizing)?;
+
+    println!("parameters: {params}, colluder budget c = {c}");
+    println!("Eq. 2 TRP frame:  {f_trp}");
+    println!(
+        "Eq. 3 UTRP frame: {f_utrp} (includes +{} safety pad; sync horizon c' = {:.1} slots)",
+        sizing.safety_pad,
+        sync_horizon(n, m, f_utrp.get(), c)
+    );
+    println!();
+
+    // Detection curve around the TRP frame.
+    println!("g(n, m+1, f) around the chosen frame:");
+    let mut curve = Table::new(["f", "g (detection prob)", "meets alpha?"]);
+    let mut gs = Vec::new();
+    let f0 = f_trp.get();
+    for factor in [0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0] {
+        let f = ((f0 as f64 * factor) as u64).max(1);
+        let g = detection_probability(n, m + 1, f, EmptySlotModel::Poisson);
+        gs.push(g);
+        curve.push_row([
+            format!("{f} ({factor:.2}x)"),
+            format!("{g:.4}"),
+            if g > alpha { "yes" } else { "no" }.to_owned(),
+        ]);
+    }
+    print!("{}", curve.to_text());
+    println!("shape: {}", sparkline(&gs));
+    println!();
+
+    // Tolerance sweep.
+    println!("cost of tolerance (TRP frame vs m'):");
+    let mut tol = Table::new(["m'", "frame", "slots per tolerated tag saved"]);
+    let mut prev: Option<u64> = None;
+    for m_prime in (0..=2 * m.max(1)).step_by((m.max(1) as usize / 2).max(1)) {
+        if m_prime >= n {
+            break;
+        }
+        let p = MonitorParams::new(n, m_prime, alpha)?;
+        let f = trp_frame_size(&p)?.get();
+        let delta = prev.map_or("-".to_owned(), |pf| format!("{}", pf as i64 - f as i64));
+        tol.push_row([m_prime.to_string(), f.to_string(), delta]);
+        prev = Some(f);
+    }
+    print!("{}", tol.to_text());
+    println!();
+
+    // Collusion budget sweep.
+    println!("cost of collusion resistance (UTRP frame vs c):");
+    let mut bud = Table::new(["c", "frame", "detection at that frame"]);
+    for c_prime in [0u64, 5, 10, 20, 40, 80] {
+        let s = UtrpSizing {
+            sync_budget: c_prime,
+            safety_pad: 8,
+        };
+        let f = utrp_frame_size(&params, s)?.get();
+        let d = utrp_detection_probability(n, m, f, c_prime, EmptySlotModel::Poisson);
+        bud.push_row([c_prime.to_string(), f.to_string(), format!("{d:.4}")]);
+    }
+    print!("{}", bud.to_text());
+    Ok(())
+}

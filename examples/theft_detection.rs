@@ -1,0 +1,119 @@
+//! Theft with a dishonest reader: why UTRP exists.
+//!
+//! ```text
+//! cargo run --release --example theft_detection
+//! ```
+//!
+//! 45% of retail theft is internal (paper §1) — the person holding the
+//! reader may be the thief. This example walks the paper's escalation:
+//!
+//! 1. a **replay** of an old bitstring (fails: fresh nonces);
+//! 2. the **split-set collusion** of Alg. 4 (defeats TRP completely);
+//! 3. the same colluders against **UTRP** with a sync budget `c = 20`
+//!    (caught with probability > α thanks to Eq. 3 frame sizing).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch::attack::colluder::{collude_utrp, ColluderConfig};
+use tagwatch::attack::replay::ReplayAttacker;
+use tagwatch::attack::split_set::split_set_attack;
+use tagwatch::core::trp::observed_bitstring;
+use tagwatch::core::utrp::run_honest_reader;
+use tagwatch::prelude::*;
+
+const N: usize = 800;
+const M: u64 = 10;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(1337);
+    let stock = TagPopulation::with_sequential_ids(N);
+    let mut server = MonitorServer::new(stock.ids(), M, 0.95)?;
+    println!("{server}");
+    println!();
+
+    // === Act 1: the replay attack ======================================
+    println!("-- act 1: replay --");
+    let mut attacker = ReplayAttacker::new();
+    // While the set is intact, the insider records an honest scan. If
+    // the server were lazy enough to reuse (f, r), this tape would pass.
+    let challenge = server.issue_trp_challenge(&mut rng)?;
+    attacker.record(&challenge, observed_bitstring(&stock.ids(), &challenge));
+    let tape = attacker.respond(&challenge);
+    let report = server.verify_trp(challenge, &tape)?;
+    println!("  tape vs the challenge it was recorded under:    {report}");
+
+    // The theft happens; the server issues a FRESH challenge.
+    let fresh = server.issue_trp_challenge(&mut rng)?;
+    let replayed = attacker.respond(&fresh);
+    let report = server.verify_trp(fresh, &replayed)?;
+    println!("  replayed tape against a fresh nonce:            {report}");
+    assert!(report.is_alarm(), "replay must fail against fresh nonces");
+    println!();
+
+    // === Act 2: split-set collusion kills TRP ==========================
+    println!("-- act 2: split-set collusion vs TRP (Alg. 4) --");
+    let mut s1 = stock.clone();
+    let s2 = {
+        let mut r = StdRng::seed_from_u64(7);
+        s1.split_random((M + 1) as usize, &mut r)?
+    };
+    println!(
+        "  insider hands {} tags to an accomplice with a second reader",
+        s2.len()
+    );
+    let challenge = server.issue_trp_challenge(&mut rng)?;
+    let forged = split_set_attack(&s1.ids(), &s2.ids(), &challenge)?;
+    let report = server.verify_trp(challenge, &forged)?;
+    println!("  OR-merged bitstring from two sites:             {report}");
+    assert!(
+        report.verdict.is_intact(),
+        "TRP cannot distinguish the colluders from an intact set"
+    );
+    println!("  => TRP is broken against colluding readers");
+    println!();
+
+    // === Act 3: the same colluders vs UTRP =============================
+    println!("-- act 3: the same colluders vs UTRP (c = 20) --");
+    let utrp_challenge = server.issue_utrp_challenge(&mut rng)?;
+    println!(
+        "  challenge: {}, {} committed nonces, deadline {}",
+        utrp_challenge.frame_size(),
+        utrp_challenge.nonces().len(),
+        utrp_challenge.timer().deadline()
+    );
+    let mut a1 = s1.clone();
+    let mut a2 = s2.clone();
+    let outcome = collude_utrp(
+        &mut a1,
+        &mut a2,
+        &utrp_challenge,
+        &ColluderConfig::default(),
+        &server.config().timing.clone(),
+    )?;
+    println!(
+        "  colluders spent {} syncs, desynchronized at slot {:?}",
+        outcome.syncs_used, outcome.desync_slot
+    );
+    let report = server.verify_utrp(utrp_challenge, &outcome.response)?;
+    println!("  server verdict:                                 {report}");
+    assert!(
+        report.is_alarm(),
+        "this seed is a detecting run (probability > 0.95 in general)"
+    );
+    println!();
+
+    // === Epilogue: honest reader still passes UTRP =====================
+    println!("-- epilogue: honest reader, intact set, UTRP --");
+    server.resync_counters(stock.counters())?;
+    let mut honest_floor = stock.clone();
+    let challenge = server.issue_utrp_challenge(&mut rng)?;
+    let response = run_honest_reader(
+        &mut honest_floor,
+        &challenge,
+        &server.config().timing.clone(),
+    )?;
+    let report = server.verify_utrp(challenge, &response)?;
+    println!("  {report}");
+    assert!(report.verdict.is_intact());
+    Ok(())
+}

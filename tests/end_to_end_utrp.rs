@@ -1,0 +1,172 @@
+//! End-to-end UTRP: challenge → honest/dishonest round → verification,
+//! including counter lifecycle across sessions.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch::attack::colluder::{collude_utrp, ColluderConfig};
+use tagwatch::core::utrp::run_honest_reader;
+use tagwatch::prelude::*;
+
+fn setup(n: usize, m: u64) -> (MonitorServer, TagPopulation, StdRng) {
+    let floor = TagPopulation::with_sequential_ids(n);
+    let server = MonitorServer::new(floor.ids(), m, 0.95).expect("valid");
+    (server, floor, StdRng::seed_from_u64(n as u64))
+}
+
+#[test]
+fn honest_sessions_verify_across_many_rounds() {
+    let (mut server, mut floor, mut rng) = setup(200, 5);
+    let timing = server.config().timing;
+    for round in 0..10 {
+        let challenge = server.issue_utrp_challenge(&mut rng).unwrap();
+        let response = run_honest_reader(&mut floor, &challenge, &timing).unwrap();
+        let report = server.verify_utrp(challenge, &response).unwrap();
+        assert!(report.verdict.is_intact(), "round {round}: {report}");
+        assert!(!report.late);
+    }
+    // Counter mirror still bit-exact after 10 rounds.
+    for tag in floor.iter() {
+        assert_eq!(server.counter_of(tag.id()).unwrap(), tag.counter());
+    }
+}
+
+#[test]
+fn honest_reader_is_always_on_time() {
+    // The deadline is calibrated to STmax; an honest round can never be
+    // late under the same timing model.
+    let (server, _, mut rng) = setup(300, 10);
+    let timing = server.config().timing;
+    for _ in 0..10 {
+        let challenge = server.issue_utrp_challenge(&mut rng).unwrap();
+        let mut floor = TagPopulation::with_sequential_ids(300);
+        let response = run_honest_reader(&mut floor, &challenge, &timing).unwrap();
+        assert!(
+            challenge.timer().accepts(response.elapsed),
+            "elapsed {} > deadline {}",
+            response.elapsed,
+            challenge.timer().deadline()
+        );
+    }
+}
+
+#[test]
+fn desync_blocks_challenges_until_audit() {
+    let (mut server, floor, mut rng) = setup(150, 5);
+    let timing = server.config().timing;
+
+    // Theft + honest scan of what's left → alarm + desync.
+    let mut robbed = floor.clone();
+    robbed.remove_random(6, &mut rng).unwrap();
+    let challenge = server.issue_utrp_challenge(&mut rng).unwrap();
+    let response = run_honest_reader(&mut robbed, &challenge, &timing).unwrap();
+    let report = server.verify_utrp(challenge, &response).unwrap();
+    assert!(report.is_alarm());
+    assert!(!server.counters_synced());
+    assert!(matches!(
+        server.issue_utrp_challenge(&mut rng),
+        Err(CoreError::CounterDesync)
+    ));
+
+    // TRP challenges remain available (no counters involved).
+    assert!(server.issue_trp_challenge(&mut rng).is_ok());
+
+    // Physical audit restores service.
+    server
+        .resync_counters(robbed.iter().map(|t| (t.id(), t.counter())))
+        .unwrap();
+    assert!(server.issue_utrp_challenge(&mut rng).is_ok());
+}
+
+#[test]
+fn collusion_detection_rate_meets_design_target() {
+    let (server, _, _) = setup(200, 5);
+    let timing = server.config().timing;
+    let mut detected = 0;
+    let trials = 120u64;
+    for seed in 0..trials {
+        let mut rng = StdRng::seed_from_u64(40_000 + seed);
+        let mut fresh =
+            MonitorServer::new(TagPopulation::with_sequential_ids(200).ids(), 5, 0.95).unwrap();
+        let challenge = fresh.issue_utrp_challenge(&mut rng).unwrap();
+        let mut s1 = TagPopulation::with_sequential_ids(200);
+        let mut s2 = s1.split_random(6, &mut rng).unwrap();
+        let outcome = collude_utrp(
+            &mut s1,
+            &mut s2,
+            &challenge,
+            &ColluderConfig {
+                sync_budget: 20,
+                tcomm: SimDuration::from_micros(1),
+            },
+            &timing,
+        )
+        .unwrap();
+        let report = fresh.verify_utrp(challenge, &outcome.response).unwrap();
+        if report.is_alarm() {
+            detected += 1;
+        }
+    }
+    let rate = detected as f64 / trials as f64;
+    assert!(rate > 0.90, "collusion detection rate {rate}");
+}
+
+#[test]
+fn slow_side_channel_blows_the_deadline() {
+    // Give the colluders a generous budget but a slow channel: even a
+    // bit-perfect forgery arrives late and fails.
+    let (mut server, floor, mut rng) = setup(100, 5);
+    let timing = server.config().timing;
+    let challenge = server.issue_utrp_challenge(&mut rng).unwrap();
+    let deadline = challenge.timer().deadline();
+
+    let mut s1 = floor.clone();
+    let mut s2 = s1.split_random(6, &mut rng).unwrap();
+    let outcome = collude_utrp(
+        &mut s1,
+        &mut s2,
+        &challenge,
+        &ColluderConfig {
+            sync_budget: u64::MAX,
+            // Slower than an entire honest round per sync.
+            tcomm: deadline,
+        },
+        &timing,
+    )
+    .unwrap();
+    // Unlimited budget → perfect bitstring, but hopelessly late.
+    let report = server.verify_utrp(challenge, &outcome.response).unwrap();
+    assert!(report.late);
+    assert!(report.is_alarm());
+    assert_eq!(report.mismatched_slots, 0, "forgery itself was perfect");
+}
+
+#[test]
+fn stale_tag_counters_fail_verification() {
+    // A tag whose counter drifted (e.g. an unauthorized scan incremented
+    // it) must break the next honest verification — rewind protection.
+    let (mut server, mut floor, mut rng) = setup(120, 5);
+    let timing = server.config().timing;
+
+    // Unauthorized out-of-band announcement: counters advance without
+    // the server knowing.
+    for tag in floor.iter_mut() {
+        tag.advance_counter(3);
+    }
+
+    let challenge = server.issue_utrp_challenge(&mut rng).unwrap();
+    let response = run_honest_reader(&mut floor, &challenge, &timing).unwrap();
+    let report = server.verify_utrp(challenge, &response).unwrap();
+    assert!(report.is_alarm(), "drifted counters must not verify");
+}
+
+#[test]
+fn utrp_uses_each_nonce_at_most_once() {
+    let (server, mut floor, mut rng) = setup(80, 3);
+    let timing = server.config().timing;
+    let challenge = server.issue_utrp_challenge(&mut rng).unwrap();
+    let response = run_honest_reader(&mut floor, &challenge, &timing).unwrap();
+    // Announcements = nonces consumed; can never exceed the committed
+    // sequence (= frame size).
+    assert!(response.announcements <= challenge.nonces().len() as u64);
+    assert!(response.announcements >= 1);
+}

@@ -1,0 +1,186 @@
+//! Failure injection: physical-layer faults and operator mistakes must
+//! degrade *safely* — alarms and errors, never silent false "intact".
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch::core::trp;
+use tagwatch::core::utrp::run_honest_reader;
+use tagwatch::prelude::*;
+
+#[test]
+fn heavy_reply_loss_causes_alarms_not_crashes() {
+    let lossy = Channel::with_config(ChannelConfig {
+        reply_loss_prob: 0.5,
+        ..ChannelConfig::default()
+    })
+    .unwrap();
+    let floor = TagPopulation::with_sequential_ids(200);
+    let mut server = MonitorServer::new(floor.ids(), 5, 0.95).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut alarms = 0;
+    for seed in 0..20 {
+        let ch = server.issue_trp_challenge(&mut rng).unwrap();
+        let mut reader = Reader::new(ReaderConfig {
+            seed,
+            ..ReaderConfig::default()
+        });
+        let bs = trp::run_reader(&mut reader, &ch, &floor, &lossy).unwrap();
+        if server.verify_trp(ch, &bs).unwrap().is_alarm() {
+            alarms += 1;
+        }
+    }
+    // Half the replies vanish: essentially every round alarms. That is
+    // the documented conservative behaviour (fail safe).
+    assert!(alarms >= 19, "only {alarms}/20 alarms under 50% loss");
+}
+
+#[test]
+fn combined_noise_and_theft_still_detects_theft() {
+    // Noise must never *mask* theft: with loss and phantoms active and
+    // 6 tags stolen, the miss rate stays at/below the clean-channel
+    // bound.
+    let noisy = Channel::with_config(ChannelConfig {
+        reply_loss_prob: 0.02,
+        phantom_reply_prob: 0.02,
+        capture_prob: 0.5,
+    })
+    .unwrap();
+    let registry = TagPopulation::with_sequential_ids(200).ids();
+    let params = MonitorParams::new(200, 5, 0.95).unwrap();
+    let f = trp_frame_size(&params).unwrap();
+    let mut missed = 0;
+    let trials = 150;
+    for seed in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut floor = TagPopulation::with_sequential_ids(200);
+        floor.remove_random(6, &mut rng).unwrap();
+        let ch = TrpChallenge::generate(f, &mut rng);
+        let mut reader = Reader::new(ReaderConfig {
+            seed,
+            ..ReaderConfig::default()
+        });
+        let bs = trp::run_reader(&mut reader, &ch, &floor, &noisy).unwrap();
+        if !trp::verify(&registry, ch, &bs).unwrap().is_alarm() {
+            missed += 1;
+        }
+    }
+    assert!(
+        missed as f64 / trials as f64 <= 0.05,
+        "missed {missed}/{trials}"
+    );
+}
+
+#[test]
+fn wrong_length_responses_error_cleanly() {
+    let mut server =
+        MonitorServer::new(TagPopulation::with_sequential_ids(50).ids(), 2, 0.9).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let ch = server.issue_trp_challenge(&mut rng).unwrap();
+    let too_short = Bitstring::zeros(3);
+    assert!(matches!(
+        server.verify_trp(ch, &too_short),
+        Err(CoreError::ResponseShapeMismatch { .. })
+    ));
+    // The error is not recorded as a verification.
+    assert!(server.history().is_empty());
+}
+
+#[test]
+fn detuned_beyond_tolerance_alarms_like_theft() {
+    // Physically-present-but-dead tags beyond m: indistinguishable from
+    // theft, and treated as such.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut floor = TagPopulation::with_sequential_ids(200);
+    let registry = floor.ids();
+    floor.detune_random(30, &mut rng).unwrap();
+    let params = MonitorParams::new(200, 5, 0.95).unwrap();
+    let f = trp_frame_size(&params).unwrap();
+    let mut alarms = 0;
+    for seed in 0..50u64 {
+        let mut r = StdRng::seed_from_u64(100 + seed);
+        let ch = TrpChallenge::generate(f, &mut r);
+        let mut reader = Reader::new(ReaderConfig::default());
+        let bs = trp::run_reader(&mut reader, &ch, &floor, &Channel::ideal()).unwrap();
+        if trp::verify(&registry, ch, &bs).unwrap().is_alarm() {
+            alarms += 1;
+        }
+    }
+    assert!(alarms >= 45, "30 dead tags alarmed only {alarms}/50 rounds");
+}
+
+#[test]
+fn utrp_detuned_tags_keep_counters_in_sync() {
+    // A blocked tag misses its reply window but still hears
+    // announcements — after the round its counter matches its healthy
+    // peers, so a later un-blocking does not poison the mirror.
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut floor = TagPopulation::with_sequential_ids(60);
+    let ids = floor.ids();
+    floor.get_mut(ids[5]).unwrap().set_detuned(true);
+
+    let server = MonitorServer::new(ids.clone(), 2, 0.9).unwrap();
+    let timing = server.config().timing;
+    let ch = server.issue_utrp_challenge(&mut rng).unwrap();
+    run_honest_reader(&mut floor, &ch, &timing).unwrap();
+
+    let healthy_ct = floor.get(ids[0]).unwrap().counter();
+    assert_eq!(floor.get(ids[5]).unwrap().counter(), healthy_ct);
+}
+
+#[test]
+fn zero_sized_populations_are_rejected_at_the_door() {
+    assert!(MonitorServer::new(Vec::<TagId>::new(), 0, 0.9).is_err());
+}
+
+#[test]
+fn invalid_channel_configs_are_rejected() {
+    for bad in [
+        ChannelConfig {
+            reply_loss_prob: -0.1,
+            ..ChannelConfig::default()
+        },
+        ChannelConfig {
+            phantom_reply_prob: 2.0,
+            ..ChannelConfig::default()
+        },
+        ChannelConfig {
+            capture_prob: f64::NAN,
+            ..ChannelConfig::default()
+        },
+    ] {
+        assert!(Channel::with_config(bad).is_err());
+    }
+}
+
+#[test]
+fn capture_effect_reduces_collisions_for_collect_all() {
+    use tagwatch::protocols::collect_all::{collect_all, CollectAllConfig};
+    let run_with_capture = |capture: f64, seed: u64| -> u32 {
+        let ch = Channel::with_config(ChannelConfig {
+            capture_prob: capture,
+            ..ChannelConfig::default()
+        })
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut reader = Reader::new(ReaderConfig {
+            seed,
+            ..ReaderConfig::default()
+        });
+        let mut floor = TagPopulation::with_sequential_ids(300);
+        collect_all(
+            &mut reader,
+            &mut floor,
+            &ch,
+            &CollectAllConfig::paper(300, 0),
+            &mut rng,
+        )
+        .unwrap()
+        .rounds
+    };
+    let plain: u32 = (0..5).map(|s| run_with_capture(0.0, s)).sum();
+    let capture: u32 = (0..5).map(|s| run_with_capture(0.9, s)).sum();
+    assert!(
+        capture <= plain,
+        "capture effect should not slow inventory: {capture} vs {plain} rounds"
+    );
+}
