@@ -16,7 +16,7 @@ use crate::parallel::parallel_count;
 use crate::stats::{Proportion, Summary};
 
 /// Parameters shared by every figure sweep.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepConfig {
     /// Population sizes to sweep.
     pub n_values: Vec<u64>,
@@ -85,7 +85,7 @@ impl SweepConfig {
 }
 
 /// One point of Fig. 4: slots used by collect-all vs TRP.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig4Row {
     /// Tolerance panel.
     pub m: u64,
@@ -122,7 +122,7 @@ pub fn fig4(config: &SweepConfig) -> Vec<Fig4Row> {
 
 /// One point of Fig. 5: TRP detection probability when `m + 1` tags are
 /// stolen.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig5Row {
     /// Tolerance panel.
     pub m: u64,
@@ -159,7 +159,7 @@ pub fn fig5(config: &SweepConfig) -> Vec<Fig5Row> {
 }
 
 /// One point of Fig. 6: TRP vs UTRP frame sizes.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig6Row {
     /// Tolerance panel.
     pub m: u64,
@@ -195,7 +195,7 @@ pub fn fig6(config: &SweepConfig) -> Vec<Fig6Row> {
 
 /// One point of Fig. 7: UTRP detection probability under the
 /// best-strategy collusion attack.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig7Row {
     /// Tolerance panel.
     pub m: u64,
@@ -233,7 +233,7 @@ pub fn fig7(config: &SweepConfig) -> Vec<Fig7Row> {
 }
 
 /// One point of the time-domain companion to Fig. 4.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig4TimeRow {
     /// Tolerance panel.
     pub m: u64,
@@ -303,7 +303,7 @@ pub fn fig4_time(config: &SweepConfig) -> Vec<Fig4TimeRow> {
 }
 
 /// One point of the safety-pad ablation.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PadAblationRow {
     /// Pad added to the Eq. 3 minimum.
     pub pad: u64,
@@ -344,7 +344,7 @@ pub fn pad_ablation(config: &SweepConfig) -> Vec<PadAblationRow> {
 }
 
 /// One point of the attacker-budget sweep.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BudgetSweepRow {
     /// The attacker's actual sync budget.
     pub attacker_budget: u64,

@@ -6,9 +6,9 @@
 //! an experiment produces bit-identical output whether it runs on 1
 //! thread or 64.
 
-use crossbeam::channel;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
 
 /// Number of worker threads used by [`parallel_map`]: the machine's
 /// available parallelism, capped at 32 (Monte-Carlo trials are compute
@@ -38,13 +38,15 @@ where
     }
 
     let next = AtomicU64::new(0);
-    let (tx, rx) = channel::unbounded::<(u64, R)>();
-    crossbeam::scope(|scope| {
+    let (tx, rx) = mpsc::channel::<(u64, R)>();
+    // std::thread::scope re-raises any worker panic when the scope
+    // closes, so a panicking `f` still propagates to the caller.
+    std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= count {
                     break;
@@ -66,7 +68,6 @@ where
             .map(|s| s.expect("every index computed exactly once"))
             .collect()
     })
-    .expect("worker panicked")
 }
 
 /// Counts how many of `0..count` indices satisfy `pred`, in parallel.

@@ -7,11 +7,24 @@
 //!
 //! 1. **Routine** ticks run cheap TRP rounds (or UTRP when the reader
 //!    is untrusted).
-//! 2. A configurable number of **consecutive alarms** (to ride out
+//! 2. A UTRP tick that comes back [`tagwatch_core::Verdict::Desynced`]
+//!    is **retried**: the session applies the server's diagnosed
+//!    counter hypothesis
+//!    ([`MonitorServer::resync_from_hypothesis`]) and re-challenges
+//!    with *fresh nonces* (challenges are consumed by value, so a
+//!    replay is unrepresentable), up to a bounded retry budget.
+//!    Suspect tags accumulate **desync strikes**; repeat offenders are
+//!    **quarantined** for physical audit.
+//! 3. A configurable number of **consecutive alarms** (to ride out
 //!    transient blocking) escalates to **identification** — the
 //!    iterative bitstring protocol of `tagwatch_core::identify` — which
 //!    names the missing tags without ever collecting IDs on the air.
-//! 3. The session keeps an auditable event log.
+//!    A desynced round that exhausts its retry budget counts toward
+//!    this ladder too: faults may cost retries or page an operator,
+//!    but never produce a silent false "intact".
+//! 4. The session keeps an auditable event log.
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use rand::Rng;
 
@@ -37,6 +50,13 @@ pub struct SessionPolicy {
     pub protocol: TickProtocol,
     /// Consecutive alarming ticks before escalating to identification.
     pub alarms_to_escalate: u32,
+    /// How many times one tick may re-challenge (fresh nonces) after a
+    /// diagnosed desync before giving up and counting the tick as
+    /// alarming. `0` means a desynced round is never retried in-tick.
+    pub max_desync_retries: u32,
+    /// Desync strikes before a suspect tag is quarantined for physical
+    /// audit (values `<= 1` quarantine on the first offense).
+    pub desyncs_to_quarantine: u32,
     /// Identification configuration used on escalation.
     pub identify: IdentifyConfig,
 }
@@ -46,6 +66,8 @@ impl Default for SessionPolicy {
         SessionPolicy {
             protocol: TickProtocol::Trp,
             alarms_to_escalate: 2,
+            max_desync_retries: 3,
+            desyncs_to_quarantine: 2,
             identify: IdentifyConfig::default(),
         }
     }
@@ -56,6 +78,22 @@ impl Default for SessionPolicy {
 pub enum SessionEvent {
     /// A routine round completed (intact or alarming).
     Checked(MonitorReport),
+    /// A round came back desynced; the session applied the server's
+    /// diagnosed hypothesis to the counter mirror and (while the retry
+    /// budget lasted) re-challenged with fresh nonces.
+    Resynced {
+        /// 1-based resync count within the current tick.
+        attempt: u32,
+        /// The hypothesis's suspect tags (empty for a uniform mirror
+        /// lag, e.g. after a reader crash lost a round's advance).
+        suspects: Vec<TagId>,
+    },
+    /// Tags crossed the desync-strike threshold and were quarantined
+    /// for physical audit.
+    Quarantined {
+        /// The newly quarantined tags.
+        tags: Vec<TagId>,
+    },
     /// Consecutive alarms crossed the threshold; identification ran and
     /// produced a verdict on every tag.
     Escalated {
@@ -70,11 +108,18 @@ pub enum SessionEvent {
 }
 
 impl SessionEvent {
-    /// Whether this event is an alarm of either kind.
+    /// Whether this event should page an operator. A [`Resynced`]
+    /// recovery is routine; a [`Quarantined`] tag needs a physical
+    /// audit.
+    ///
+    /// [`Resynced`]: SessionEvent::Resynced
+    /// [`Quarantined`]: SessionEvent::Quarantined
     #[must_use]
     pub fn is_alarm(&self) -> bool {
         match self {
             SessionEvent::Checked(report) => report.is_alarm(),
+            SessionEvent::Resynced { .. } => false,
+            SessionEvent::Quarantined { .. } => true,
             SessionEvent::Escalated {
                 missing,
                 unresolved,
@@ -90,6 +135,8 @@ pub struct MonitoringSession {
     server: MonitorServer,
     policy: SessionPolicy,
     consecutive_alarms: u32,
+    desync_strikes: BTreeMap<TagId, u32>,
+    quarantined: BTreeSet<TagId>,
     log: Vec<SessionEvent>,
 }
 
@@ -101,6 +148,8 @@ impl MonitoringSession {
             server,
             policy,
             consecutive_alarms: 0,
+            desync_strikes: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
             log: Vec::new(),
         }
     }
@@ -123,9 +172,46 @@ impl MonitoringSession {
         self.consecutive_alarms
     }
 
+    /// Desync strikes recorded against one tag.
+    #[must_use]
+    pub fn desync_strikes(&self, id: TagId) -> u32 {
+        self.desync_strikes.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Tags currently quarantined for physical audit, ascending.
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<TagId> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Records one desync strike per suspect and returns the tags that
+    /// just crossed the quarantine threshold.
+    fn strike(&mut self, suspects: &[TagId]) -> Vec<TagId> {
+        let mut newly = Vec::new();
+        for &tag in suspects {
+            let strikes = self.desync_strikes.entry(tag).or_insert(0);
+            *strikes += 1;
+            if *strikes >= self.policy.desyncs_to_quarantine.max(1)
+                && self.quarantined.insert(tag)
+            {
+                newly.push(tag);
+            }
+        }
+        newly
+    }
+
     /// Runs one scheduled check against the physical floor, escalating
     /// to identification when the alarm threshold is reached. Returns
     /// the event appended to the log.
+    ///
+    /// A UTRP check that comes back [`Verdict::Desynced`] is recovered
+    /// in-tick: the diagnosed hypothesis is applied to the counter
+    /// mirror and the check reruns with a *fresh* challenge, up to
+    /// [`SessionPolicy::max_desync_retries`] times. Each recovery logs a
+    /// [`SessionEvent::Resynced`] and strikes the suspects; a desync
+    /// that outlives the budget counts as an alarming tick.
+    ///
+    /// [`Verdict::Desynced`]: tagwatch_core::Verdict::Desynced
     ///
     /// # Errors
     ///
@@ -148,14 +234,39 @@ impl MonitoringSession {
                 self.server.verify_trp(challenge, &bs)?
             }
             TickProtocol::Utrp => {
-                let challenge = self.server.issue_utrp_challenge(rng)?;
                 let timing = self.server.config().timing;
-                let response = run_honest_reader(floor, &challenge, &timing)?;
-                self.server.verify_utrp(challenge, &response)?
+                let mut attempt = 0u32;
+                loop {
+                    let challenge = self.server.issue_utrp_challenge(rng)?;
+                    let response = run_honest_reader(floor, &challenge, &timing)?;
+                    let report = self.server.verify_utrp(challenge, &response)?;
+                    if !report.verdict.is_desynced() {
+                        break report;
+                    }
+                    // Diagnosed desync: apply the hypothesis so
+                    // monitoring can continue, strike the suspects, and
+                    // re-challenge with fresh nonces while the retry
+                    // budget lasts.
+                    let suspects = self.server.resync_from_hypothesis()?;
+                    attempt += 1;
+                    self.log.push(SessionEvent::Resynced {
+                        attempt,
+                        suspects: suspects.clone(),
+                    });
+                    let newly = self.strike(&suspects);
+                    if !newly.is_empty() {
+                        self.log.push(SessionEvent::Quarantined { tags: newly });
+                    }
+                    if attempt > self.policy.max_desync_retries {
+                        break report;
+                    }
+                }
             }
         };
 
-        if report.is_alarm() {
+        // A desync that exhausted its retries never silently passes —
+        // it climbs the same ladder as an alarm.
+        if report.is_alarm() || report.verdict.is_desynced() {
             self.consecutive_alarms += 1;
         } else {
             self.consecutive_alarms = 0;
@@ -283,6 +394,143 @@ mod tests {
                 tag.counter()
             );
         }
+    }
+
+    #[test]
+    fn desynced_tick_resyncs_and_rechallenges() {
+        use tagwatch_core::ServerConfig;
+        // A round runs in the field but its response never reaches the
+        // server: the mirror lags the whole population uniformly.
+        let mut floor = TagPopulation::with_sequential_ids(60);
+        let config = ServerConfig {
+            desync_window: 64,
+            ..ServerConfig::default()
+        };
+        let server = MonitorServer::with_config(floor.ids(), 3, 0.9, config).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let timing = server.config().timing;
+        let lost = server.issue_utrp_challenge(&mut rng).unwrap();
+        run_honest_reader(&mut floor, &lost, &timing).unwrap();
+
+        let policy = SessionPolicy {
+            protocol: TickProtocol::Utrp,
+            ..SessionPolicy::default()
+        };
+        let mut session = MonitoringSession::new(server, policy);
+        let event = session.tick(&mut floor, &mut rng).unwrap();
+        // The tick self-healed: resync + fresh challenge ended intact.
+        assert!(
+            matches!(event, SessionEvent::Checked(r) if r.verdict.is_intact()),
+            "{event:?}"
+        );
+        assert_eq!(session.consecutive_alarms(), 0);
+        assert!(session.log().iter().any(|e| matches!(
+            e,
+            SessionEvent::Resynced { suspects, .. } if suspects.is_empty()
+        )));
+        assert!(session.quarantined().is_empty(), "uniform lag has no suspects");
+        for _ in 0..3 {
+            assert!(!session.tick(&mut floor, &mut rng).unwrap().is_alarm());
+        }
+    }
+
+    #[test]
+    fn repeated_desync_suspect_is_quarantined() {
+        use tagwatch_core::faulty::run_honest_reader_with;
+        use tagwatch_core::utrp::attributed_round;
+        use tagwatch_core::ServerConfig;
+        use tagwatch_sim::{Channel, Counter, FaultPlan};
+
+        let mut floor = TagPopulation::with_sequential_ids(25);
+        let config = ServerConfig {
+            desync_window: 8,
+            ..ServerConfig::default()
+        };
+        let mut server = MonitorServer::with_config(floor.ids(), 2, 0.9, config).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let timing = server.config().timing;
+
+        // Round 1 (outside the session): the first-slot replier misses
+        // the round's last announcement — the round verifies intact but
+        // its counter silently falls one behind the mirror.
+        let ch1 = server.issue_utrp_challenge(&mut rng).unwrap();
+        let registry: Vec<(TagId, Counter)> = server
+            .registered_ids()
+            .into_iter()
+            .map(|id| (id, Counter::ZERO))
+            .collect();
+        let (dry, attribution) = attributed_round(&registry, &ch1).unwrap();
+        let first_slot = dry.bitstring.iter_ones().next().unwrap();
+        let victim = attribution[first_slot][0];
+        let plan = FaultPlan::new().lose_announcement(dry.announcements - 1, [victim]);
+        let response = run_honest_reader_with(
+            &mut floor,
+            &ch1,
+            &timing,
+            &Channel::ideal(),
+            &plan,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(server.verify_utrp(ch1, &response).unwrap().verdict.is_intact());
+
+        // First offense quarantines under this policy.
+        let policy = SessionPolicy {
+            protocol: TickProtocol::Utrp,
+            desyncs_to_quarantine: 1,
+            ..SessionPolicy::default()
+        };
+        let mut session = MonitoringSession::new(server, policy);
+        let event = session.tick(&mut floor, &mut rng).unwrap();
+        assert!(
+            matches!(event, SessionEvent::Checked(r) if r.verdict.is_intact()),
+            "{event:?}"
+        );
+        assert!(session.log().iter().any(|e| matches!(
+            e,
+            SessionEvent::Resynced { suspects, .. } if suspects == &[victim]
+        )));
+        assert!(session.log().iter().any(|e| matches!(
+            e,
+            SessionEvent::Quarantined { tags } if tags == &[victim]
+        )));
+        assert_eq!(session.quarantined(), vec![victim]);
+        assert_eq!(session.desync_strikes(victim), 1);
+    }
+
+    #[test]
+    fn zero_retry_budget_counts_desync_toward_escalation() {
+        use tagwatch_core::ServerConfig;
+        let mut floor = TagPopulation::with_sequential_ids(60);
+        let config = ServerConfig {
+            desync_window: 64,
+            ..ServerConfig::default()
+        };
+        let server = MonitorServer::with_config(floor.ids(), 3, 0.9, config).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let timing = server.config().timing;
+        let lost = server.issue_utrp_challenge(&mut rng).unwrap();
+        run_honest_reader(&mut floor, &lost, &timing).unwrap();
+
+        let policy = SessionPolicy {
+            protocol: TickProtocol::Utrp,
+            max_desync_retries: 0,
+            alarms_to_escalate: 3,
+            ..SessionPolicy::default()
+        };
+        let mut session = MonitoringSession::new(server, policy);
+        let event = session.tick(&mut floor, &mut rng).unwrap();
+        // No retry: the desynced report stands and climbs the ladder...
+        assert!(
+            matches!(event, SessionEvent::Checked(r) if r.verdict.is_desynced()),
+            "{event:?}"
+        );
+        assert_eq!(session.consecutive_alarms(), 1);
+        // ...but the mirror was still recovered, so the next tick is
+        // intact and resets the counter.
+        let event = session.tick(&mut floor, &mut rng).unwrap();
+        assert!(!event.is_alarm());
+        assert_eq!(session.consecutive_alarms(), 0);
     }
 
     #[test]

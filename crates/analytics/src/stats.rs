@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Five-number summary of a sample.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Sample size.
     pub count: usize,
@@ -79,7 +79,7 @@ impl fmt::Display for Summary {
 /// A binomial proportion with a Wilson score interval — the right tool
 /// for detection *rates*, which live near 0.95 where normal intervals
 /// misbehave.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Proportion {
     /// Number of successes.
     pub successes: u64,

@@ -149,6 +149,11 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 }
             ))
         }
+        Command::Faults {
+            quick,
+            trials,
+            seed,
+        } => crate::faults::run_faults(quick, trials, seed),
         Command::RegistryNew { n, m, alpha } => {
             let ids: Vec<TagId> = (1..=n).map(TagId::from).collect();
             let server = MonitorServer::new(ids, m, alpha).map_err(to_cli)?;
@@ -199,6 +204,9 @@ USAGE:
   tagwatch-cli simulate trp  <n> <m> [--trials T] [--seed S]
   tagwatch-cli simulate utrp <n> <m> [--budget C] [--trials T] [--seed S]
   tagwatch-cli identify <n> [--steal K] [--seed S]  run missing-tag identification
+  tagwatch-cli faults [--quick] [--trials T] [--seed S]
+                                                    fault-scenario matrix (alarm /
+                                                    desync / recovery rates)
   tagwatch-cli registry new <n> <m> <alpha>         print a fresh registry snapshot
   tagwatch-cli registry info < snapshot.txt         summarize a snapshot from stdin
   tagwatch-cli help
@@ -215,7 +223,9 @@ mod tests {
     #[test]
     fn help_mentions_every_command() {
         let text = run(Command::Help).unwrap();
-        for word in ["size trp", "size utrp", "detection", "simulate", "registry"] {
+        for word in [
+            "size trp", "size utrp", "detection", "simulate", "faults", "registry",
+        ] {
             assert!(text.contains(word), "help missing `{word}`");
         }
     }

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod commands;
+pub mod faults;
 pub mod parse;
 
 pub use commands::run;

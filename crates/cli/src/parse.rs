@@ -73,6 +73,17 @@ pub enum Command {
         /// Root seed.
         seed: u64,
     },
+    /// `faults [--quick] [--trials T] [--seed S]` — run the named
+    /// fault-scenario matrix and print per-scenario alarm / desync /
+    /// recovery rates.
+    Faults {
+        /// Cap trials at a smoke-test size (CI).
+        quick: bool,
+        /// Trials per scenario.
+        trials: u64,
+        /// Root seed.
+        seed: u64,
+    },
     /// `registry new <n> <m> <alpha>` — print a fresh snapshot.
     RegistryNew {
         /// Population size (sequential IDs).
@@ -187,6 +198,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 )),
             }
         }
+        "faults" => Ok(Command::Faults {
+            quick: args.iter().any(|a| a == "--quick"),
+            trials: flag(args, "--trials", 100)?,
+            seed: flag(args, "--seed", 1)?,
+        }),
         "identify" => Ok(Command::Identify {
             n: want(args, 1, "n")?,
             steal: flag(args, "--steal", 5)?,
@@ -311,6 +327,27 @@ mod tests {
             Command::Identify {
                 n: 200,
                 steal: 5,
+                seed: 1
+            }
+        );
+    }
+
+    #[test]
+    fn parses_faults() {
+        assert_eq!(
+            parse(&argv("faults --quick --trials 10 --seed 3")).unwrap(),
+            Command::Faults {
+                quick: true,
+                trials: 10,
+                seed: 3
+            }
+        );
+        // Defaults.
+        assert_eq!(
+            parse(&argv("faults")).unwrap(),
+            Command::Faults {
+                quick: false,
+                trials: 100,
                 seed: 1
             }
         );

@@ -73,6 +73,10 @@ pub enum CoreError {
     /// (a previous UTRP round failed verification), so UTRP challenges
     /// cannot be issued until a trusted resynchronization.
     CounterDesync,
+    /// A hypothesis-based resync was requested but the last verification
+    /// did not produce a desync hypothesis (the set verified intact, or
+    /// the mismatch was unexplainable and alarmed instead).
+    NoResyncHypothesis,
     /// An underlying simulation error.
     Sim(SimError),
 }
@@ -114,6 +118,10 @@ impl fmt::Display for CoreError {
             CoreError::CounterDesync => write!(
                 f,
                 "server counter mirror is desynchronized; resynchronize before issuing utrp challenges"
+            ),
+            CoreError::NoResyncHypothesis => write!(
+                f,
+                "no pending desync hypothesis; a physical audit (resync_counters) is required"
             ),
             CoreError::Sim(e) => write!(f, "simulation error: {e}"),
         }

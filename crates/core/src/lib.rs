@@ -63,6 +63,7 @@
 
 pub mod bitstring;
 pub mod error;
+pub mod faulty;
 pub mod frame;
 pub mod groups;
 pub mod identify;
@@ -78,6 +79,7 @@ pub mod verdict;
 
 pub use bitstring::Bitstring;
 pub use error::CoreError;
+pub use faulty::{run_device_round_with, run_honest_reader_with, simulate_round_with};
 pub use frame::{
     trp_detection_at, trp_frame_size, trp_frame_size_with_model, utrp_frame_size, UtrpSizing,
 };
@@ -87,7 +89,7 @@ pub use math::{detection_probability, utrp_detection_probability, EmptySlotModel
 pub use nonce::{NonceCursor, NonceSequence};
 pub use params::MonitorParams;
 pub use registry::RegistrySnapshot;
-pub use server::{MonitorServer, ServerConfig};
+pub use server::{MonitorServer, ResyncHypothesis, ServerConfig};
 pub use timer::ResponseTimer;
 pub use trp::TrpChallenge;
 pub use utrp::{UtrpChallenge, UtrpParticipant, UtrpResponse};
@@ -97,11 +99,12 @@ pub use verdict::{MonitorReport, ProtocolKind, Verdict};
 pub mod prelude {
     pub use crate::bitstring::Bitstring;
     pub use crate::error::CoreError;
+    pub use crate::faulty::{run_device_round_with, run_honest_reader_with, simulate_round_with};
     pub use crate::frame::{trp_frame_size, utrp_frame_size, UtrpSizing};
     pub use crate::math::{detection_probability, utrp_detection_probability, EmptySlotModel};
     pub use crate::nonce::NonceSequence;
     pub use crate::params::MonitorParams;
-    pub use crate::server::{MonitorServer, ServerConfig};
+    pub use crate::server::{MonitorServer, ResyncHypothesis, ServerConfig};
     pub use crate::timer::ResponseTimer;
     pub use crate::trp::{self, TrpChallenge};
     pub use crate::utrp::{self, UtrpChallenge, UtrpResponse};

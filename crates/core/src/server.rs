@@ -18,7 +18,7 @@ use crate::error::CoreError;
 use crate::frame::{trp_frame_size, utrp_frame_size, UtrpSizing};
 use crate::params::MonitorParams;
 use crate::trp::{self, TrpChallenge};
-use crate::utrp::{expected_round, UtrpChallenge, UtrpResponse};
+use crate::utrp::{attributed_round, expected_round, UtrpChallenge, UtrpResponse};
 use crate::verdict::{MonitorReport, ProtocolKind, Verdict};
 
 /// Configuration for a [`MonitorServer`] beyond the core policy.
@@ -28,6 +28,23 @@ pub struct ServerConfig {
     pub timing: TimingModel,
     /// UTRP frame sizing knobs (sync budget `c`, safety pad).
     pub utrp_sizing: UtrpSizing,
+    /// How far the desync diagnosis searches (in announcements) when a
+    /// UTRP bitstring mismatches: counter leads/lags of `1..=window`
+    /// are hypothesized and tested for an exact bitstring match. `0`
+    /// (the default) disables diagnosis — every mismatch alarms as
+    /// [`Verdict::NotIntact`].
+    ///
+    /// Diagnosis is deliberately **opt-in**: a colluding reader holding
+    /// a stolen tag produces the *same* single-lag signature as a tag
+    /// that benignly missed an announcement (the stolen tag genuinely
+    /// lags), so enabling a window lets some collusion rounds end
+    /// [`Verdict::Desynced`] instead of alarming outright. The verdict
+    /// is still a detection — the set is never accepted as intact and
+    /// the named suspect fails its physical check — but the paper's
+    /// *per-round alarm* rate against colluders only holds at `0`.
+    /// Deployments that enable it should pair it with the session
+    /// layer's strike/quarantine ladder.
+    pub desync_window: u64,
 }
 
 impl Default for ServerConfig {
@@ -35,6 +52,45 @@ impl Default for ServerConfig {
         ServerConfig {
             timing: TimingModel::gen2(),
             utrp_sizing: UtrpSizing::default(),
+            desync_window: 0,
+        }
+    }
+}
+
+/// A diagnosed explanation for a mismatched UTRP round, held by the
+/// server until [`MonitorServer::resync_from_hypothesis`] applies it
+/// (optimistic recovery — the next round confirms or refutes it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResyncHypothesis {
+    /// Every tag's true counter leads the mirror by `lead` (the mirror
+    /// missed a whole round's advance, e.g. the reader crashed after
+    /// announcing but before its response was verified).
+    UniformLead {
+        /// Announcements the mirror is behind by.
+        lead: u64,
+        /// Announcements of the matching hypothesized round (the field
+        /// tags advanced by this much *during* the diagnosed round).
+        announcements: u64,
+    },
+    /// One tag's true counter lags the mirror by `lag` (it missed
+    /// downlink announcements in an earlier round).
+    SingleLag {
+        /// The lagging tag.
+        tag: TagId,
+        /// Announcements it missed.
+        lag: u64,
+        /// Announcements of the matching hypothesized round.
+        announcements: u64,
+    },
+}
+
+impl ResyncHypothesis {
+    /// The tags this hypothesis singles out (empty for a uniform lead).
+    #[must_use]
+    pub fn suspects(&self) -> Vec<TagId> {
+        match self {
+            ResyncHypothesis::UniformLead { .. } => Vec::new(),
+            ResyncHypothesis::SingleLag { tag, .. } => vec![*tag],
         }
     }
 }
@@ -63,6 +119,7 @@ pub struct MonitorServer {
     config: ServerConfig,
     registry: BTreeMap<TagId, Counter>,
     counters_synced: bool,
+    pending_resync: Option<ResyncHypothesis>,
     history: Vec<MonitorReport>,
 }
 
@@ -107,6 +164,7 @@ impl MonitorServer {
             config,
             registry,
             counters_synced: true,
+            pending_resync: None,
             history: Vec::new(),
         })
     }
@@ -262,9 +320,16 @@ impl MonitorServer {
     /// The server recomputes the expected round from its registry
     /// mirror. A response is accepted only if it arrived within the
     /// deadline *and* matches bit-for-bit; on success the counter mirror
-    /// advances by the round's announcement count, otherwise the mirror
-    /// is marked desynchronized (the field tags' counters are now
-    /// unknown).
+    /// advances by the round's announcement count.
+    ///
+    /// A timely mismatch is first run through a bounded desync
+    /// diagnosis (see [`ServerConfig::desync_window`]): if the observed
+    /// bitstring is *exactly* the round an intact population would have
+    /// produced under a hypothesized counter lead/lag, the verdict is
+    /// [`Verdict::Desynced`] and the hypothesis is held for
+    /// [`MonitorServer::resync_from_hypothesis`]. Either way the mirror
+    /// is marked desynchronized — a desynced round never silently
+    /// passes.
     ///
     /// # Errors
     ///
@@ -287,10 +352,23 @@ impl MonitorServer {
         let expected = expected_round(&registry, &challenge)?;
         let late = !challenge.timer().accepts(response.elapsed);
         let mismatched = expected.bitstring.hamming_distance(&response.bitstring)?;
-        let verdict = if late || mismatched > 0 {
+
+        let verdict = if late {
+            // A blown deadline is the paper's collusion signal; no
+            // counter hypothesis can excuse it.
+            self.pending_resync = None;
             Verdict::NotIntact
-        } else {
+        } else if mismatched == 0 {
             Verdict::Intact
+        } else if let Some(hypothesis) =
+            self.diagnose_desync(&registry, &challenge, &expected.bitstring, &response.bitstring)?
+        {
+            let suspects = hypothesis.suspects();
+            self.pending_resync = Some(hypothesis);
+            Verdict::Desynced { suspects }
+        } else {
+            self.pending_resync = None;
+            Verdict::NotIntact
         };
 
         if verdict.is_intact() {
@@ -311,6 +389,163 @@ impl MonitorServer {
         };
         self.history.push(report.clone());
         Ok(report)
+    }
+
+    /// Searches the bounded hypothesis space for a counter
+    /// desynchronization that explains `observed` *exactly*.
+    ///
+    /// Two shapes are considered, cheapest first:
+    ///
+    /// 1. **Uniform lead** — every tag's true counter is `d` ahead of
+    ///    the mirror (the mirror missed a whole round's advance, e.g.
+    ///    the reader crashed between announcing and being verified).
+    /// 2. **Single lag** — one tag is `d` behind the mirror (it missed
+    ///    `d` downlink announcements). Searched lag-major so the
+    ///    smallest (most parsimonious) lag wins; shallow lags try every
+    ///    tag, deeper lags only the tags the mirror expected in a slot
+    ///    that came back empty (via [`attributed_round`]).
+    ///
+    /// Requiring an exact bitstring match keeps this fail-safe: a theft
+    /// of more than one tag, or any reply the mirror cannot predict,
+    /// leaves residual mismatches under every hypothesis and the round
+    /// alarms as [`Verdict::NotIntact`].
+    fn diagnose_desync(
+        &self,
+        registry: &[(TagId, Counter)],
+        challenge: &UtrpChallenge,
+        expected: &Bitstring,
+        observed: &Bitstring,
+    ) -> Result<Option<ResyncHypothesis>, CoreError> {
+        let window = self.config.desync_window;
+        if window == 0 {
+            return Ok(None);
+        }
+
+        // Hypothesis 1: the whole population uniformly leads the mirror.
+        for lead in 1..=window {
+            let shifted: Vec<(TagId, Counter)> = registry
+                .iter()
+                .map(|&(id, ct)| (id, Counter::new(ct.get().wrapping_add(lead))))
+                .collect();
+            let round = expected_round(&shifted, challenge)?;
+            if round.bitstring == *observed {
+                return Ok(Some(ResyncHypothesis::UniformLead {
+                    lead,
+                    announcements: round.announcements,
+                }));
+            }
+        }
+
+        // Hypothesis 2: exactly one tag lags the mirror. Only tags the
+        // mirror placed in a slot that came back empty can be lagging,
+        // so attribute the expected round's slots and collect those.
+        let (_, attribution) = attributed_round(registry, challenge)?;
+        let mut candidates: Vec<TagId> = Vec::new();
+        for (slot, tags) in attribution.iter().enumerate() {
+            if expected.get(slot)? && !observed.get(slot)? {
+                for &tag in tags {
+                    if !candidates.contains(&tag) {
+                        candidates.push(tag);
+                    }
+                }
+            }
+        }
+        // Lag-major search: the smallest lag that explains the round
+        // wins. A wrong tag can collide into an exact match by chance
+        // at some deep lag (the hash takes arbitrary counter values),
+        // so testing every tag at lag 1 before anyone at lag 2 keeps
+        // the true, parsimonious hypothesis ahead of such flukes.
+        //
+        // At shallow lags (<= 4) every tag is tried — a lagging tag
+        // whose expected slot was shared leaves no empty slot to
+        // attribute. Deeper lags only test the attributed candidates.
+        const SHALLOW: u64 = 4;
+        for lag in 1..=window {
+            for &(tag, _) in registry {
+                if lag > SHALLOW && !candidates.contains(&tag) {
+                    continue;
+                }
+                let shifted: Vec<(TagId, Counter)> = registry
+                    .iter()
+                    .map(|&(id, ct)| {
+                        if id == tag {
+                            (id, Counter::new(ct.get().wrapping_sub(lag)))
+                        } else {
+                            (id, ct)
+                        }
+                    })
+                    .collect();
+                let round = expected_round(&shifted, challenge)?;
+                if round.bitstring == *observed {
+                    return Ok(Some(ResyncHypothesis::SingleLag {
+                        tag,
+                        lag,
+                        announcements: round.announcements,
+                    }));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// The desync hypothesis held from the last [`Verdict::Desynced`]
+    /// round, if any.
+    #[must_use]
+    pub fn pending_resync(&self) -> Option<&ResyncHypothesis> {
+        self.pending_resync.as_ref()
+    }
+
+    /// Applies the pending desync hypothesis to the counter mirror and
+    /// marks it synchronized, returning the suspect tags (empty for a
+    /// uniform lead).
+    ///
+    /// This is *optimistic* recovery: the mirror is corrected to what
+    /// the hypothesis says the field looks like, and the next UTRP
+    /// round (with fresh nonces) confirms or refutes it. A wrong
+    /// hypothesis mismatches again and re-desyncs — the set is never
+    /// silently accepted as intact on the strength of a hypothesis
+    /// alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoResyncHypothesis`] when the last round was
+    /// not diagnosed as a desync (use [`MonitorServer::resync_counters`]
+    /// with a physical audit instead).
+    pub fn resync_from_hypothesis(&mut self) -> Result<Vec<TagId>, CoreError> {
+        let hypothesis = self
+            .pending_resync
+            .take()
+            .ok_or(CoreError::NoResyncHypothesis)?;
+        let suspects = hypothesis.suspects();
+        match hypothesis {
+            ResyncHypothesis::UniformLead {
+                lead,
+                announcements,
+            } => {
+                // Catch the mirror up by the missed lead, then apply
+                // the diagnosed round's advance that verify_utrp
+                // withheld when it refused to pass the round.
+                for ct in self.registry.values_mut() {
+                    *ct = Counter::new(ct.get().wrapping_add(lead).wrapping_add(announcements));
+                }
+            }
+            ResyncHypothesis::SingleLag {
+                tag,
+                lag,
+                announcements,
+            } => {
+                for (&id, ct) in &mut self.registry {
+                    let base = if id == tag {
+                        ct.get().wrapping_sub(lag)
+                    } else {
+                        ct.get()
+                    };
+                    *ct = Counter::new(base.wrapping_add(announcements));
+                }
+            }
+        }
+        self.counters_synced = true;
+        Ok(suspects)
     }
 
     /// Captures a durable image of the server's state (see
@@ -372,6 +607,8 @@ impl MonitorServer {
                 }
             }
         }
+        // The audit supersedes any diagnosed hypothesis.
+        self.pending_resync = None;
         self.counters_synced = true;
         Ok(())
     }
@@ -622,5 +859,177 @@ mod tests {
         let text = server.to_string();
         assert!(text.contains("10 tags"));
         assert!(text.contains("0 alarms"));
+    }
+
+    // ------------------------------------------------------------------
+    // Desync diagnosis and recovery
+    // ------------------------------------------------------------------
+
+    fn wide_window_config(window: u64) -> ServerConfig {
+        ServerConfig {
+            desync_window: window,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn uniform_lead_after_lost_round_is_diagnosed_and_recovered() {
+        let mut server = MonitorServer::with_config(ids(30), 2, 0.9, wide_window_config(64)).unwrap();
+        let mut pop = TagPopulation::with_sequential_ids(30);
+        let timing = server.config().timing;
+        let mut r = rng(41);
+
+        // Round 0 runs in the field but its response never reaches the
+        // server (reader crashed after the frame): every tag advanced,
+        // the mirror did not.
+        let ch0 = server.issue_utrp_challenge(&mut r).unwrap();
+        let lost = run_honest_reader(&mut pop, &ch0, &timing).unwrap();
+        assert!(lost.announcements > 0);
+
+        // Round 1 mismatches, but is exactly an intact population
+        // leading the mirror uniformly.
+        let ch1 = server.issue_utrp_challenge(&mut r).unwrap();
+        let response = run_honest_reader(&mut pop, &ch1, &timing).unwrap();
+        let report = server.verify_utrp(ch1, &response).unwrap();
+        assert_eq!(report.verdict, Verdict::Desynced { suspects: vec![] });
+        assert!(!report.is_alarm());
+        assert!(!server.counters_synced());
+        assert!(matches!(
+            server.pending_resync(),
+            Some(ResyncHypothesis::UniformLead { lead, .. }) if *lead == lost.announcements
+        ));
+
+        // Optimistic recovery: apply the hypothesis, no suspects.
+        assert_eq!(server.resync_from_hypothesis().unwrap(), vec![]);
+        assert!(server.counters_synced());
+        for tag in pop.iter() {
+            assert_eq!(server.counter_of(tag.id()).unwrap(), tag.counter());
+        }
+
+        // The next round confirms it.
+        let ch2 = server.issue_utrp_challenge(&mut r).unwrap();
+        let response = run_honest_reader(&mut pop, &ch2, &timing).unwrap();
+        assert!(server.verify_utrp(ch2, &response).unwrap().verdict.is_intact());
+    }
+
+    #[test]
+    fn single_lag_after_missed_announcement_is_diagnosed_and_recovered() {
+        let mut server = MonitorServer::with_config(ids(25), 2, 0.9, wide_window_config(8)).unwrap();
+        let mut pop = TagPopulation::with_sequential_ids(25);
+        let timing = server.config().timing;
+        let mut r = rng(42);
+
+        // Round 1: pick the tag that replies in the first occupied slot
+        // and script away the round's LAST announcement for it — the
+        // bitstring is untouched (it already replied) but its counter
+        // ends one short of everyone else's.
+        let ch1 = server.issue_utrp_challenge(&mut r).unwrap();
+        let registry: Vec<(TagId, Counter)> = server
+            .registered_ids()
+            .into_iter()
+            .map(|id| (id, Counter::ZERO))
+            .collect();
+        let (dry, attribution) = attributed_round(&registry, &ch1).unwrap();
+        let first_slot = dry.bitstring.iter_ones().next().unwrap();
+        let victim = attribution[first_slot][0];
+        assert!(dry.announcements >= 2, "need a re-seed after the victim");
+        let plan = tagwatch_sim::FaultPlan::new()
+            .lose_announcement(dry.announcements - 1, [victim]);
+
+        let response = crate::faulty::run_honest_reader_with(
+            &mut pop,
+            &ch1,
+            &timing,
+            &tagwatch_sim::Channel::ideal(),
+            &plan,
+            &mut r,
+        )
+        .unwrap();
+        let report = server.verify_utrp(ch1, &response).unwrap();
+        assert!(report.verdict.is_intact(), "missed announcement is invisible this round");
+        // ...but the mirror now silently overstates the victim by one.
+        let field_victim = pop.iter().find(|t| t.id() == victim).unwrap().counter();
+        assert_eq!(server.counter_of(victim).unwrap().get(), field_victim.get() + 1);
+
+        // Round 2: the stale counter surfaces as a mismatch that is
+        // exactly one lagging tag.
+        let ch2 = server.issue_utrp_challenge(&mut r).unwrap();
+        let response = run_honest_reader(&mut pop, &ch2, &timing).unwrap();
+        let report = server.verify_utrp(ch2, &response).unwrap();
+        assert_eq!(
+            report.verdict,
+            Verdict::Desynced {
+                suspects: vec![victim]
+            },
+            "round 2: {report}"
+        );
+        assert!(matches!(
+            server.pending_resync(),
+            Some(ResyncHypothesis::SingleLag { tag, lag: 1, .. }) if *tag == victim
+        ));
+
+        // Recover and confirm.
+        assert_eq!(server.resync_from_hypothesis().unwrap(), vec![victim]);
+        for tag in pop.iter() {
+            assert_eq!(server.counter_of(tag.id()).unwrap(), tag.counter());
+        }
+        let ch3 = server.issue_utrp_challenge(&mut r).unwrap();
+        let response = run_honest_reader(&mut pop, &ch3, &timing).unwrap();
+        assert!(server.verify_utrp(ch3, &response).unwrap().verdict.is_intact());
+    }
+
+    #[test]
+    fn theft_is_not_misdiagnosed_as_desync() {
+        let mut server = MonitorServer::with_config(ids(100), 5, 0.95, wide_window_config(8)).unwrap();
+        let mut r = rng(43);
+        let ch = server.issue_utrp_challenge(&mut r).unwrap();
+        let mut pop = TagPopulation::with_sequential_ids(100);
+        pop.remove_random(6, &mut r).unwrap();
+        let response = run_honest_reader(&mut pop, &ch, &server.config().timing.clone()).unwrap();
+        let report = server.verify_utrp(ch, &response).unwrap();
+        assert_eq!(report.verdict, Verdict::NotIntact, "theft must alarm: {report}");
+        assert!(server.pending_resync().is_none());
+        assert!(matches!(
+            server.resync_from_hypothesis(),
+            Err(CoreError::NoResyncHypothesis)
+        ));
+    }
+
+    #[test]
+    fn zero_window_disables_diagnosis() {
+        let mut server = MonitorServer::with_config(ids(30), 2, 0.9, wide_window_config(0)).unwrap();
+        let mut pop = TagPopulation::with_sequential_ids(30);
+        let timing = server.config().timing;
+        let mut r = rng(44);
+        let ch0 = server.issue_utrp_challenge(&mut r).unwrap();
+        run_honest_reader(&mut pop, &ch0, &timing).unwrap(); // lost round
+        let ch1 = server.issue_utrp_challenge(&mut r).unwrap();
+        let response = run_honest_reader(&mut pop, &ch1, &timing).unwrap();
+        let report = server.verify_utrp(ch1, &response).unwrap();
+        assert_eq!(report.verdict, Verdict::NotIntact);
+        assert!(server.pending_resync().is_none());
+    }
+
+    #[test]
+    fn physical_audit_supersedes_pending_hypothesis() {
+        let mut server = MonitorServer::with_config(ids(30), 2, 0.9, wide_window_config(64)).unwrap();
+        let mut pop = TagPopulation::with_sequential_ids(30);
+        let timing = server.config().timing;
+        let mut r = rng(45);
+        let ch0 = server.issue_utrp_challenge(&mut r).unwrap();
+        run_honest_reader(&mut pop, &ch0, &timing).unwrap(); // lost round
+        let ch1 = server.issue_utrp_challenge(&mut r).unwrap();
+        let response = run_honest_reader(&mut pop, &ch1, &timing).unwrap();
+        assert!(server.verify_utrp(ch1, &response).unwrap().verdict.is_desynced());
+        assert!(server.pending_resync().is_some());
+
+        server
+            .resync_counters(pop.iter().map(|t| (t.id(), t.counter())))
+            .unwrap();
+        assert!(server.pending_resync().is_none());
+        assert!(matches!(
+            server.resync_from_hypothesis(),
+            Err(CoreError::NoResyncHypothesis)
+        ));
     }
 }

@@ -216,6 +216,14 @@ impl SubsetRound {
         self.next_rel
     }
 
+    /// The participant indices that chose the minimal slot — the tags
+    /// about to reply (possibly colliding) at
+    /// [`SubsetRound::next_reply_rel`].
+    #[must_use]
+    pub fn next_reply_members(&self) -> &[usize] {
+        &self.next_members
+    }
+
     /// Consumes the pending reply: all tags that chose the minimal slot
     /// have now answered and keep silent for the rest of the round.
     pub fn take_reply(&mut self) {
@@ -551,6 +559,62 @@ pub fn expected_round(
     )
 }
 
+/// Like [`expected_round`], but also attributes every occupied slot to
+/// the registry tags predicted to reply there (colliding tags share a
+/// slot). The attribution is what lets the server turn "slot 17 was
+/// expected occupied but came back empty" into "tags {a, b} did not
+/// show where predicted" during desync diagnosis.
+///
+/// # Errors
+///
+/// Propagates [`simulate_round`] errors.
+pub fn attributed_round(
+    registry: &[(TagId, Counter)],
+    challenge: &UtrpChallenge,
+) -> Result<(RoundOutcome, Vec<Vec<TagId>>), CoreError> {
+    let f = challenge.frame_size();
+    let total = f.get();
+    let mut bs = Bitstring::zeros(f.as_usize());
+    let mut attribution: Vec<Vec<TagId>> = vec![Vec::new(); f.as_usize()];
+    let mut cursor = challenge.nonces().cursor();
+
+    let parts: Vec<UtrpParticipant> = registry
+        .iter()
+        .map(|&(id, ct)| UtrpParticipant::new(id, ct))
+        .collect();
+    let mut state = SubsetRound::new(parts);
+    state.announce(cursor.next_nonce()?, f);
+    let mut subframe_start = 0u64;
+
+    while let Some(rel) = state.next_reply_rel() {
+        let global = subframe_start + rel;
+        debug_assert!(global < total);
+        bs.set(global as usize, true).expect("global < frame");
+        attribution[global as usize] = state
+            .next_reply_members()
+            .iter()
+            .map(|&i| registry[i].0)
+            .collect();
+        state.take_reply();
+        let remaining = total - (global + 1);
+        if remaining == 0 {
+            break;
+        }
+        subframe_start = global + 1;
+        let f_sub = FrameSize::new(remaining).expect("remaining > 0");
+        state.announce(cursor.next_nonce()?, f_sub);
+    }
+
+    let (_, announcements) = state.finish();
+    Ok((
+        RoundOutcome {
+            bitstring: bs,
+            announcements,
+        },
+        attribution,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -794,6 +858,34 @@ mod tests {
         let outcome = simulate_round(&mut parts, ch.frame_size(), ch.nonces()).unwrap();
         assert_eq!(outcome.bitstring.count_ones(), 0);
         assert_eq!(outcome.announcements, 1);
+    }
+
+    #[test]
+    fn attributed_round_matches_expected_round() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let ch = UtrpChallenge::generate(
+            FrameSize::new(120).unwrap(),
+            &TimingModel::gen2(),
+            &mut rng,
+        );
+        let registry: Vec<(TagId, Counter)> = (1..=40u64)
+            .map(|i| (TagId::from(i), Counter::new(i * 3)))
+            .collect();
+        let expected = expected_round(&registry, &ch).unwrap();
+        let (outcome, attribution) = attributed_round(&registry, &ch).unwrap();
+        assert_eq!(outcome, expected);
+        assert_eq!(attribution.len(), 120);
+        // A slot is occupied iff it has attributed repliers, and every
+        // non-mute tag replies exactly once.
+        let mut seen: Vec<TagId> = Vec::new();
+        for (slot, tags) in attribution.iter().enumerate() {
+            assert_eq!(outcome.bitstring.get(slot).unwrap(), !tags.is_empty());
+            seen.extend_from_slice(tags);
+        }
+        seen.sort_unstable();
+        let mut all: Vec<TagId> = registry.iter().map(|&(id, _)| id).collect();
+        all.sort_unstable();
+        assert_eq!(seen, all);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use tagwatch_sim::SimDuration;
+use tagwatch_sim::{SimDuration, TagId};
 
 /// Which protocol produced a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,7 +24,7 @@ impl fmt::Display for ProtocolKind {
 }
 
 /// The server's conclusion about the monitored set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Verdict {
     /// The returned bitstring matched the prediction: at most `m` tags
@@ -34,13 +34,34 @@ pub enum Verdict {
     /// mismatch, malformed response, or a blown deadline) — raise the
     /// alarm.
     NotIntact,
+    /// The bitstring mismatched, but the mismatch is *exactly* explained
+    /// by a bounded counter-desynchronization hypothesis (a reader crash
+    /// left the mirror behind, or a tag missed downlink announcements) —
+    /// inconclusive rather than an alarm. The server holds a pending
+    /// resynchronization (see
+    /// [`crate::server::MonitorServer::resync_from_hypothesis`]); the
+    /// caller should resync and re-challenge with fresh nonces, never
+    /// silently accept the set as intact.
+    Desynced {
+        /// The tags hypothesized to lag the mirror (empty when the
+        /// whole population uniformly leads it, e.g. after a reader
+        /// crash lost an entire round's advance).
+        suspects: Vec<TagId>,
+    },
 }
 
 impl Verdict {
     /// Whether the set passed verification.
     #[must_use]
-    pub fn is_intact(self) -> bool {
+    pub fn is_intact(&self) -> bool {
         matches!(self, Verdict::Intact)
+    }
+
+    /// Whether the round was inconclusive due to a diagnosed counter
+    /// desynchronization (retry after resync, don't page).
+    #[must_use]
+    pub fn is_desynced(&self) -> bool {
+        matches!(self, Verdict::Desynced { .. })
     }
 }
 
@@ -49,6 +70,12 @@ impl fmt::Display for Verdict {
         match self {
             Verdict::Intact => write!(f, "intact"),
             Verdict::NotIntact => write!(f, "NOT intact"),
+            Verdict::Desynced { suspects } if suspects.is_empty() => {
+                write!(f, "DESYNCED (uniform mirror lag)")
+            }
+            Verdict::Desynced { suspects } => {
+                write!(f, "DESYNCED ({} suspect tag(s))", suspects.len())
+            }
         }
     }
 }
@@ -73,10 +100,14 @@ pub struct MonitorReport {
 }
 
 impl MonitorReport {
-    /// Whether this report should page somebody.
+    /// Whether this report should page somebody. A
+    /// [`Verdict::Desynced`] round is *not* an alarm — it is
+    /// inconclusive, and the session layer retries it after
+    /// resynchronizing — but it is not intact either, so it never
+    /// silently passes.
     #[must_use]
     pub fn is_alarm(&self) -> bool {
-        !self.verdict.is_intact()
+        matches!(self.verdict, Verdict::NotIntact)
     }
 }
 
@@ -102,6 +133,38 @@ mod tests {
     fn verdict_predicates() {
         assert!(Verdict::Intact.is_intact());
         assert!(!Verdict::NotIntact.is_intact());
+        let desynced = Verdict::Desynced {
+            suspects: vec![TagId::new(7)],
+        };
+        assert!(!desynced.is_intact());
+        assert!(desynced.is_desynced());
+        assert!(!Verdict::Intact.is_desynced());
+    }
+
+    #[test]
+    fn desynced_reports_are_inconclusive_not_alarms() {
+        let report = MonitorReport {
+            protocol: ProtocolKind::Utrp,
+            verdict: Verdict::Desynced {
+                suspects: vec![TagId::new(3)],
+            },
+            frame_size: 64,
+            mismatched_slots: 2,
+            late: false,
+            elapsed: None,
+        };
+        assert!(!report.is_alarm(), "desync must not page");
+        assert!(!report.verdict.is_intact(), "desync must not pass");
+    }
+
+    #[test]
+    fn desynced_display_names_suspect_count() {
+        let uniform = Verdict::Desynced { suspects: vec![] };
+        assert!(uniform.to_string().contains("uniform"));
+        let single = Verdict::Desynced {
+            suspects: vec![TagId::new(1)],
+        };
+        assert!(single.to_string().contains("1 suspect"));
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Deterministic, scripted fault injection.
+//!
+//! [`crate::radio::ChannelConfig`] models *probabilistic* physical-layer
+//! failures; this module models **scripted** ones: a [`FaultPlan`] names
+//! exact slot and announcement indices at which specific failures fire,
+//! so a test can construct one precise failure history and assert the
+//! monitor's exact response to it (detection, false alarm, or recovery)
+//! instead of sampling distributions.
+//!
+//! The fault vocabulary covers the failure modes a UTRP deployment
+//! actually faces:
+//!
+//! * **reply loss** ([`FaultPlan::lose_replies_at`]) — every uplink
+//!   transmission in one global slot is lost; the tags transmitted (and
+//!   will stay silent for the rest of the round) but the reader hears
+//!   nothing, so it neither sets the bit nor re-seeds.
+//! * **announcement loss** ([`FaultPlan::lose_announcement`]) — listed
+//!   tags miss one downlink `(f', r)` announcement: their counters do
+//!   not advance for it and they keep the reply slot they computed from
+//!   the last announcement they heard. This is the canonical source of
+//!   *counter desynchronization*.
+//! * **reader crash** ([`FaultPlan::crash_after_slot`]) — the reader
+//!   dies after processing a slot: no further announcements or
+//!   listening. Tags freeze at the counters they had; the assembled
+//!   bitstring reads empty past the crash point.
+//! * **truncation** ([`FaultPlan::truncate_response`]) — the response
+//!   bitstring is cut short in transit to the server (a shape error the
+//!   server must reject, never silently accept).
+//! * **clock skew** ([`FaultPlan::skew_clock`]) — the measured round
+//!   time is scaled by a factor, modelling a drifting reader timer
+//!   against the server's deadline.
+//!
+//! A [`FaultInjector`] is the cheap per-round cursor over a plan: it
+//! tracks the current announcement index so executors can ask "does tag
+//! X hear this?" without threading indices around.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::error::SimError;
+use crate::ident::TagId;
+
+/// A scripted schedule of faults for one protocol round.
+///
+/// Plans are built with the fluent `lose_*`/`crash_*`/`truncate_*`
+/// methods and queried by the round executors in `tagwatch-core`. An
+/// empty (default) plan injects nothing; executors are required to be
+/// byte-identical to their fault-free forms under it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    lost_reply_slots: BTreeSet<u64>,
+    lost_announcements: BTreeMap<u64, BTreeSet<TagId>>,
+    crash_after_slot: Option<u64>,
+    truncate_to: Option<u64>,
+    clock_skew: Option<f64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Loses every uplink reply transmitted in global slot `slot`.
+    #[must_use]
+    pub fn lose_replies_at(mut self, slot: u64) -> Self {
+        self.lost_reply_slots.insert(slot);
+        self
+    }
+
+    /// Makes `tags` miss downlink announcement number `announcement`
+    /// (0-based: the initial `(f, r)` broadcast is announcement 0, the
+    /// first re-seed is 1, …).
+    #[must_use]
+    pub fn lose_announcement<I: IntoIterator<Item = TagId>>(
+        mut self,
+        announcement: u64,
+        tags: I,
+    ) -> Self {
+        self.lost_announcements
+            .entry(announcement)
+            .or_default()
+            .extend(tags);
+        self
+    }
+
+    /// Crashes the reader after it has processed global slot `slot`.
+    #[must_use]
+    pub fn crash_after_slot(mut self, slot: u64) -> Self {
+        self.crash_after_slot = Some(slot);
+        self
+    }
+
+    /// Truncates the response bitstring to `len` bits before it reaches
+    /// the server.
+    #[must_use]
+    pub fn truncate_response(mut self, len: u64) -> Self {
+        self.truncate_to = Some(len);
+        self
+    }
+
+    /// Scales the reported round time by `factor` (1.0 = no skew;
+    /// > 1.0 = the reader's clock runs slow, so its round *appears*
+    /// longer to the server).
+    #[must_use]
+    pub fn skew_clock(mut self, factor: f64) -> Self {
+        self.clock_skew = Some(factor);
+        self
+    }
+
+    /// Validates the plan's numeric knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProbability`] (reused for any invalid
+    /// scalar) if the clock-skew factor is non-positive or non-finite.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if let Some(skew) = self.clock_skew {
+            if !skew.is_finite() || skew <= 0.0 {
+                return Err(SimError::InvalidProbability {
+                    name: "clock_skew",
+                    value: skew,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether every reply in global slot `slot` is scripted to be
+    /// lost.
+    #[must_use]
+    pub fn reply_lost_at(&self, slot: u64) -> bool {
+        self.lost_reply_slots.contains(&slot)
+    }
+
+    /// Whether `tag` misses announcement number `announcement`.
+    #[must_use]
+    pub fn misses_announcement(&self, announcement: u64, tag: TagId) -> bool {
+        self.lost_announcements
+            .get(&announcement)
+            .is_some_and(|tags| tags.contains(&tag))
+    }
+
+    /// The slot after which the reader crashes, if scripted.
+    #[must_use]
+    pub fn crash_slot(&self) -> Option<u64> {
+        self.crash_after_slot
+    }
+
+    /// The scripted response-truncation length, if any.
+    #[must_use]
+    pub fn truncation(&self) -> Option<u64> {
+        self.truncate_to
+    }
+
+    /// The scripted clock-skew factor (1.0 when unscripted).
+    #[must_use]
+    pub fn clock_skew_factor(&self) -> f64 {
+        self.clock_skew.unwrap_or(1.0)
+    }
+
+    /// Applies the scripted clock skew to a measured duration.
+    #[must_use]
+    pub fn skewed(&self, elapsed: crate::time::SimDuration) -> crate::time::SimDuration {
+        match self.clock_skew {
+            None => elapsed,
+            Some(factor) => {
+                let micros = elapsed.as_micros() as f64 * factor;
+                crate::time::SimDuration::from_micros(micros.round().max(0.0) as u64)
+            }
+        }
+    }
+}
+
+/// A per-round cursor over a [`FaultPlan`]: tracks the current
+/// announcement index so executors can query faults positionally.
+#[derive(Debug, Clone)]
+pub struct FaultInjector<'a> {
+    plan: &'a FaultPlan,
+    announcement: u64,
+}
+
+impl<'a> FaultInjector<'a> {
+    /// Starts a cursor at announcement 0 (none broadcast yet).
+    #[must_use]
+    pub fn new(plan: &'a FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            announcement: 0,
+        }
+    }
+
+    /// The underlying plan.
+    #[must_use]
+    pub fn plan(&self) -> &'a FaultPlan {
+        self.plan
+    }
+
+    /// Records that the reader is broadcasting the next announcement and
+    /// returns its index (0-based).
+    pub fn next_announcement(&mut self) -> u64 {
+        let idx = self.announcement;
+        self.announcement += 1;
+        idx
+    }
+
+    /// Announcements broadcast so far.
+    #[must_use]
+    pub fn announcements(&self) -> u64 {
+        self.announcement
+    }
+
+    /// Whether `tag` hears announcement `announcement` (the index
+    /// returned by [`FaultInjector::next_announcement`]).
+    #[must_use]
+    pub fn hears(&self, announcement: u64, tag: TagId) -> bool {
+        !self.plan.misses_announcement(announcement, tag)
+    }
+
+    /// Whether the scripted reader crash has fired by the end of global
+    /// slot `slot`.
+    #[must_use]
+    pub fn crashed_after(&self, slot: u64) -> bool {
+        self.plan.crash_slot().is_some_and(|s| slot >= s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn empty_plan_is_empty_and_valid() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        plan.validate().unwrap();
+        assert!(!plan.reply_lost_at(0));
+        assert!(!plan.misses_announcement(0, TagId::new(1)));
+        assert_eq!(plan.crash_slot(), None);
+        assert_eq!(plan.truncation(), None);
+        assert_eq!(plan.clock_skew_factor(), 1.0);
+    }
+
+    #[test]
+    fn builders_record_faults() {
+        let plan = FaultPlan::new()
+            .lose_replies_at(3)
+            .lose_replies_at(7)
+            .lose_announcement(1, [TagId::new(5)])
+            .lose_announcement(1, [TagId::new(6)])
+            .crash_after_slot(40)
+            .truncate_response(16)
+            .skew_clock(1.25);
+        assert!(!plan.is_empty());
+        assert!(plan.reply_lost_at(3) && plan.reply_lost_at(7));
+        assert!(!plan.reply_lost_at(4));
+        assert!(plan.misses_announcement(1, TagId::new(5)));
+        assert!(plan.misses_announcement(1, TagId::new(6)));
+        assert!(!plan.misses_announcement(0, TagId::new(5)));
+        assert_eq!(plan.crash_slot(), Some(40));
+        assert_eq!(plan.truncation(), Some(16));
+        assert_eq!(plan.clock_skew_factor(), 1.25);
+    }
+
+    #[test]
+    fn validate_rejects_bad_skew() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let plan = FaultPlan::new().skew_clock(bad);
+            assert!(plan.validate().is_err(), "accepted skew {bad}");
+        }
+        FaultPlan::new().skew_clock(0.5).validate().unwrap();
+    }
+
+    #[test]
+    fn skew_scales_durations() {
+        let plan = FaultPlan::new().skew_clock(2.0);
+        assert_eq!(
+            plan.skewed(SimDuration::from_micros(100)),
+            SimDuration::from_micros(200)
+        );
+        let identity = FaultPlan::new();
+        assert_eq!(
+            identity.skewed(SimDuration::from_micros(100)),
+            SimDuration::from_micros(100)
+        );
+    }
+
+    #[test]
+    fn injector_tracks_announcements() {
+        let plan = FaultPlan::new().lose_announcement(1, [TagId::new(9)]);
+        let mut inj = FaultInjector::new(&plan);
+        assert_eq!(inj.announcements(), 0);
+        let a0 = inj.next_announcement();
+        let a1 = inj.next_announcement();
+        assert_eq!((a0, a1), (0, 1));
+        assert_eq!(inj.announcements(), 2);
+        assert!(inj.hears(a0, TagId::new(9)));
+        assert!(!inj.hears(a1, TagId::new(9)));
+        assert!(inj.hears(a1, TagId::new(8)));
+    }
+
+    #[test]
+    fn injector_crash_predicate() {
+        let plan = FaultPlan::new().crash_after_slot(5);
+        let inj = FaultInjector::new(&plan);
+        assert!(!inj.crashed_after(4));
+        assert!(inj.crashed_after(5));
+        assert!(inj.crashed_after(6));
+        let no_crash = FaultPlan::new();
+        assert!(!FaultInjector::new(&no_crash).crashed_after(u64::MAX - 1));
+    }
+}

@@ -18,6 +18,9 @@
 //!   (the adversary "steals" tags by removing them here).
 //! * [`radio`] — the shared channel: per-slot outcome resolution
 //!   (empty / single / collision) plus optional failure injection.
+//! * [`fault`] — deterministic scripted fault plans (reply loss,
+//!   announcement loss, reader crash, truncation, clock skew) for
+//!   robustness testing, complementing [`radio`]'s probabilistic knobs.
 //! * [`reader`] — the interrogator device that broadcasts frames and
 //!   observes slot outcomes.
 //! * [`aloha`] — framed-slotted-ALOHA round descriptors and executions.
@@ -55,6 +58,7 @@ pub mod aloha;
 pub mod epc;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod hash;
 pub mod ident;
 pub mod population;
@@ -70,6 +74,7 @@ pub use aloha::{FrameExecution, FramePlan, FrameStats, SlotIndex};
 pub use epc::{sgtin_batch, Sgtin96};
 pub use error::SimError;
 pub use event::{EventQueue, Scheduled};
+pub use fault::{FaultInjector, FaultPlan};
 pub use hash::{slot_for, slot_for_counted, SlotHasher};
 pub use ident::{FrameSize, Nonce, TagId};
 pub use population::TagPopulation;
@@ -85,6 +90,7 @@ pub use trace::{Trace, TraceEvent};
 pub mod prelude {
     pub use crate::aloha::{FrameExecution, FramePlan, FrameStats, SlotIndex};
     pub use crate::error::SimError;
+    pub use crate::fault::{FaultInjector, FaultPlan};
     pub use crate::hash::{slot_for, slot_for_counted};
     pub use crate::ident::{FrameSize, Nonce, TagId};
     pub use crate::population::TagPopulation;

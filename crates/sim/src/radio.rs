@@ -64,6 +64,14 @@ pub struct ChannelConfig {
     /// Probability that a collision resolves to one decodable reply
     /// (capture effect).
     pub capture_prob: f64,
+    /// Probability that an individual tag misses one downlink `(f', r)`
+    /// announcement (reader-to-tag direction). A tag that misses an
+    /// announcement does not advance its counter for it and keeps the
+    /// reply slot computed from the last announcement it heard — the
+    /// probabilistic source of counter desynchronization. Consumed by
+    /// the fault-aware round executors in `tagwatch-core`; the
+    /// slot-level [`Channel::resolve_slot`] only sees uplink traffic.
+    pub downlink_loss_prob: f64,
 }
 
 impl Default for ChannelConfig {
@@ -72,6 +80,7 @@ impl Default for ChannelConfig {
             reply_loss_prob: 0.0,
             phantom_reply_prob: 0.0,
             capture_prob: 0.0,
+            downlink_loss_prob: 0.0,
         }
     }
 }
@@ -88,6 +97,7 @@ impl ChannelConfig {
             ("reply_loss_prob", self.reply_loss_prob),
             ("phantom_reply_prob", self.phantom_reply_prob),
             ("capture_prob", self.capture_prob),
+            ("downlink_loss_prob", self.downlink_loss_prob),
         ] {
             if !(0.0..=1.0).contains(&value) || value.is_nan() {
                 return Err(SimError::InvalidProbability { name, value });
@@ -144,16 +154,22 @@ impl Channel {
     /// Resolves one slot: applies per-reply loss, then classifies the
     /// surviving transmissions, then applies capture/phantom effects.
     pub fn resolve_slot<R: Rng + ?Sized>(&self, replies: &[TagReply], rng: &mut R) -> SlotOutcome {
-        let surviving: Vec<TagReply> = if self.config.reply_loss_prob > 0.0 {
-            replies
+        if self.config.reply_loss_prob > 0.0 {
+            let surviving: Vec<TagReply> = replies
                 .iter()
                 .copied()
                 .filter(|_| !rng.gen_bool(self.config.reply_loss_prob))
-                .collect()
+                .collect();
+            self.classify(&surviving, rng)
         } else {
-            replies.to_vec()
-        };
+            // Hot path: no per-reply loss means the transmission set is
+            // unchanged — classify the borrowed slice directly instead
+            // of cloning it into a Vec for every slot.
+            self.classify(replies, rng)
+        }
+    }
 
+    fn classify<R: Rng + ?Sized>(&self, surviving: &[TagReply], rng: &mut R) -> SlotOutcome {
         match surviving.len() {
             0 => {
                 if self.config.phantom_reply_prob > 0.0

@@ -64,6 +64,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("           exact stolen set recovered: {missing:?}");
                 break;
             }
+            SessionEvent::Resynced { attempt, .. } => {
+                println!("  day {day}: counter desync diagnosed, resynced (attempt {attempt})");
+            }
+            SessionEvent::Quarantined { tags } => {
+                println!("  day {day}: quarantined for inspection: {tags:?}");
+            }
         }
     }
 

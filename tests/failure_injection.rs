@@ -43,6 +43,7 @@ fn combined_noise_and_theft_still_detects_theft() {
         reply_loss_prob: 0.02,
         phantom_reply_prob: 0.02,
         capture_prob: 0.5,
+        ..ChannelConfig::default()
     })
     .unwrap();
     let registry = TagPopulation::with_sequential_ids(200).ids();
@@ -150,6 +151,167 @@ fn invalid_channel_configs_are_rejected() {
     ] {
         assert!(Channel::with_config(bad).is_err());
     }
+}
+
+#[test]
+fn scripted_desync_is_diagnosed_recovered_and_confirmed() {
+    // The headline robustness scenario, end to end through the facade:
+    // one tag misses a single downlink announcement, the next round is
+    // diagnosed as Desynced (not an alarm), hypothesis-based recovery
+    // repairs the mirror without a physical audit, and the round after
+    // that verifies intact.
+    use tagwatch::core::utrp::attributed_round;
+    use tagwatch::core::{run_honest_reader_with, ResyncHypothesis};
+    use tagwatch::sim::FaultPlan;
+
+    let mut server = MonitorServer::with_config(
+        TagPopulation::with_sequential_ids(40).ids(),
+        3,
+        0.9,
+        ServerConfig {
+            desync_window: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut floor = TagPopulation::with_sequential_ids(40);
+    let timing = server.config().timing;
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Round 1: the tag replying in the first occupied slot misses the
+    // round's LAST announcement — its reply already landed, so the
+    // round verifies intact, but its counter ends one behind the
+    // mirror.
+    let ch1 = server.issue_utrp_challenge(&mut rng).unwrap();
+    let registry: Vec<(TagId, Counter)> = floor.ids().into_iter().map(|id| (id, Counter::ZERO)).collect();
+    let (dry, attribution) = attributed_round(&registry, &ch1).unwrap();
+    let first_occupied = dry.bitstring.iter_ones().next().unwrap();
+    let victim = attribution[first_occupied][0];
+    let plan = FaultPlan::new().lose_announcement(dry.announcements - 1, [victim]);
+    let response =
+        run_honest_reader_with(&mut floor, &ch1, &timing, &Channel::ideal(), &plan, &mut rng)
+            .unwrap();
+    assert!(server.verify_utrp(ch1, &response).unwrap().verdict.is_intact());
+
+    // Later rounds: the stale counter stays latent while it happens to
+    // hash into an indistinguishable slot (those rounds verify intact)
+    // and surfaces as soon as a challenge separates it. Desynced is
+    // inconclusive — neither an alarm nor a pass — and names the
+    // victim.
+    let report = loop {
+        let ch = server.issue_utrp_challenge(&mut rng).unwrap();
+        let response = run_honest_reader(&mut floor, &ch, &timing).unwrap();
+        let report = server.verify_utrp(ch, &response).unwrap();
+        if report.verdict.is_desynced() {
+            break report;
+        }
+        assert!(report.verdict.is_intact(), "{report}");
+    };
+    assert_eq!(
+        report.verdict,
+        Verdict::Desynced {
+            suspects: vec![victim]
+        },
+        "{report}"
+    );
+    assert!(!report.is_alarm());
+    assert!(matches!(
+        server.pending_resync(),
+        Some(ResyncHypothesis::SingleLag { tag, lag: 1, .. }) if *tag == victim
+    ));
+
+    // Recover from the hypothesis alone and let round 3 confirm it.
+    assert_eq!(server.resync_from_hypothesis().unwrap(), vec![victim]);
+    let ch3 = server.issue_utrp_challenge(&mut rng).unwrap();
+    let response = run_honest_reader(&mut floor, &ch3, &timing).unwrap();
+    assert!(server.verify_utrp(ch3, &response).unwrap().verdict.is_intact());
+}
+
+#[test]
+fn physical_audit_resyncs_after_undiagnosable_fault() {
+    // A fault outside the hypothesis window (here: a lead past the
+    // configured window) alarms rather than guessing; a physical audit
+    // via resync_counters restores monitoring exactly.
+    let mut server = MonitorServer::with_config(
+        TagPopulation::with_sequential_ids(30).ids(),
+        2,
+        0.9,
+        ServerConfig {
+            desync_window: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut floor = TagPopulation::with_sequential_ids(30);
+    let timing = server.config().timing;
+    let mut rng = StdRng::seed_from_u64(8);
+
+    // Three whole rounds run in the field but never reach the server —
+    // a uniform lead far beyond desync_window = 2.
+    for _ in 0..3 {
+        let ch = server.issue_utrp_challenge(&mut rng).unwrap();
+        run_honest_reader(&mut floor, &ch, &timing).unwrap();
+    }
+    let ch = server.issue_utrp_challenge(&mut rng).unwrap();
+    let response = run_honest_reader(&mut floor, &ch, &timing).unwrap();
+    let report = server.verify_utrp(ch, &response).unwrap();
+    assert!(report.is_alarm(), "beyond-window desync must alarm: {report}");
+    assert!(!server.counters_synced());
+    assert!(matches!(
+        server.issue_utrp_challenge(&mut rng),
+        Err(CoreError::CounterDesync)
+    ));
+
+    // Audit the floor, resync, and monitoring resumes cleanly.
+    server
+        .resync_counters(floor.iter().map(|t| (t.id(), t.counter())))
+        .unwrap();
+    assert!(server.counters_synced());
+    let ch = server.issue_utrp_challenge(&mut rng).unwrap();
+    let response = run_honest_reader(&mut floor, &ch, &timing).unwrap();
+    assert!(server.verify_utrp(ch, &response).unwrap().verdict.is_intact());
+}
+
+#[test]
+fn desynced_snapshot_round_trips_and_blocks_until_audit() {
+    // A server persisted mid-desync must come back desynced: the text
+    // snapshot carries counters_synced = false, the restored server
+    // refuses to issue UTRP challenges, and only an audit reopens it.
+    let mut server =
+        MonitorServer::new(TagPopulation::with_sequential_ids(20).ids(), 2, 0.9).unwrap();
+    let mut floor = TagPopulation::with_sequential_ids(20);
+    let timing = server.config().timing;
+    let mut rng = StdRng::seed_from_u64(9);
+
+    // Steal two tags; the UTRP round alarms and poisons the mirror.
+    let ch = server.issue_utrp_challenge(&mut rng).unwrap();
+    floor.remove_random(3, &mut rng).unwrap();
+    let response = run_honest_reader(&mut floor, &ch, &timing).unwrap();
+    assert!(server.verify_utrp(ch, &response).unwrap().is_alarm());
+    assert!(!server.counters_synced());
+
+    // Round-trip through the durable text form.
+    let text = server.snapshot().to_text();
+    let snap = RegistrySnapshot::from_text(&text).unwrap();
+    assert!(!snap.counters_synced);
+    let mut restored = MonitorServer::from_snapshot(snap, ServerConfig::default()).unwrap();
+    assert!(!restored.counters_synced());
+    assert!(matches!(
+        restored.issue_utrp_challenge(&mut rng),
+        Err(CoreError::CounterDesync)
+    ));
+    // A diagnosed hypothesis is deliberately NOT persisted: recovery
+    // after a restore requires a physical audit.
+    assert!(matches!(
+        restored.resync_from_hypothesis(),
+        Err(CoreError::NoResyncHypothesis)
+    ));
+
+    restored
+        .resync_counters(floor.iter().map(|t| (t.id(), t.counter())))
+        .unwrap();
+    assert!(restored.counters_synced());
+    assert!(restored.issue_utrp_challenge(&mut rng).is_ok());
 }
 
 #[test]

@@ -1,0 +1,467 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! crate implements the subset of proptest the workspace's property
+//! tests use: the [`proptest!`] macro with `arg in strategy` bindings,
+//! `prop_assert!`-family macros, `any::<T>()`, integer/float range
+//! strategies, and `prop::collection::{vec, hash_set}`.
+//!
+//! Semantics are simplified but honest: every test runs its body over
+//! `ProptestConfig::cases` deterministically seeded random inputs and
+//! panics with the offending inputs on the first failure. There is no
+//! shrinking — failures report the raw counterexample instead.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+
+/// Test-runner configuration (subset: case count only).
+pub mod test_runner {
+    /// How a [`crate::proptest!`] block runs its cases.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of random cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the heavier
+            // protocol-level properties fast while still sampling the
+            // space broadly. Override per-block with
+            // `#![proptest_config(ProptestConfig::with_cases(n))]`.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// How a test case's input is produced.
+pub trait Strategy {
+    /// The produced value type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Values drawable by [`any`].
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                use rand::Rng;
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        use rand::Rng;
+        // Finite, sign-symmetric, broad magnitude spread.
+        let mag: f64 = rng.gen::<f64>() * 1e9;
+        if rng.gen::<bool>() {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Draws arbitrary values of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy namespace mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, StdRngAlias};
+        use std::collections::HashSet;
+        use std::fmt::Debug;
+        use std::hash::Hash;
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from
+        /// `len`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// `vec(element, 0..n)`: vectors of `element` values.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut StdRngAlias) -> Self::Value {
+                use rand::Rng;
+                let n = if self.len.is_empty() {
+                    self.len.start
+                } else {
+                    rng.gen_range(self.len.clone())
+                };
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeMap<K::Value, V::Value>` with a size
+        /// drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            size: Range<usize>,
+        }
+
+        /// `btree_map(key, value, 0..n)`: maps with distinct keys.
+        pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            K::Value: Ord,
+            V: Strategy,
+        {
+            BTreeMapStrategy { key, value, size }
+        }
+
+        impl<K, V> Strategy for BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            K::Value: Ord + Debug,
+            V: Strategy,
+        {
+            type Value = std::collections::BTreeMap<K::Value, V::Value>;
+
+            fn sample(&self, rng: &mut StdRngAlias) -> Self::Value {
+                use rand::Rng;
+                let target = if self.size.is_empty() {
+                    self.size.start
+                } else {
+                    rng.gen_range(self.size.clone())
+                };
+                let mut out = std::collections::BTreeMap::new();
+                // Bounded attempts, as for hash_set.
+                let mut budget = target * 10 + 100;
+                while out.len() < target && budget > 0 {
+                    out.insert(self.key.sample(rng), self.value.sample(rng));
+                    budget -= 1;
+                }
+                out
+            }
+        }
+
+        /// Strategy for `HashSet<S::Value>` with a size drawn from
+        /// `size`.
+        #[derive(Debug, Clone)]
+        pub struct HashSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// `hash_set(element, 0..n)`: sets of distinct `element`
+        /// values.
+        pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+        {
+            HashSetStrategy { element, size }
+        }
+
+        impl<S> Strategy for HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash + Debug,
+        {
+            type Value = HashSet<S::Value>;
+
+            fn sample(&self, rng: &mut StdRngAlias) -> Self::Value {
+                use rand::Rng;
+                let target = if self.size.is_empty() {
+                    self.size.start
+                } else {
+                    rng.gen_range(self.size.clone())
+                };
+                let mut out = HashSet::with_capacity(target);
+                // Bounded attempts: duplicate-dense element strategies
+                // settle for a smaller set instead of spinning.
+                let mut budget = target * 10 + 100;
+                while out.len() < target && budget > 0 {
+                    out.insert(self.element.sample(rng));
+                    budget -= 1;
+                }
+                out
+            }
+        }
+    }
+}
+
+// Internal alias so nested modules can name the RNG without a public
+// dependency on the vendored rand's module layout.
+#[doc(hidden)]
+pub type StdRngAlias = StdRng;
+
+#[doc(hidden)]
+pub mod runner {
+    use rand::SeedableRng;
+
+    /// Deterministic per-test RNG: fixed root, offset by a hash of the
+    /// test name so sibling tests see different streams.
+    #[must_use]
+    pub fn rng_for(test_name: &str, case: u32) -> super::StdRngAlias {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        super::StdRngAlias::seed_from_u64(h ^ (u64::from(case) << 32) ^ 0x7470_6573_7421)
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (with the inputs printed) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return Err(format!(
+                "assertion failed: `{} != {}` ({})\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                left
+            ));
+        }
+    }};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` becomes
+/// a `#[test]` that samples its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::runner::rng_for(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, "),*),
+                    $(&$arg),*
+                );
+                let __outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                if let Err(__msg) = __outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}:\n{}\ninputs: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __msg,
+                        __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u64..100, y in 1usize..=8) {
+            prop_assert!(x < 100);
+            prop_assert!((1..=8).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_length(v in prop::collection::vec(any::<bool>(), 0..30)) {
+            prop_assert!(v.len() < 30);
+        }
+
+        #[test]
+        fn hash_set_strategy_is_distinct(s in prop::collection::hash_set(any::<u64>(), 0..40)) {
+            prop_assert!(s.len() < 40);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn config_override_applies(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `always_fails` failed")]
+    fn failures_report_inputs() {
+        proptest! {
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}
