@@ -15,6 +15,10 @@
 //!   the `fig4`…`fig7` binaries in `tagwatch-bench`.
 //! * [`session`] — the operational layer: continuous monitoring with
 //!   alarm-threshold escalation to missing-tag identification.
+//! * [`soak`] — long-horizon soak runs: thousands of session ticks
+//!   against a Markov-evolving channel with scripted incident bursts,
+//!   invariant checks after every tick, and a deterministic JSON
+//!   report for CI regression tracking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +30,7 @@ pub mod montecarlo;
 pub mod parallel;
 pub mod report;
 pub mod session;
+pub mod soak;
 pub mod stats;
 
 pub use experiments::{
@@ -39,5 +44,9 @@ pub use montecarlo::{
 };
 pub use parallel::{parallel_count, parallel_map, worker_threads};
 pub use report::{sparkline, Table};
-pub use session::{MonitoringSession, SessionEvent, SessionPolicy, TickProtocol};
+pub use session::{
+    MonitoringSession, SessionBuilder, SessionEvent, SessionPolicy, SessionPolicyBuilder,
+    TickProtocol,
+};
+pub use soak::{run_soak, SoakConfig, SoakCounts, SoakReport};
 pub use stats::{Proportion, Summary};

@@ -6,7 +6,10 @@
 //! introduction implies:
 //!
 //! 1. **Routine** ticks run cheap TRP rounds (or UTRP when the reader
-//!    is untrusted).
+//!    is untrusted), dispatched through the protocol-generic
+//!    [`Protocol`] trait and executed by a [`RoundExecutor`] — ideal by
+//!    default ([`MonitoringSession::tick`]), or carrying a lossy
+//!    channel and scripted faults ([`MonitoringSession::tick_with`]).
 //! 2. A UTRP tick that comes back [`tagwatch_core::Verdict::Desynced`]
 //!    is **retried**: the session applies the server's diagnosed
 //!    counter hypothesis
@@ -22,16 +25,21 @@
 //!    A desynced round that exhausts its retry budget counts toward
 //!    this ladder too: faults may cost retries or page an operator,
 //!    but never produce a silent false "intact".
-//! 4. The session keeps an auditable event log.
+//! 4. The session keeps an auditable event log, and exposes the two
+//!    operator actions long-horizon drivers need:
+//!    [`audit_resync`](MonitoringSession::audit_resync) (a physical
+//!    audit that re-trusts the counter mirror) and
+//!    [`release_quarantined`](MonitoringSession::release_quarantined)
+//!    (returning audited tags to service).
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use rand::Rng;
 
 use tagwatch_core::identify::{identify_missing, IdentifyConfig};
+use tagwatch_core::protocol::{Protocol, Trp, Utrp};
 use tagwatch_core::trp::observed_bitstring;
-use tagwatch_core::utrp::run_honest_reader;
-use tagwatch_core::{CoreError, MonitorReport, MonitorServer};
+use tagwatch_core::{CoreError, MonitorReport, MonitorServer, RoundExecutor};
 use tagwatch_sim::{TagId, TagPopulation};
 
 /// Which protocol routine ticks use.
@@ -43,7 +51,8 @@ pub enum TickProtocol {
     Utrp,
 }
 
-/// Session policy knobs.
+/// Session policy knobs. Build one with [`SessionPolicy::builder`] (or
+/// use [`SessionPolicy::default`] and struct update for tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SessionPolicy {
     /// Protocol for routine ticks.
@@ -62,6 +71,9 @@ pub struct SessionPolicy {
 }
 
 impl Default for SessionPolicy {
+    /// The documented defaults: TRP ticks, escalate after 2 consecutive
+    /// alarms, up to 3 in-tick desync retries, quarantine on the 2nd
+    /// desync strike, default identification budget.
     fn default() -> Self {
         SessionPolicy {
             protocol: TickProtocol::Trp,
@@ -70,6 +82,125 @@ impl Default for SessionPolicy {
             desyncs_to_quarantine: 2,
             identify: IdentifyConfig::default(),
         }
+    }
+}
+
+impl SessionPolicy {
+    /// Starts a policy builder seeded with the
+    /// [defaults](SessionPolicy::default).
+    #[must_use]
+    pub fn builder() -> SessionPolicyBuilder {
+        SessionPolicyBuilder {
+            policy: SessionPolicy::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`SessionPolicy`]. Every knob starts at the
+/// documented default; set only what differs.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionPolicyBuilder {
+    policy: SessionPolicy,
+}
+
+impl SessionPolicyBuilder {
+    /// Protocol for routine ticks (default [`TickProtocol::Trp`]).
+    #[must_use]
+    pub fn protocol(mut self, protocol: TickProtocol) -> Self {
+        self.policy.protocol = protocol;
+        self
+    }
+
+    /// Consecutive alarming ticks before escalation (default 2).
+    #[must_use]
+    pub fn alarms_to_escalate(mut self, count: u32) -> Self {
+        self.policy.alarms_to_escalate = count;
+        self
+    }
+
+    /// In-tick desync re-challenge budget (default 3).
+    #[must_use]
+    pub fn max_desync_retries(mut self, count: u32) -> Self {
+        self.policy.max_desync_retries = count;
+        self
+    }
+
+    /// Desync strikes before quarantine (default 2).
+    #[must_use]
+    pub fn desyncs_to_quarantine(mut self, count: u32) -> Self {
+        self.policy.desyncs_to_quarantine = count;
+        self
+    }
+
+    /// Identification configuration for escalations.
+    #[must_use]
+    pub fn identify(mut self, config: IdentifyConfig) -> Self {
+        self.policy.identify = config;
+        self
+    }
+
+    /// Finalizes the policy.
+    #[must_use]
+    pub fn build(self) -> SessionPolicy {
+        self.policy
+    }
+}
+
+/// Fluent builder for [`MonitoringSession`]: wraps a server and a
+/// [`SessionPolicyBuilder`], so policy knobs chain directly.
+#[derive(Debug)]
+pub struct SessionBuilder {
+    server: MonitorServer,
+    policy: SessionPolicyBuilder,
+}
+
+impl SessionBuilder {
+    /// Replaces the whole policy at once (e.g. a saved profile).
+    #[must_use]
+    pub fn policy(mut self, policy: SessionPolicy) -> Self {
+        self.policy = SessionPolicyBuilder { policy };
+        self
+    }
+
+    /// See [`SessionPolicyBuilder::protocol`].
+    #[must_use]
+    pub fn protocol(mut self, protocol: TickProtocol) -> Self {
+        self.policy = self.policy.protocol(protocol);
+        self
+    }
+
+    /// See [`SessionPolicyBuilder::alarms_to_escalate`].
+    #[must_use]
+    pub fn alarms_to_escalate(mut self, count: u32) -> Self {
+        self.policy = self.policy.alarms_to_escalate(count);
+        self
+    }
+
+    /// See [`SessionPolicyBuilder::max_desync_retries`].
+    #[must_use]
+    pub fn max_desync_retries(mut self, count: u32) -> Self {
+        self.policy = self.policy.max_desync_retries(count);
+        self
+    }
+
+    /// See [`SessionPolicyBuilder::desyncs_to_quarantine`].
+    #[must_use]
+    pub fn desyncs_to_quarantine(mut self, count: u32) -> Self {
+        self.policy = self.policy.desyncs_to_quarantine(count);
+        self
+    }
+
+    /// See [`SessionPolicyBuilder::identify`].
+    #[must_use]
+    pub fn identify(mut self, config: IdentifyConfig) -> Self {
+        self.policy = self.policy.identify(config);
+        self
+    }
+
+    /// Finalizes the session.
+    #[must_use]
+    pub fn build(self) -> MonitoringSession {
+        MonitoringSession::new(self.server, self.policy.build())
     }
 }
 
@@ -110,10 +241,13 @@ pub enum SessionEvent {
 impl SessionEvent {
     /// Whether this event should page an operator. A [`Resynced`]
     /// recovery is routine; a [`Quarantined`] tag needs a physical
-    /// audit.
+    /// audit. [`Checked`] events defer to
+    /// [`Verdict::is_alarm`](tagwatch_core::Verdict::is_alarm) through
+    /// the report, keeping the alarm notion consistent across layers.
     ///
     /// [`Resynced`]: SessionEvent::Resynced
     /// [`Quarantined`]: SessionEvent::Quarantined
+    /// [`Checked`]: SessionEvent::Checked
     #[must_use]
     pub fn is_alarm(&self) -> bool {
         match self {
@@ -125,6 +259,18 @@ impl SessionEvent {
                 unresolved,
                 ..
             } => !missing.is_empty() || !unresolved.is_empty(),
+        }
+    }
+
+    /// The desync suspects carried by this event, if any: the
+    /// session-layer view of
+    /// [`Verdict::suspects`](tagwatch_core::Verdict::suspects).
+    #[must_use]
+    pub fn suspects(&self) -> &[TagId] {
+        match self {
+            SessionEvent::Checked(report) => report.verdict.suspects(),
+            SessionEvent::Resynced { suspects, .. } => suspects,
+            _ => &[],
         }
     }
 }
@@ -141,7 +287,8 @@ pub struct MonitoringSession {
 }
 
 impl MonitoringSession {
-    /// Starts a session.
+    /// Starts a session. Prefer [`MonitoringSession::builder`] in new
+    /// code; this remains the primitive the builder finalizes into.
     #[must_use]
     pub fn new(server: MonitorServer, policy: SessionPolicy) -> Self {
         MonitoringSession {
@@ -154,10 +301,26 @@ impl MonitoringSession {
         }
     }
 
+    /// Starts a session builder over `server`, with every policy knob
+    /// at its documented default.
+    #[must_use]
+    pub fn builder(server: MonitorServer) -> SessionBuilder {
+        SessionBuilder {
+            server,
+            policy: SessionPolicy::builder(),
+        }
+    }
+
     /// The underlying server (counters, history, policy).
     #[must_use]
     pub fn server(&self) -> &MonitorServer {
         &self.server
+    }
+
+    /// The session's policy.
+    #[must_use]
+    pub fn policy(&self) -> &SessionPolicy {
+        &self.policy
     }
 
     /// The audit log, oldest first.
@@ -184,6 +347,37 @@ impl MonitoringSession {
         self.quarantined.iter().copied().collect()
     }
 
+    /// Operator action: a **physical audit** of the floor. Reads every
+    /// present tag's true counter into the server mirror
+    /// ([`MonitorServer::resync_counters`]), which re-trusts the mirror
+    /// after an alarming UTRP round left it unsynchronized. Tags not on
+    /// the floor (e.g. stolen) keep their mirrored values; once they
+    /// return, audit again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownTag`] if the floor holds a tag the
+    /// server never registered.
+    pub fn audit_resync(&mut self, floor: &TagPopulation) -> Result<(), CoreError> {
+        self.server
+            .resync_counters(floor.iter().map(|t| (t.id(), t.counter())))
+    }
+
+    /// Operator action: returns audited tags to service — removes them
+    /// from quarantine and clears their desync strikes. Returns the
+    /// tags that were actually quarantined (unknown/unquarantined IDs
+    /// are ignored).
+    pub fn release_quarantined<I: IntoIterator<Item = TagId>>(&mut self, tags: I) -> Vec<TagId> {
+        let mut released = Vec::new();
+        for tag in tags {
+            if self.quarantined.remove(&tag) {
+                self.desync_strikes.remove(&tag);
+                released.push(tag);
+            }
+        }
+        released
+    }
+
     /// Records one desync strike per suspect and returns the tags that
     /// just crossed the quarantine threshold.
     fn strike(&mut self, suspects: &[TagId]) -> Vec<TagId> {
@@ -191,8 +385,7 @@ impl MonitoringSession {
         for &tag in suspects {
             let strikes = self.desync_strikes.entry(tag).or_insert(0);
             *strikes += 1;
-            if *strikes >= self.policy.desyncs_to_quarantine.max(1)
-                && self.quarantined.insert(tag)
+            if *strikes >= self.policy.desyncs_to_quarantine.max(1) && self.quarantined.insert(tag)
             {
                 newly.push(tag);
             }
@@ -200,9 +393,24 @@ impl MonitoringSession {
         newly
     }
 
-    /// Runs one scheduled check against the physical floor, escalating
-    /// to identification when the alarm threshold is reached. Returns
-    /// the event appended to the log.
+    /// Runs one scheduled check over the ideal channel with no faults:
+    /// [`tick_with`](MonitoringSession::tick_with) under
+    /// [`RoundExecutor::ideal`], byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// See [`tick_with`](MonitoringSession::tick_with).
+    pub fn tick<R: Rng + ?Sized>(
+        &mut self,
+        floor: &mut TagPopulation,
+        rng: &mut R,
+    ) -> Result<&SessionEvent, CoreError> {
+        self.tick_with(floor, &RoundExecutor::ideal(), rng)
+    }
+
+    /// Runs one scheduled check against the physical floor through
+    /// `executor`, escalating to identification when the alarm
+    /// threshold is reached. Returns the event appended to the log.
     ///
     /// A UTRP check that comes back [`Verdict::Desynced`] is recovered
     /// in-tick: the diagnosed hypothesis is applied to the counter
@@ -211,35 +419,29 @@ impl MonitoringSession {
     /// [`SessionEvent::Resynced`] and strikes the suspects; a desync
     /// that outlives the budget counts as an alarming tick.
     ///
+    /// Escalation's identification re-scan always runs over the ideal
+    /// channel: it models a deliberate, controlled re-inventory rather
+    /// than the routine round's radio conditions.
+    ///
     /// [`Verdict::Desynced`]: tagwatch_core::Verdict::Desynced
     ///
     /// # Errors
     ///
     /// Propagates protocol errors (e.g. a desynchronized counter mirror
-    /// when ticking with UTRP — resolve via the server's resync flow).
-    pub fn tick<R: Rng + ?Sized>(
+    /// when ticking with UTRP — resolve via
+    /// [`audit_resync`](MonitoringSession::audit_resync)).
+    pub fn tick_with<R: Rng + ?Sized>(
         &mut self,
         floor: &mut TagPopulation,
+        executor: &RoundExecutor,
         rng: &mut R,
     ) -> Result<&SessionEvent, CoreError> {
         let report = match self.policy.protocol {
-            TickProtocol::Trp => {
-                let challenge = self.server.issue_trp_challenge(rng)?;
-                let audible: Vec<TagId> = floor
-                    .iter()
-                    .filter(|t| !t.is_detuned())
-                    .map(|t| t.id())
-                    .collect();
-                let bs = observed_bitstring(&audible, &challenge);
-                self.server.verify_trp(challenge, &bs)?
-            }
+            TickProtocol::Trp => Trp.run_round(&mut self.server, floor, executor, rng)?,
             TickProtocol::Utrp => {
-                let timing = self.server.config().timing;
                 let mut attempt = 0u32;
                 loop {
-                    let challenge = self.server.issue_utrp_challenge(rng)?;
-                    let response = run_honest_reader(floor, &challenge, &timing)?;
-                    let report = self.server.verify_utrp(challenge, &response)?;
+                    let report = Utrp.run_round(&mut self.server, floor, executor, rng)?;
                     if !report.verdict.is_desynced() {
                         break report;
                     }
@@ -301,6 +503,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use tagwatch_core::utrp::run_honest_reader;
 
     fn session(n: usize, m: u64, policy: SessionPolicy) -> (MonitoringSession, TagPopulation) {
         let floor = TagPopulation::with_sequential_ids(n);
@@ -428,14 +631,17 @@ mod tests {
             e,
             SessionEvent::Resynced { suspects, .. } if suspects.is_empty()
         )));
-        assert!(session.quarantined().is_empty(), "uniform lag has no suspects");
+        assert!(
+            session.quarantined().is_empty(),
+            "uniform lag has no suspects"
+        );
         for _ in 0..3 {
             assert!(!session.tick(&mut floor, &mut rng).unwrap().is_alarm());
         }
     }
 
     #[test]
-    fn repeated_desync_suspect_is_quarantined() {
+    fn repeated_desync_suspect_is_quarantined_then_released() {
         use tagwatch_core::faulty::run_honest_reader_with;
         use tagwatch_core::utrp::attributed_round;
         use tagwatch_core::ServerConfig;
@@ -472,15 +678,17 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        assert!(server.verify_utrp(ch1, &response).unwrap().verdict.is_intact());
+        assert!(server
+            .verify_utrp(ch1, &response)
+            .unwrap()
+            .verdict
+            .is_intact());
 
         // First offense quarantines under this policy.
-        let policy = SessionPolicy {
-            protocol: TickProtocol::Utrp,
-            desyncs_to_quarantine: 1,
-            ..SessionPolicy::default()
-        };
-        let mut session = MonitoringSession::new(server, policy);
+        let mut session = MonitoringSession::builder(server)
+            .protocol(TickProtocol::Utrp)
+            .desyncs_to_quarantine(1)
+            .build();
         let event = session.tick(&mut floor, &mut rng).unwrap();
         assert!(
             matches!(event, SessionEvent::Checked(r) if r.verdict.is_intact()),
@@ -496,6 +704,12 @@ mod tests {
         )));
         assert_eq!(session.quarantined(), vec![victim]);
         assert_eq!(session.desync_strikes(victim), 1);
+
+        // The operator audits the tag and returns it to service.
+        let released = session.release_quarantined([victim, TagId::new(999)]);
+        assert_eq!(released, vec![victim]);
+        assert!(session.quarantined().is_empty());
+        assert_eq!(session.desync_strikes(victim), 0);
     }
 
     #[test]
@@ -548,5 +762,98 @@ mod tests {
             Some(SessionEvent::Escalated { .. })
         ));
         assert_eq!(session.consecutive_alarms(), 0);
+    }
+
+    #[test]
+    fn builders_mirror_the_documented_defaults() {
+        assert_eq!(SessionPolicy::builder().build(), SessionPolicy::default());
+        let custom = SessionPolicy::builder()
+            .protocol(TickProtocol::Utrp)
+            .alarms_to_escalate(4)
+            .max_desync_retries(1)
+            .desyncs_to_quarantine(7)
+            .build();
+        assert_eq!(
+            custom,
+            SessionPolicy {
+                protocol: TickProtocol::Utrp,
+                alarms_to_escalate: 4,
+                max_desync_retries: 1,
+                desyncs_to_quarantine: 7,
+                identify: IdentifyConfig::default(),
+            }
+        );
+
+        let floor = TagPopulation::with_sequential_ids(20);
+        let server = MonitorServer::new(floor.ids(), 1, 0.9).unwrap();
+        let session = MonitoringSession::builder(server).policy(custom).build();
+        assert_eq!(*session.policy(), custom);
+    }
+
+    #[test]
+    fn tick_is_byte_identical_to_tick_with_ideal_executor() {
+        // The unified-executor regression: the convenience tick and an
+        // explicit ideal executor must produce identical logs, server
+        // histories, and RNG streams.
+        use rand::Rng as _;
+        for protocol in [TickProtocol::Trp, TickProtocol::Utrp] {
+            let policy = SessionPolicy {
+                protocol,
+                ..SessionPolicy::default()
+            };
+            let (mut a, mut floor_a) = session(120, 3, policy);
+            let (mut b, mut floor_b) = session(120, 3, policy);
+            let mut rng_a = StdRng::seed_from_u64(31);
+            let mut rng_b = StdRng::seed_from_u64(31);
+            let ideal = RoundExecutor::ideal();
+            for _ in 0..4 {
+                a.tick(&mut floor_a, &mut rng_a).unwrap();
+                b.tick_with(&mut floor_b, &ideal, &mut rng_b).unwrap();
+            }
+            assert_eq!(a.log(), b.log(), "{protocol:?}");
+            assert_eq!(a.server().history(), b.server().history());
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "RNG diverged");
+        }
+    }
+
+    #[test]
+    fn faulty_tick_with_truncation_alarms_and_audit_recovers() {
+        use tagwatch_core::ServerConfig;
+        use tagwatch_sim::{Channel, FaultPlan};
+
+        let mut floor = TagPopulation::with_sequential_ids(60);
+        let config = ServerConfig {
+            desync_window: 128,
+            ..ServerConfig::default()
+        };
+        let server = MonitorServer::with_config(floor.ids(), 3, 0.9, config).unwrap();
+        let mut session = MonitoringSession::builder(server)
+            .protocol(TickProtocol::Utrp)
+            .alarms_to_escalate(10)
+            .build();
+        let mut rng = StdRng::seed_from_u64(8);
+
+        // Truncated response: an alarm, never an error or silent pass.
+        let truncating = RoundExecutor::new(
+            Channel::ideal(),
+            Some(FaultPlan::new().truncate_response(8)),
+        );
+        let event = session
+            .tick_with(&mut floor, &truncating, &mut rng)
+            .unwrap();
+        assert!(event.is_alarm());
+
+        // The spent challenge advanced the field but not the mirror; the
+        // next clean tick diagnoses the uniform lead and self-heals.
+        let event = session.tick(&mut floor, &mut rng).unwrap();
+        assert!(
+            matches!(event, SessionEvent::Checked(r) if r.verdict.is_intact()),
+            "{event:?}"
+        );
+
+        // audit_resync is idempotent on a healthy floor.
+        session.audit_resync(&floor).unwrap();
+        assert!(session.server().counters_synced());
+        assert!(!session.tick(&mut floor, &mut rng).unwrap().is_alarm());
     }
 }

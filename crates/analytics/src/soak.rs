@@ -1,0 +1,925 @@
+//! Long-horizon soak testing of the monitoring session.
+//!
+//! A soak run drives a [`MonitoringSession`] for thousands of ticks
+//! against a randomly evolving channel (a [`MarkovChannel`] over
+//! calm/degraded/storm levels) with periodic scripted incidents —
+//! counter-desync bursts, response truncations ("crashes"), and thefts
+//! — while an in-loop *operator* performs the physical audits the
+//! session requests (counter resyncs, quarantine releases, recovery of
+//! stolen tags after identification names them).
+//!
+//! After **every tick** the driver checks three global invariants:
+//!
+//! 1. **No silent false "intact"** — an above-tolerance theft is
+//!    detected (escalation names *exactly* the stolen tags, with no
+//!    unresolved stragglers) within
+//!    [`SoakConfig::detection_deadline`] ticks, and an intact verdict
+//!    never coexists with residual slot mismatches.
+//! 2. **Quarantine converges** — only scripted burst victims or
+//!    once-stolen tags are ever quarantined, and the operator's
+//!    audit/release loop always drains the quarantine set by the end
+//!    of the run.
+//! 3. **Bounded audit frequency** — every physical audit is
+//!    attributable to an incident (an active theft, a scripted burst
+//!    or crash, or a non-calm channel level) within
+//!    [`SoakConfig::attribution_window`] ticks; calm, incident-free
+//!    operation never pages the operator.
+//!
+//! The run is fully deterministic in [`SoakConfig::seed`]: channel
+//! evolution, incident scheduling, and protocol randomness draw from
+//! disjoint [`SeedSequence`] streams, so the per-tick event log (and
+//! its FNV-1a digest, and the JSON report) are byte-identical across
+//! runs and machines. The report feeds CI regression tracking of
+//! recovery-latency and audit-frequency distributions.
+
+use rand::rngs::StdRng;
+
+use tagwatch_core::utrp::attributed_round;
+use tagwatch_core::{CoreError, MonitorServer, RoundExecutor, ServerConfig, Verdict};
+use tagwatch_sim::{Counter, FaultPlan, MarkovChannel, SeedSequence, Tag, TagId, TagPopulation};
+
+use crate::histogram::{percentile, Histogram};
+use crate::session::{MonitoringSession, SessionEvent, TickProtocol};
+
+/// Parameters of one soak run. All randomness derives from `seed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoakConfig {
+    /// Root seed: two runs with equal configs are byte-identical.
+    pub seed: u64,
+    /// Number of monitoring ticks to drive.
+    pub ticks: u64,
+    /// Registered population size.
+    pub n: usize,
+    /// Missing-tag tolerance `m`.
+    pub m: u64,
+    /// Required detection confidence `α`.
+    pub alpha: f64,
+    /// Protocol for routine ticks. Desync bursts are only scripted for
+    /// [`TickProtocol::Utrp`] (TRP has no counters to desynchronize).
+    pub protocol: TickProtocol,
+    /// Ticks between scripted fault bursts (0 disables bursts).
+    pub burst_period: u64,
+    /// Ticks between scripted thefts (0 disables thefts).
+    pub theft_period: u64,
+    /// Tags stolen per theft; must exceed `m` so detection is owed.
+    pub theft_size: usize,
+    /// Invariant 1 bound: ticks within which a theft must be named.
+    pub detection_deadline: u64,
+    /// Server-side desync diagnosis window (must cover one round's
+    /// announcement advance, roughly `n + 1`, for crash recovery).
+    pub desync_window: u64,
+    /// Invariant 3 bound: how many ticks after an incident (or a
+    /// non-calm channel level) an audit remains attributable to it.
+    pub attribution_window: u64,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            seed: 1,
+            ticks: 2000,
+            n: 60,
+            m: 2,
+            alpha: 0.95,
+            protocol: TickProtocol::Utrp,
+            burst_period: 40,
+            theft_period: 250,
+            theft_size: 3,
+            detection_deadline: 20,
+            desync_window: 96,
+            attribution_window: 5,
+        }
+    }
+}
+
+impl SoakConfig {
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.ticks == 0 {
+            return Err(CoreError::InvalidParams {
+                reason: "soak needs at least one tick".into(),
+            });
+        }
+        if self.theft_period > 0 && self.theft_size as u64 <= self.m {
+            return Err(CoreError::InvalidParams {
+                reason: format!(
+                    "theft_size {} must exceed tolerance m={} for detection to be owed",
+                    self.theft_size, self.m
+                ),
+            });
+        }
+        if self.theft_size >= self.n {
+            return Err(CoreError::InvalidParams {
+                reason: "theft_size must leave tags on the floor".into(),
+            });
+        }
+        if self.theft_period > 0 && self.detection_deadline == 0 {
+            return Err(CoreError::InvalidParams {
+                reason: "detection_deadline must be positive when thefts are scheduled".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-category tallies of a soak run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SoakCounts {
+    /// Ticks whose final verdict was intact.
+    pub intact: u64,
+    /// Ticks whose final verdict was a [`Verdict::NotIntact`] alarm.
+    pub alarms: u64,
+    /// Ticks whose final verdict was still desynced (retry budget
+    /// exhausted — should stay rare).
+    pub desynced: u64,
+    /// In-tick desync recoveries (resync + fresh re-challenge).
+    pub resyncs: u64,
+    /// Quarantine events.
+    pub quarantines: u64,
+    /// Escalations that named a non-empty missing set.
+    pub escalations: u64,
+    /// Escalations triggered by channel noise alone (empty missing set).
+    pub false_escalations: u64,
+    /// Scripted thefts.
+    pub thefts: u64,
+    /// Scripted counter-desync bursts.
+    pub desync_bursts: u64,
+    /// Scripted response truncations (reader/link crashes).
+    pub crashes: u64,
+    /// Operator physical audits (counter resyncs + quarantine
+    /// releases + post-theft recoveries).
+    pub audits: u64,
+}
+
+/// The outcome of one soak run: counters, distributions, the
+/// deterministic event log, and any invariant violations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakReport {
+    /// The configuration that produced this report.
+    pub config: SoakConfig,
+    /// Per-category tallies.
+    pub counts: SoakCounts,
+    /// Ticks spent in each channel level, in level order.
+    pub level_ticks: Vec<(String, u64)>,
+    /// Recovery latency (ticks from incident start to the first
+    /// subsequent intact tick) per resolved incident, in order.
+    pub recovery_latencies: Vec<u64>,
+    /// Tick indices at which the operator audited.
+    pub audit_ticks: Vec<u64>,
+    /// Invariant violations (empty on a healthy run).
+    pub violations: Vec<String>,
+    /// One line per tick; the determinism contract is that this log is
+    /// byte-identical across runs of the same config.
+    pub log: Vec<String>,
+}
+
+/// FNV-1a 64-bit digest, the event log's cheap determinism fingerprint.
+fn fnv1a(lines: &[String]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in lines {
+        for byte in line.bytes().chain(std::iter::once(b'\n')) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` keeps a decimal point / exponent, so the value stays a
+        // JSON number that round-trips (plain `{}` prints `1` for 1.0).
+        format!("{v:?}")
+    } else {
+        "null".into()
+    }
+}
+
+impl SoakReport {
+    /// FNV-1a digest of the event log — the regression fingerprint CI
+    /// compares across runs of the same seed.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        fnv1a(&self.log)
+    }
+
+    /// Whether all three invariants held for the entire run.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Recovery-latency percentile (nearest rank), if any incident
+    /// resolved.
+    #[must_use]
+    pub fn latency_percentile(&self, q: f64) -> Option<f64> {
+        let samples: Vec<f64> = self.recovery_latencies.iter().map(|&l| l as f64).collect();
+        percentile(&samples, q)
+    }
+
+    /// Audits per 1000 ticks.
+    #[must_use]
+    pub fn audit_rate_per_1000(&self) -> f64 {
+        if self.config.ticks == 0 {
+            return 0.0;
+        }
+        self.counts.audits as f64 * 1000.0 / self.config.ticks as f64
+    }
+
+    /// Maximum number of audits inside any window of `window` ticks —
+    /// the "bounded audit frequency" statistic CI tracks.
+    #[must_use]
+    pub fn max_audits_in_window(&self, window: u64) -> u64 {
+        let mut max = 0u64;
+        let mut lo = 0usize;
+        for hi in 0..self.audit_ticks.len() {
+            while self.audit_ticks[hi] - self.audit_ticks[lo] >= window {
+                lo += 1;
+            }
+            max = max.max((hi - lo + 1) as u64);
+        }
+        max
+    }
+
+    /// Serializes the report as a self-contained JSON document (no
+    /// external serializer: the schema is documented in `docs/SOAK.md`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        let protocol = match c.protocol {
+            TickProtocol::Trp => "trp",
+            TickProtocol::Utrp => "utrp",
+        };
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"config\": {{\"seed\": {}, \"ticks\": {}, \"n\": {}, \"m\": {}, \
+             \"alpha\": {}, \"protocol\": \"{}\", \"burst_period\": {}, \
+             \"theft_period\": {}, \"theft_size\": {}, \"detection_deadline\": {}, \
+             \"desync_window\": {}, \"attribution_window\": {}}},\n",
+            c.seed,
+            c.ticks,
+            c.n,
+            c.m,
+            json_f64(c.alpha),
+            protocol,
+            c.burst_period,
+            c.theft_period,
+            c.theft_size,
+            c.detection_deadline,
+            c.desync_window,
+            c.attribution_window,
+        ));
+        let k = &self.counts;
+        out.push_str(&format!(
+            "  \"counts\": {{\"intact\": {}, \"alarms\": {}, \"desynced\": {}, \
+             \"resyncs\": {}, \"quarantines\": {}, \"escalations\": {}, \
+             \"false_escalations\": {}, \"thefts\": {}, \"desync_bursts\": {}, \
+             \"crashes\": {}, \"audits\": {}}},\n",
+            k.intact,
+            k.alarms,
+            k.desynced,
+            k.resyncs,
+            k.quarantines,
+            k.escalations,
+            k.false_escalations,
+            k.thefts,
+            k.desync_bursts,
+            k.crashes,
+            k.audits,
+        ));
+        out.push_str("  \"channel_ticks\": {");
+        for (i, (name, ticks)) in self.level_ticks.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", json_escape(name), ticks));
+        }
+        out.push_str("},\n");
+
+        let lat_json = |q: f64| self.latency_percentile(q).map_or("null".into(), json_f64);
+        out.push_str(&format!(
+            "  \"recovery_latency\": {{\"samples\": {}, \"p50\": {}, \"p90\": {}, \
+             \"p99\": {}, \"max\": {}, \"histogram\": [",
+            self.recovery_latencies.len(),
+            lat_json(0.50),
+            lat_json(0.90),
+            lat_json(0.99),
+            self.recovery_latencies
+                .iter()
+                .max()
+                .map_or("null".into(), u64::to_string),
+        ));
+        let hi = (self.config.detection_deadline.max(10)) as f64;
+        let mut hist = Histogram::new(0.0, hi, 10);
+        hist.extend(self.recovery_latencies.iter().map(|&l| l as f64));
+        for (i, count) in hist.bins().iter().enumerate() {
+            let (lo, up) = hist.bin_range(i);
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"lo\": {}, \"hi\": {}, \"count\": {}}}",
+                json_f64(lo),
+                json_f64(up),
+                count
+            ));
+        }
+        out.push_str("]},\n");
+
+        out.push_str(&format!(
+            "  \"audit_frequency\": {{\"audits\": {}, \"per_1000_ticks\": {}, \
+             \"max_in_100_ticks\": {}}},\n",
+            self.counts.audits,
+            json_f64(self.audit_rate_per_1000()),
+            self.max_audits_in_window(100),
+        ));
+
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", json_escape(v)));
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("  \"digest\": \"fnv1a:{:016x}\"\n", self.digest()));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// A scripted incident currently awaiting recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpenIncident {
+    /// A desync burst at the given tick (victim lags the mirror by 1).
+    Burst { start: u64 },
+    /// A truncated response at the given tick.
+    Crash { start: u64 },
+}
+
+impl OpenIncident {
+    fn start(self) -> u64 {
+        match self {
+            OpenIncident::Burst { start } | OpenIncident::Crash { start } => start,
+        }
+    }
+}
+
+/// The soak driver: the session under test, the world around it, and
+/// the operator's bookkeeping.
+struct SoakDriver {
+    config: SoakConfig,
+    session: MonitoringSession,
+    floor: TagPopulation,
+    markov: MarkovChannel,
+    tick_rng: StdRng,
+    markov_rng: StdRng,
+    sched_rng: StdRng,
+    counts: SoakCounts,
+    level_ticks: Vec<u64>,
+    latencies: Vec<u64>,
+    audit_ticks: Vec<u64>,
+    violations: Vec<String>,
+    log: Vec<String>,
+    /// Tags currently off the floor (theft in progress).
+    stolen: Vec<Tag>,
+    theft_start: Option<u64>,
+    ever_stolen: Vec<TagId>,
+    burst_victims: Vec<TagId>,
+    open_incident: Option<OpenIncident>,
+    /// A desync burst owed but deferred until a calm tick.
+    pending_desync_burst: bool,
+    last_burst: Option<u64>,
+    last_crash: Option<u64>,
+    last_noncalm: Option<u64>,
+    log_cursor: usize,
+}
+
+impl SoakDriver {
+    fn new(config: &SoakConfig) -> Result<Self, CoreError> {
+        let seeds = SeedSequence::new(config.seed);
+        let floor = TagPopulation::with_sequential_ids(config.n);
+        let server_config = ServerConfig {
+            desync_window: config.desync_window,
+            ..ServerConfig::default()
+        };
+        let server =
+            MonitorServer::with_config(floor.ids(), config.m, config.alpha, server_config)?;
+        let session = MonitoringSession::builder(server)
+            .protocol(config.protocol)
+            .build();
+        let markov = MarkovChannel::presets();
+        let levels = markov.levels().len();
+        Ok(SoakDriver {
+            config: *config,
+            session,
+            floor,
+            markov,
+            tick_rng: seeds.rng_for(0),
+            markov_rng: seeds.rng_for(1),
+            sched_rng: seeds.rng_for(2),
+            counts: SoakCounts::default(),
+            level_ticks: vec![0; levels],
+            latencies: Vec::new(),
+            audit_ticks: Vec::new(),
+            violations: Vec::new(),
+            log: Vec::new(),
+            stolen: Vec::new(),
+            theft_start: None,
+            ever_stolen: Vec::new(),
+            burst_victims: Vec::new(),
+            open_incident: None,
+            pending_desync_burst: false,
+            last_burst: None,
+            last_crash: None,
+            last_noncalm: None,
+            log_cursor: 0,
+        })
+    }
+
+    /// Invariant 3: is an audit at tick `t` attributable to an incident
+    /// or to channel noise within the attribution window?
+    fn audit_attributable(&self, t: u64) -> bool {
+        let w = self.config.attribution_window;
+        let recent = |at: Option<u64>| at.is_some_and(|s| t.saturating_sub(s) <= w);
+        self.theft_start.is_some()
+            || recent(self.last_burst)
+            || recent(self.last_crash)
+            || recent(self.last_noncalm)
+    }
+
+    /// Records one operator audit at tick `t`, checking invariant 3.
+    fn record_audit(&mut self, t: u64, what: &str) {
+        self.counts.audits += 1;
+        self.audit_ticks.push(t);
+        if !self.audit_attributable(t) {
+            self.violations.push(format!(
+                "I3 violated at tick {t}: {what} audit with no incident or channel noise \
+                 within the last {} ticks",
+                self.config.attribution_window
+            ));
+        }
+    }
+
+    /// Operator pre-tick pass: release audited quarantined tags and
+    /// re-trust the counter mirror when the previous tick left it
+    /// unsynchronized. Both are physical audits.
+    fn operator_pass(&mut self, t: u64) -> Result<(), CoreError> {
+        let quarantined = self.session.quarantined();
+        if !quarantined.is_empty() {
+            let released = self.session.release_quarantined(quarantined);
+            self.record_audit(
+                t,
+                &format!("quarantine release of {} tag(s)", released.len()),
+            );
+        }
+        if !self.session.server().counters_synced() {
+            self.session.audit_resync(&self.floor)?;
+            self.record_audit(t, "counter resync");
+        }
+        Ok(())
+    }
+
+    /// Starts a theft: removes `theft_size` random tags from the floor.
+    fn start_theft(&mut self, t: u64) -> Result<(), CoreError> {
+        let taken = self
+            .floor
+            .remove_random(self.config.theft_size, &mut self.sched_rng)
+            .map_err(|e| CoreError::InvalidParams {
+                reason: format!("soak theft failed: {e}"),
+            })?;
+        for tag in &taken {
+            if !self.ever_stolen.contains(&tag.id()) {
+                self.ever_stolen.push(tag.id());
+            }
+        }
+        self.stolen = taken;
+        self.theft_start = Some(t);
+        self.counts.thefts += 1;
+        Ok(())
+    }
+
+    /// Scripts a counter-desync burst for this tick, if possible: a
+    /// dry run of the exact challenge the session is about to issue
+    /// (same server state, cloned RNG) attributes the expected round,
+    /// and the victim — the lowest-ID tag that replies — loses the
+    /// round's *final* announcement. The round verifies intact, but the
+    /// victim's counter silently lags the mirror by one, and the next
+    /// round diagnoses exactly that tag. Repeat victims accumulate
+    /// strikes and get quarantined, which is what invariant 2 watches.
+    ///
+    /// Only scripted on calm ticks: under a noisy channel the realized
+    /// announcement schedule can diverge from the dry run and the fault
+    /// would land on the wrong announcement.
+    fn script_desync_burst(&mut self, t: u64) -> Result<Option<FaultPlan>, CoreError> {
+        let mut preview_rng = self.tick_rng.clone();
+        let server = self.session.server();
+        let challenge = server.issue_utrp_challenge(&mut preview_rng)?;
+        let mut registry: Vec<(TagId, Counter)> = Vec::new();
+        for id in server.registered_ids() {
+            registry.push((id, server.counter_of(id)?));
+        }
+        let (dry, attribution) = attributed_round(&registry, &challenge)?;
+        let Some(victim) = attribution.iter().flatten().copied().min() else {
+            return Ok(None); // nobody replies: defer the burst
+        };
+        if !self.burst_victims.contains(&victim) {
+            self.burst_victims.push(victim);
+        }
+        self.counts.desync_bursts += 1;
+        self.last_burst = Some(t);
+        self.open_incident = Some(OpenIncident::Burst { start: t });
+        self.pending_desync_burst = false;
+        Ok(Some(
+            FaultPlan::new().lose_announcement(dry.announcements - 1, [victim]),
+        ))
+    }
+
+    /// Scripts a response truncation ("the reader crashed after the
+    /// field round; the response was cut off in transit").
+    fn script_crash(&mut self, t: u64) -> FaultPlan {
+        self.counts.crashes += 1;
+        self.last_crash = Some(t);
+        self.open_incident = Some(OpenIncident::Crash { start: t });
+        FaultPlan::new().truncate_response(8)
+    }
+
+    /// Decides this tick's scripted incident (at most one) and returns
+    /// the fault plan to hand the executor.
+    fn schedule_incidents(&mut self, t: u64, calm: bool) -> Result<Option<FaultPlan>, CoreError> {
+        let SoakConfig {
+            theft_period,
+            burst_period,
+            ..
+        } = self.config;
+
+        if self.stolen.is_empty() && theft_period > 0 && t > 0 && t.is_multiple_of(theft_period) {
+            self.start_theft(t)?;
+            return Ok(None); // the theft itself is the incident
+        }
+        if self.theft_start.is_some() || self.open_incident.is_some() {
+            return Ok(None); // one incident at a time
+        }
+        if burst_period > 0 && t > 0 && t.is_multiple_of(burst_period) {
+            // Alternate desync bursts and crashes; TRP has no counters,
+            // so every TRP burst is a crash.
+            let want_desync = self.config.protocol == TickProtocol::Utrp
+                && (self.counts.desync_bursts + self.counts.crashes).is_multiple_of(2);
+            if want_desync {
+                self.pending_desync_burst = true;
+            } else {
+                return Ok(Some(self.script_crash(t)));
+            }
+        }
+        if self.pending_desync_burst && calm {
+            return self.script_desync_burst(t);
+        }
+        Ok(None)
+    }
+
+    /// Digests the session events this tick appended, enforcing the
+    /// invariants they witness. Returns the tick's final verdict tag
+    /// and a compact event trace for the log line.
+    fn scan_events(&mut self, t: u64) -> Result<(String, String), CoreError> {
+        let events: Vec<SessionEvent> = self.session.log()[self.log_cursor..].to_vec();
+        self.log_cursor = self.session.log().len();
+
+        let mut verdict = String::from("-");
+        let mut trace = String::new();
+        for event in &events {
+            match event {
+                SessionEvent::Checked(report) => {
+                    match report.verdict {
+                        Verdict::Intact => {
+                            self.counts.intact += 1;
+                            verdict = "intact".into();
+                            // Invariant 1 (exactness): intact means zero
+                            // residual mismatches, always.
+                            if report.mismatched_slots != 0 {
+                                self.violations.push(format!(
+                                    "I1 violated at tick {t}: intact verdict with {} \
+                                     mismatched slots",
+                                    report.mismatched_slots
+                                ));
+                            }
+                        }
+                        Verdict::NotIntact => {
+                            self.counts.alarms += 1;
+                            verdict = "alarm".into();
+                        }
+                        Verdict::Desynced { .. } => {
+                            self.counts.desynced += 1;
+                            verdict = "desynced".into();
+                        }
+                    }
+                    trace.push('C');
+                }
+                SessionEvent::Resynced { .. } => {
+                    self.counts.resyncs += 1;
+                    trace.push('R');
+                }
+                SessionEvent::Quarantined { tags } => {
+                    self.counts.quarantines += 1;
+                    trace.push('Q');
+                    // Invariant 2 (attribution): every quarantine traces
+                    // to a scripted desync victim, a theft, or channel
+                    // noise within the window. A lost reply whose
+                    // hypothesized lag-slot collides into an occupied
+                    // slot is diagnosed as a single-tag lag on an
+                    // innocent tag — indistinguishable at the bitstring
+                    // level — so noisy ticks legitimately strike
+                    // bystanders; calm incident-free operation must not.
+                    let w = self.config.attribution_window;
+                    let noisy = self.last_noncalm.is_some_and(|s| t.saturating_sub(s) <= w);
+                    for tag in tags {
+                        if !self.burst_victims.contains(tag)
+                            && !self.ever_stolen.contains(tag)
+                            && !noisy
+                        {
+                            self.violations.push(format!(
+                                "I2 violated at tick {t}: tag {tag} quarantined without a \
+                                 scripted desync, theft, or channel noise against it"
+                            ));
+                        }
+                    }
+                }
+                SessionEvent::Escalated {
+                    missing,
+                    unresolved,
+                    ..
+                } => {
+                    trace.push('E');
+                    if let Some(start) = self.theft_start {
+                        self.counts.escalations += 1;
+                        // Invariant 1 (detection): identification must
+                        // name exactly the stolen tags.
+                        let mut expected: Vec<TagId> = self.stolen.iter().map(Tag::id).collect();
+                        expected.sort_unstable();
+                        if *missing != expected || !unresolved.is_empty() {
+                            self.violations.push(format!(
+                                "I1 violated at tick {t}: escalation named {missing:?} \
+                                 (unresolved {unresolved:?}), expected {expected:?}"
+                            ));
+                        }
+                        self.recover_theft(t, start)?;
+                    } else if missing.is_empty() && unresolved.is_empty() {
+                        // Channel noise double-alarmed; identification
+                        // correctly found nothing missing.
+                        self.counts.false_escalations += 1;
+                    } else {
+                        self.violations.push(format!(
+                            "I1 violated at tick {t}: escalation named {missing:?} \
+                             (unresolved {unresolved:?}) with nothing stolen"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok((verdict, trace))
+    }
+
+    /// Ends a theft after identification named it: the operator
+    /// retrieves the tags, returns them to the floor, and audits the
+    /// counters (the mirror kept advancing announcements the stolen
+    /// tags never heard).
+    fn recover_theft(&mut self, t: u64, start: u64) -> Result<(), CoreError> {
+        for tag in std::mem::take(&mut self.stolen) {
+            self.floor
+                .insert(tag)
+                .map_err(|e| CoreError::InvalidParams {
+                    reason: format!("soak reinsert failed: {e}"),
+                })?;
+        }
+        self.session.audit_resync(&self.floor)?;
+        self.record_audit(t, "post-theft recovery");
+        self.theft_start = None;
+        self.latencies.push(t - start + 1);
+        Ok(())
+    }
+
+    fn run(mut self) -> Result<SoakReport, CoreError> {
+        for t in 0..self.config.ticks {
+            // 1. The world moves: channel level for this tick.
+            let level = self.markov.step(&mut self.markov_rng);
+            let level_name = level.name.clone();
+            let state = self.markov.state();
+            self.level_ticks[state] += 1;
+            let calm = self.markov.channel().is_ideal();
+            if !calm {
+                self.last_noncalm = Some(t);
+            }
+
+            // 2. The operator reacts to what the previous tick left.
+            self.operator_pass(t)?;
+
+            // 3. Scripted incidents for this tick.
+            let plan = self.schedule_incidents(t, calm)?;
+
+            // 4. One monitoring tick through the channel + fault plan.
+            let executor = RoundExecutor::new(self.markov.channel(), plan);
+            self.session
+                .tick_with(&mut self.floor, &executor, &mut self.tick_rng)?;
+
+            // 5. Digest the tick's events; enforce invariants.
+            let (verdict, trace) = self.scan_events(t)?;
+
+            // 6. Close out burst/crash incidents on the first intact
+            //    tick after they fired.
+            if let Some(incident) = self.open_incident {
+                if t > incident.start() && verdict == "intact" {
+                    self.latencies.push(t - incident.start());
+                    self.open_incident = None;
+                }
+            }
+
+            // 7. Invariant 1 (deadline): a theft may not stay unnamed.
+            if let Some(start) = self.theft_start {
+                if t - start >= self.config.detection_deadline {
+                    self.violations.push(format!(
+                        "I1 violated at tick {t}: theft from tick {start} still undetected \
+                         after {} ticks",
+                        self.config.detection_deadline
+                    ));
+                    self.recover_theft(t, start)?;
+                }
+            }
+
+            self.log.push(format!(
+                "t={t:05} level={level_name} events={} verdict={verdict}",
+                if trace.is_empty() { "-" } else { &trace }
+            ));
+        }
+
+        // Invariant 2 (convergence): the operator loop drains the
+        // quarantine every tick, so only a quarantine on the *final*
+        // tick (whose attribution was already checked above) can be
+        // left; the operator's closing audit releases it. Anything the
+        // release does not clear would be a convergence failure.
+        let leftover = self.session.quarantined();
+        if !leftover.is_empty() {
+            self.counts.audits += 1;
+            self.audit_ticks.push(self.config.ticks - 1);
+            self.session.release_quarantined(leftover);
+        }
+        if !self.session.quarantined().is_empty() {
+            self.violations.push(format!(
+                "I2 violated: quarantine failed to converge; {:?} still held at end of run",
+                self.session.quarantined()
+            ));
+        }
+
+        let level_ticks = self
+            .markov
+            .levels()
+            .iter()
+            .zip(&self.level_ticks)
+            .map(|(level, &ticks)| (level.name.clone(), ticks))
+            .collect();
+        Ok(SoakReport {
+            config: self.config,
+            counts: self.counts,
+            level_ticks,
+            recovery_latencies: self.latencies,
+            audit_ticks: self.audit_ticks,
+            violations: self.violations,
+            log: self.log,
+        })
+    }
+}
+
+/// Runs one deterministic soak and returns its report. See the module
+/// docs for the channel model, incident schedule, and invariants.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParams`] for inconsistent configs, and
+/// propagates protocol errors (none are expected on a healthy run —
+/// every fault the driver scripts is one the session recovers from).
+pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, CoreError> {
+    config.validate()?;
+    SoakDriver::new(config)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short(protocol: TickProtocol) -> SoakConfig {
+        SoakConfig {
+            ticks: 120,
+            burst_period: 25,
+            theft_period: 60,
+            protocol,
+            ..SoakConfig::default()
+        }
+    }
+
+    #[test]
+    fn utrp_soak_is_clean_and_exercises_every_incident_kind() {
+        let report = run_soak(&short(TickProtocol::Utrp)).unwrap();
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert!(report.counts.thefts >= 1);
+        assert!(report.counts.desync_bursts + report.counts.crashes >= 2);
+        assert!(report.counts.escalations >= 1, "{:?}", report.counts);
+        assert!(!report.recovery_latencies.is_empty());
+        assert_eq!(report.log.len(), 120);
+    }
+
+    #[test]
+    fn trp_soak_is_clean() {
+        let report = run_soak(&short(TickProtocol::Trp)).unwrap();
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert!(report.counts.crashes >= 1);
+        assert_eq!(report.counts.desync_bursts, 0, "TRP has no counters");
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        let config = short(TickProtocol::Utrp);
+        let a = run_soak(&config).unwrap();
+        let b = run_soak(&config).unwrap();
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run_soak(&short(TickProtocol::Utrp)).unwrap();
+        let b = run_soak(&SoakConfig {
+            seed: 2,
+            ..short(TickProtocol::Utrp)
+        })
+        .unwrap();
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn report_json_has_the_documented_sections() {
+        let report = run_soak(&SoakConfig {
+            ticks: 30,
+            theft_period: 0,
+            burst_period: 10,
+            ..SoakConfig::default()
+        })
+        .unwrap();
+        let json = report.to_json();
+        for key in [
+            "\"config\"",
+            "\"counts\"",
+            "\"channel_ticks\"",
+            "\"recovery_latency\"",
+            "\"audit_frequency\"",
+            "\"violations\"",
+            "\"digest\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("fnv1a:"));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let under_tolerance = SoakConfig {
+            theft_size: 2,
+            m: 2,
+            ..SoakConfig::default()
+        };
+        assert!(run_soak(&under_tolerance).is_err());
+        let zero_ticks = SoakConfig {
+            ticks: 0,
+            ..SoakConfig::default()
+        };
+        assert!(run_soak(&zero_ticks).is_err());
+    }
+
+    #[test]
+    fn max_audits_in_window_slides_correctly() {
+        let mut report = run_soak(&SoakConfig {
+            ticks: 10,
+            theft_period: 0,
+            burst_period: 0,
+            ..SoakConfig::default()
+        })
+        .unwrap();
+        report.audit_ticks = vec![1, 2, 3, 200, 201, 500];
+        assert_eq!(report.max_audits_in_window(100), 3);
+        assert_eq!(report.max_audits_in_window(2), 2);
+        report.audit_ticks.clear();
+        assert_eq!(report.max_audits_in_window(100), 0);
+    }
+}

@@ -154,6 +154,12 @@ pub fn run(command: Command) -> Result<String, CliError> {
             trials,
             seed,
         } => crate::faults::run_faults(quick, trials, seed),
+        Command::Soak {
+            seed,
+            ticks,
+            utrp,
+            report,
+        } => crate::soak::run_soak_command(seed, ticks, utrp, report),
         Command::RegistryNew { n, m, alpha } => {
             let ids: Vec<TagId> = (1..=n).map(TagId::from).collect();
             let server = MonitorServer::new(ids, m, alpha).map_err(to_cli)?;
@@ -207,6 +213,10 @@ USAGE:
   tagwatch-cli faults [--quick] [--trials T] [--seed S]
                                                     fault-scenario matrix (alarm /
                                                     desync / recovery rates)
+  tagwatch-cli soak [--seed S] [--ticks T] [--protocol trp|utrp] [--report PATH]
+                                                    long-horizon soak: Markov channel,
+                                                    scripted incidents, invariant
+                                                    checks, JSON latency report
   tagwatch-cli registry new <n> <m> <alpha>         print a fresh registry snapshot
   tagwatch-cli registry info < snapshot.txt         summarize a snapshot from stdin
   tagwatch-cli help
@@ -224,7 +234,13 @@ mod tests {
     fn help_mentions_every_command() {
         let text = run(Command::Help).unwrap();
         for word in [
-            "size trp", "size utrp", "detection", "simulate", "faults", "registry",
+            "size trp",
+            "size utrp",
+            "detection",
+            "simulate",
+            "faults",
+            "soak",
+            "registry",
         ] {
             assert!(text.contains(word), "help missing `{word}`");
         }

@@ -215,20 +215,18 @@ fn run_trial(scenario: Scenario, seed: u64) -> Result<TrialResult, CoreError> {
         let response =
             run_honest_reader_with(&mut floor, &challenge, &timing, &channel, &plan, &mut rng)?;
         match server.verify_utrp(challenge, &response) {
-            Ok(report) => {
-                match report.verdict {
-                    Verdict::Intact => {
-                        if round == ROUNDS - 1 {
-                            result.recovered = true;
-                        }
-                    }
-                    Verdict::NotIntact => result.alarmed = true,
-                    Verdict::Desynced { .. } => {
-                        result.desynced = true;
-                        server.resync_from_hypothesis()?;
+            Ok(report) => match report.verdict {
+                Verdict::Intact => {
+                    if round == ROUNDS - 1 {
+                        result.recovered = true;
                     }
                 }
-            }
+                Verdict::NotIntact => result.alarmed = true,
+                Verdict::Desynced { .. } => {
+                    result.desynced = true;
+                    server.resync_from_hypothesis()?;
+                }
+            },
             // A malformed response (e.g. truncation) is an alarm; the
             // challenge is spent, so the field advanced while the
             // mirror did not — the *next* round sees a uniform lead.
@@ -250,7 +248,9 @@ fn round_plan(
         return Ok(FaultPlan::new());
     }
     Ok(match scenario {
-        Scenario::ReaderCrash => FaultPlan::new().crash_after_slot(challenge.frame_size().get() / 3),
+        Scenario::ReaderCrash => {
+            FaultPlan::new().crash_after_slot(challenge.frame_size().get() / 3)
+        }
         Scenario::Truncation => FaultPlan::new().truncate_response(16),
         Scenario::ClockSkew => FaultPlan::new().skew_clock(10.0),
         Scenario::DesyncRecovery => {

@@ -14,6 +14,7 @@
 pub mod commands;
 pub mod faults;
 pub mod parse;
+pub mod soak;
 
 pub use commands::run;
 pub use parse::{CliError, Command};

@@ -84,6 +84,19 @@ pub enum Command {
         /// Root seed.
         seed: u64,
     },
+    /// `soak [--seed S] [--ticks T] [--protocol trp|utrp]
+    /// [--report PATH]` — run the long-horizon soak driver and write
+    /// its JSON report.
+    Soak {
+        /// Root seed (the whole run is deterministic in it).
+        seed: u64,
+        /// Monitoring ticks to drive.
+        ticks: u64,
+        /// Routine-tick protocol (`true` = UTRP, the default).
+        utrp: bool,
+        /// Report path override (default `results/soak_<seed>.json`).
+        report: Option<String>,
+    },
     /// `registry new <n> <m> <alpha>` — print a fresh snapshot.
     RegistryNew {
         /// Population size (sequential IDs).
@@ -203,6 +216,31 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             trials: flag(args, "--trials", 100)?,
             seed: flag(args, "--seed", 1)?,
         }),
+        "soak" => {
+            let utrp = match args.iter().position(|a| a == "--protocol") {
+                Some(i) => match args.get(i + 1).map(String::as_str) {
+                    Some("trp") => false,
+                    Some("utrp") => true,
+                    _ => return Err(err("--protocol must be `trp` or `utrp`")),
+                },
+                None => true,
+            };
+            let report = args
+                .iter()
+                .position(|a| a == "--report")
+                .map(|i| {
+                    args.get(i + 1)
+                        .cloned()
+                        .ok_or_else(|| err("--report needs a path"))
+                })
+                .transpose()?;
+            Ok(Command::Soak {
+                seed: flag(args, "--seed", 1)?,
+                ticks: flag(args, "--ticks", 5000)?,
+                utrp,
+                report,
+            })
+        }
         "identify" => Ok(Command::Identify {
             n: want(args, 1, "n")?,
             steal: flag(args, "--steal", 5)?,
@@ -351,6 +389,36 @@ mod tests {
                 seed: 1
             }
         );
+    }
+
+    #[test]
+    fn parses_soak() {
+        assert_eq!(
+            parse(&argv(
+                "soak --seed 7 --ticks 800 --protocol trp --report out.json"
+            ))
+            .unwrap(),
+            Command::Soak {
+                seed: 7,
+                ticks: 800,
+                utrp: false,
+                report: Some("out.json".into()),
+            }
+        );
+        // Defaults: seed 1, 5000 UTRP ticks, derived report path.
+        assert_eq!(
+            parse(&argv("soak")).unwrap(),
+            Command::Soak {
+                seed: 1,
+                ticks: 5000,
+                utrp: true,
+                report: None,
+            }
+        );
+        let e = parse(&argv("soak --protocol carrier-pigeon")).unwrap_err();
+        assert!(e.message.contains("--protocol"));
+        let e = parse(&argv("soak --report")).unwrap_err();
+        assert!(e.message.contains("--report"));
     }
 
     #[test]

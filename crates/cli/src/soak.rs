@@ -1,0 +1,123 @@
+//! The `soak` subcommand: drive the long-horizon soak harness and
+//! write its JSON report for CI regression tracking.
+
+use std::path::PathBuf;
+
+use tagwatch_analytics::soak::{run_soak, SoakConfig};
+use tagwatch_analytics::TickProtocol;
+
+use crate::parse::CliError;
+
+fn to_cli<E: std::fmt::Display>(e: E) -> CliError {
+    CliError {
+        message: e.to_string(),
+    }
+}
+
+/// Runs a soak and writes the JSON report (default path
+/// `results/soak_<seed>.json`). Exits non-zero — via the returned
+/// error — if any invariant was violated, so CI fails loudly.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for invalid configs, report I/O failures, or
+/// invariant violations.
+pub fn run_soak_command(
+    seed: u64,
+    ticks: u64,
+    utrp: bool,
+    report_path: Option<String>,
+) -> Result<String, CliError> {
+    let config = SoakConfig {
+        seed,
+        ticks,
+        protocol: if utrp {
+            TickProtocol::Utrp
+        } else {
+            TickProtocol::Trp
+        },
+        ..SoakConfig::default()
+    };
+    let report = run_soak(&config).map_err(to_cli)?;
+
+    let path: PathBuf = match report_path {
+        Some(p) => PathBuf::from(p),
+        None => PathBuf::from(format!("results/soak_{seed}.json")),
+    };
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(to_cli)?;
+        }
+    }
+    std::fs::write(&path, report.to_json()).map_err(to_cli)?;
+
+    let c = &report.counts;
+    let pct = |q: f64| {
+        report
+            .latency_percentile(q)
+            .map_or_else(|| "-".to_owned(), |v| format!("{v:.1}"))
+    };
+    let mut out = format!(
+        "soak: {} {} ticks, seed {} -> {}\n\
+         verdicts: {} intact / {} alarms / {} desynced\n\
+         incidents: {} thefts, {} desync bursts, {} crashes\n\
+         recoveries: {} resyncs, {} escalations ({} noise-only), {} quarantines\n\
+         audits: {} ({:.2} per 1000 ticks, max {} in any 100 ticks)\n\
+         recovery latency: {} samples, p50 {}, p90 {}, p99 {}\n\
+         digest: fnv1a:{:016x}\n",
+        if utrp { "UTRP" } else { "TRP" },
+        ticks,
+        seed,
+        path.display(),
+        c.intact,
+        c.alarms,
+        c.desynced,
+        c.thefts,
+        c.desync_bursts,
+        c.crashes,
+        c.resyncs,
+        c.escalations,
+        c.false_escalations,
+        c.quarantines,
+        c.audits,
+        report.audit_rate_per_1000(),
+        report.max_audits_in_window(100),
+        report.recovery_latencies.len(),
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        report.digest(),
+    );
+    if !report.is_clean() {
+        out.push_str("\nINVARIANT VIOLATIONS:\n");
+        for v in &report.violations {
+            out.push_str(&format!("  - {v}\n"));
+        }
+        return Err(CliError { message: out });
+    }
+    out.push_str("all soak invariants held\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soak_command_writes_a_report_and_summarizes() {
+        let dir = std::env::temp_dir().join("tagwatch-soak-cli-test");
+        let path = dir.join("soak_cli.json");
+        let out = run_soak_command(3, 60, true, Some(path.to_string_lossy().into_owned()))
+            .expect("soak should be clean");
+        assert!(out.contains("all soak invariants held"), "{out}");
+        assert!(out.contains("digest: fnv1a:"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"violations\": []"), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn soak_command_rejects_zero_ticks() {
+        assert!(run_soak_command(1, 0, true, Some("/tmp/unused.json".into())).is_err());
+    }
+}

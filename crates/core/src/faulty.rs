@@ -103,8 +103,8 @@ pub fn simulate_round_with<R: Rng + ?Sized>(
         let r = cursor.next_nonce()?;
         let idx = injector.next_announcement();
         for (i, p) in participants.iter_mut().enumerate() {
-            let hears = injector.hears(idx, p.id)
-                && !(downlink_loss > 0.0 && rng.gen_bool(downlink_loss));
+            let hears =
+                injector.hears(idx, p.id) && !(downlink_loss > 0.0 && rng.gen_bool(downlink_loss));
             if !hears {
                 continue;
             }
@@ -390,8 +390,7 @@ mod tests {
             let mut reference = plain.clone();
             let mut faulty = plain.clone();
             let a = simulate_round(&mut plain, ch.frame_size(), ch.nonces()).unwrap();
-            let b =
-                simulate_round_reference(&mut reference, ch.frame_size(), ch.nonces()).unwrap();
+            let b = simulate_round_reference(&mut reference, ch.frame_size(), ch.nonces()).unwrap();
             let mut rng = StdRng::seed_from_u64(999);
             let c = simulate_round_with(
                 &mut faulty,
@@ -543,7 +542,10 @@ mod tests {
         // Bitstring keeps frame length but is empty past the crash.
         assert_eq!(out.bitstring.len(), 128);
         for slot in (crash_at as usize + 1)..128 {
-            assert!(!out.bitstring.get(slot).unwrap(), "bit {slot} set after crash");
+            assert!(
+                !out.bitstring.get(slot).unwrap(),
+                "bit {slot} set after crash"
+            );
         }
         // Tags froze at the announcements broadcast before the crash.
         assert!(parts.iter().all(|p| p.counter.get() == out.announcements));
@@ -557,15 +559,9 @@ mod tests {
         let mut pop = TagPopulation::with_sequential_ids(10);
         let mut rng = StdRng::seed_from_u64(0);
         let timing = TimingModel::gen2();
-        let faulty = run_honest_reader_with(
-            &mut pop,
-            &ch,
-            &timing,
-            &Channel::ideal(),
-            &plan,
-            &mut rng,
-        )
-        .unwrap();
+        let faulty =
+            run_honest_reader_with(&mut pop, &ch, &timing, &Channel::ideal(), &plan, &mut rng)
+                .unwrap();
         assert_eq!(faulty.bitstring.len(), 10);
 
         let mut clean_pop = TagPopulation::with_sequential_ids(10);

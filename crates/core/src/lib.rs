@@ -63,6 +63,7 @@
 
 pub mod bitstring;
 pub mod error;
+pub mod executor;
 pub mod faulty;
 pub mod frame;
 pub mod groups;
@@ -70,6 +71,7 @@ pub mod identify;
 pub mod math;
 pub mod nonce;
 pub mod params;
+pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod timer;
@@ -79,6 +81,7 @@ pub mod verdict;
 
 pub use bitstring::Bitstring;
 pub use error::CoreError;
+pub use executor::RoundExecutor;
 pub use faulty::{run_device_round_with, run_honest_reader_with, simulate_round_with};
 pub use frame::{
     trp_detection_at, trp_frame_size, trp_frame_size_with_model, utrp_frame_size, UtrpSizing,
@@ -88,6 +91,7 @@ pub use identify::{identify_missing, Identifier, IdentifyConfig, IdentifyOutcome
 pub use math::{detection_probability, utrp_detection_probability, EmptySlotModel};
 pub use nonce::{NonceCursor, NonceSequence};
 pub use params::MonitorParams;
+pub use protocol::{Protocol, Trp, Utrp};
 pub use registry::RegistrySnapshot;
 pub use server::{MonitorServer, ResyncHypothesis, ServerConfig};
 pub use timer::ResponseTimer;
@@ -99,11 +103,13 @@ pub use verdict::{MonitorReport, ProtocolKind, Verdict};
 pub mod prelude {
     pub use crate::bitstring::Bitstring;
     pub use crate::error::CoreError;
+    pub use crate::executor::RoundExecutor;
     pub use crate::faulty::{run_device_round_with, run_honest_reader_with, simulate_round_with};
     pub use crate::frame::{trp_frame_size, utrp_frame_size, UtrpSizing};
     pub use crate::math::{detection_probability, utrp_detection_probability, EmptySlotModel};
     pub use crate::nonce::NonceSequence;
     pub use crate::params::MonitorParams;
+    pub use crate::protocol::Protocol;
     pub use crate::server::{MonitorServer, ResyncHypothesis, ServerConfig};
     pub use crate::timer::ResponseTimer;
     pub use crate::trp::{self, TrpChallenge};

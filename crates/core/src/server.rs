@@ -360,9 +360,12 @@ impl MonitorServer {
             Verdict::NotIntact
         } else if mismatched == 0 {
             Verdict::Intact
-        } else if let Some(hypothesis) =
-            self.diagnose_desync(&registry, &challenge, &expected.bitstring, &response.bitstring)?
-        {
+        } else if let Some(hypothesis) = self.diagnose_desync(
+            &registry,
+            &challenge,
+            &expected.bitstring,
+            &response.bitstring,
+        )? {
             let suspects = hypothesis.suspects();
             self.pending_resync = Some(hypothesis);
             Verdict::Desynced { suspects }
@@ -874,7 +877,8 @@ mod tests {
 
     #[test]
     fn uniform_lead_after_lost_round_is_diagnosed_and_recovered() {
-        let mut server = MonitorServer::with_config(ids(30), 2, 0.9, wide_window_config(64)).unwrap();
+        let mut server =
+            MonitorServer::with_config(ids(30), 2, 0.9, wide_window_config(64)).unwrap();
         let mut pop = TagPopulation::with_sequential_ids(30);
         let timing = server.config().timing;
         let mut r = rng(41);
@@ -909,12 +913,17 @@ mod tests {
         // The next round confirms it.
         let ch2 = server.issue_utrp_challenge(&mut r).unwrap();
         let response = run_honest_reader(&mut pop, &ch2, &timing).unwrap();
-        assert!(server.verify_utrp(ch2, &response).unwrap().verdict.is_intact());
+        assert!(server
+            .verify_utrp(ch2, &response)
+            .unwrap()
+            .verdict
+            .is_intact());
     }
 
     #[test]
     fn single_lag_after_missed_announcement_is_diagnosed_and_recovered() {
-        let mut server = MonitorServer::with_config(ids(25), 2, 0.9, wide_window_config(8)).unwrap();
+        let mut server =
+            MonitorServer::with_config(ids(25), 2, 0.9, wide_window_config(8)).unwrap();
         let mut pop = TagPopulation::with_sequential_ids(25);
         let timing = server.config().timing;
         let mut r = rng(42);
@@ -933,8 +942,8 @@ mod tests {
         let first_slot = dry.bitstring.iter_ones().next().unwrap();
         let victim = attribution[first_slot][0];
         assert!(dry.announcements >= 2, "need a re-seed after the victim");
-        let plan = tagwatch_sim::FaultPlan::new()
-            .lose_announcement(dry.announcements - 1, [victim]);
+        let plan =
+            tagwatch_sim::FaultPlan::new().lose_announcement(dry.announcements - 1, [victim]);
 
         let response = crate::faulty::run_honest_reader_with(
             &mut pop,
@@ -946,10 +955,16 @@ mod tests {
         )
         .unwrap();
         let report = server.verify_utrp(ch1, &response).unwrap();
-        assert!(report.verdict.is_intact(), "missed announcement is invisible this round");
+        assert!(
+            report.verdict.is_intact(),
+            "missed announcement is invisible this round"
+        );
         // ...but the mirror now silently overstates the victim by one.
         let field_victim = pop.iter().find(|t| t.id() == victim).unwrap().counter();
-        assert_eq!(server.counter_of(victim).unwrap().get(), field_victim.get() + 1);
+        assert_eq!(
+            server.counter_of(victim).unwrap().get(),
+            field_victim.get() + 1
+        );
 
         // Round 2: the stale counter surfaces as a mismatch that is
         // exactly one lagging tag.
@@ -975,19 +990,28 @@ mod tests {
         }
         let ch3 = server.issue_utrp_challenge(&mut r).unwrap();
         let response = run_honest_reader(&mut pop, &ch3, &timing).unwrap();
-        assert!(server.verify_utrp(ch3, &response).unwrap().verdict.is_intact());
+        assert!(server
+            .verify_utrp(ch3, &response)
+            .unwrap()
+            .verdict
+            .is_intact());
     }
 
     #[test]
     fn theft_is_not_misdiagnosed_as_desync() {
-        let mut server = MonitorServer::with_config(ids(100), 5, 0.95, wide_window_config(8)).unwrap();
+        let mut server =
+            MonitorServer::with_config(ids(100), 5, 0.95, wide_window_config(8)).unwrap();
         let mut r = rng(43);
         let ch = server.issue_utrp_challenge(&mut r).unwrap();
         let mut pop = TagPopulation::with_sequential_ids(100);
         pop.remove_random(6, &mut r).unwrap();
         let response = run_honest_reader(&mut pop, &ch, &server.config().timing.clone()).unwrap();
         let report = server.verify_utrp(ch, &response).unwrap();
-        assert_eq!(report.verdict, Verdict::NotIntact, "theft must alarm: {report}");
+        assert_eq!(
+            report.verdict,
+            Verdict::NotIntact,
+            "theft must alarm: {report}"
+        );
         assert!(server.pending_resync().is_none());
         assert!(matches!(
             server.resync_from_hypothesis(),
@@ -997,7 +1021,8 @@ mod tests {
 
     #[test]
     fn zero_window_disables_diagnosis() {
-        let mut server = MonitorServer::with_config(ids(30), 2, 0.9, wide_window_config(0)).unwrap();
+        let mut server =
+            MonitorServer::with_config(ids(30), 2, 0.9, wide_window_config(0)).unwrap();
         let mut pop = TagPopulation::with_sequential_ids(30);
         let timing = server.config().timing;
         let mut r = rng(44);
@@ -1012,7 +1037,8 @@ mod tests {
 
     #[test]
     fn physical_audit_supersedes_pending_hypothesis() {
-        let mut server = MonitorServer::with_config(ids(30), 2, 0.9, wide_window_config(64)).unwrap();
+        let mut server =
+            MonitorServer::with_config(ids(30), 2, 0.9, wide_window_config(64)).unwrap();
         let mut pop = TagPopulation::with_sequential_ids(30);
         let timing = server.config().timing;
         let mut r = rng(45);
@@ -1020,7 +1046,11 @@ mod tests {
         run_honest_reader(&mut pop, &ch0, &timing).unwrap(); // lost round
         let ch1 = server.issue_utrp_challenge(&mut r).unwrap();
         let response = run_honest_reader(&mut pop, &ch1, &timing).unwrap();
-        assert!(server.verify_utrp(ch1, &response).unwrap().verdict.is_desynced());
+        assert!(server
+            .verify_utrp(ch1, &response)
+            .unwrap()
+            .verdict
+            .is_desynced());
         assert!(server.pending_resync().is_some());
 
         server

@@ -863,11 +863,8 @@ mod tests {
     #[test]
     fn attributed_round_matches_expected_round() {
         let mut rng = StdRng::seed_from_u64(51);
-        let ch = UtrpChallenge::generate(
-            FrameSize::new(120).unwrap(),
-            &TimingModel::gen2(),
-            &mut rng,
-        );
+        let ch =
+            UtrpChallenge::generate(FrameSize::new(120).unwrap(), &TimingModel::gen2(), &mut rng);
         let registry: Vec<(TagId, Counter)> = (1..=40u64)
             .map(|i| (TagId::from(i), Counter::new(i * 3)))
             .collect();

@@ -63,6 +63,27 @@ impl Verdict {
     pub fn is_desynced(&self) -> bool {
         matches!(self, Verdict::Desynced { .. })
     }
+
+    /// Whether this verdict should page somebody. Only
+    /// [`Verdict::NotIntact`] alarms; a desynced round is inconclusive
+    /// (the session layer resyncs and retries it), and every layer —
+    /// [`MonitorReport::is_alarm`], the session's event predicate —
+    /// derives its alarm notion from this one.
+    #[must_use]
+    pub fn is_alarm(&self) -> bool {
+        matches!(self, Verdict::NotIntact)
+    }
+
+    /// The desync suspects: the tags hypothesized to lag the counter
+    /// mirror. Empty for intact/alarming verdicts *and* for a uniform
+    /// mirror lag (where no individual tag is implicated).
+    #[must_use]
+    pub fn suspects(&self) -> &[TagId] {
+        match self {
+            Verdict::Desynced { suspects } => suspects,
+            _ => &[],
+        }
+    }
 }
 
 impl fmt::Display for Verdict {
@@ -107,7 +128,7 @@ impl MonitorReport {
     /// silently passes.
     #[must_use]
     pub fn is_alarm(&self) -> bool {
-        matches!(self.verdict, Verdict::NotIntact)
+        self.verdict.is_alarm()
     }
 }
 
@@ -139,6 +160,24 @@ mod tests {
         assert!(!desynced.is_intact());
         assert!(desynced.is_desynced());
         assert!(!Verdict::Intact.is_desynced());
+    }
+
+    #[test]
+    fn alarm_and_suspect_accessors() {
+        assert!(Verdict::NotIntact.is_alarm());
+        assert!(!Verdict::Intact.is_alarm());
+        let desynced = Verdict::Desynced {
+            suspects: vec![TagId::new(7)],
+        };
+        // Desync is inconclusive, not an alarm — consistent with
+        // MonitorReport::is_alarm and the session layer.
+        assert!(!desynced.is_alarm());
+        assert_eq!(desynced.suspects(), &[TagId::new(7)]);
+        assert_eq!(Verdict::Intact.suspects(), &[] as &[TagId]);
+        assert_eq!(
+            Verdict::Desynced { suspects: vec![] }.suspects(),
+            &[] as &[TagId]
+        );
     }
 
     #[test]

@@ -106,7 +106,7 @@ impl FaultPlan {
     }
 
     /// Scales the reported round time by `factor` (1.0 = no skew;
-    /// > 1.0 = the reader's clock runs slow, so its round *appears*
+    /// above 1.0 the reader's clock runs slow, so its round *appears*
     /// longer to the server).
     #[must_use]
     pub fn skew_clock(mut self, factor: f64) -> Self {

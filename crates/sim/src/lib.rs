@@ -21,6 +21,8 @@
 //! * [`fault`] — deterministic scripted fault plans (reply loss,
 //!   announcement loss, reader crash, truncation, clock skew) for
 //!   robustness testing, complementing [`radio`]'s probabilistic knobs.
+//! * [`markov`] — Markov-modulated channel evolution (named quality
+//!   levels + transition matrix) for long-horizon soak runs.
 //! * [`reader`] — the interrogator device that broadcasts frames and
 //!   observes slot outcomes.
 //! * [`aloha`] — framed-slotted-ALOHA round descriptors and executions.
@@ -61,6 +63,7 @@ pub mod event;
 pub mod fault;
 pub mod hash;
 pub mod ident;
+pub mod markov;
 pub mod population;
 pub mod radio;
 pub mod reader;
@@ -77,6 +80,7 @@ pub use event::{EventQueue, Scheduled};
 pub use fault::{FaultInjector, FaultPlan};
 pub use hash::{slot_for, slot_for_counted, SlotHasher};
 pub use ident::{FrameSize, Nonce, TagId};
+pub use markov::{ChannelLevel, MarkovChannel};
 pub use population::TagPopulation;
 pub use radio::{Channel, ChannelConfig, SlotOutcome};
 pub use reader::{Reader, ReaderConfig};
@@ -93,6 +97,7 @@ pub mod prelude {
     pub use crate::fault::{FaultInjector, FaultPlan};
     pub use crate::hash::{slot_for, slot_for_counted};
     pub use crate::ident::{FrameSize, Nonce, TagId};
+    pub use crate::markov::{ChannelLevel, MarkovChannel};
     pub use crate::population::TagPopulation;
     pub use crate::radio::{Channel, ChannelConfig, SlotOutcome};
     pub use crate::reader::{Reader, ReaderConfig};

@@ -16,7 +16,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tagwatch::analytics::{MonitoringSession, SessionEvent, SessionPolicy};
+use tagwatch::analytics::{MonitoringSession, SessionEvent};
 use tagwatch::core::registry::RegistrySnapshot;
 use tagwatch::prelude::*;
 
@@ -25,7 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut floor = TagPopulation::with_sequential_ids(600);
     let server = MonitorServer::new(floor.ids(), 5, 0.95)?;
-    let mut session = MonitoringSession::new(server, SessionPolicy::default());
+    // Builder with the documented defaults (TRP ticks, escalate after 2
+    // consecutive alarms).
+    let mut session = MonitoringSession::builder(server).build();
 
     // --- Week 1: routine, with one transiently blocked tag ------------
     println!("week 1: routine monitoring");

@@ -13,7 +13,7 @@ use rand::SeedableRng;
 use tagwatch::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = StdRng::seed_from_u64(2008);
+    let mut rng = StdRng::seed_from_u64(1);
 
     // The physical warehouse and the server's registry.
     let mut warehouse = TagPopulation::with_sequential_ids(1_000);

@@ -92,11 +92,10 @@ fn utrp_session_survives_a_snapshot_restore_cycle() {
     let mut rng = StdRng::seed_from_u64(3);
     let mut floor = TagPopulation::with_sequential_ids(150);
     let server = MonitorServer::new(floor.ids(), 4, 0.95).unwrap();
-    let policy = SessionPolicy {
-        protocol: TickProtocol::Utrp,
-        ..SessionPolicy::default()
-    };
-    let mut session = MonitoringSession::new(server, policy);
+    let policy = SessionPolicy::builder()
+        .protocol(TickProtocol::Utrp)
+        .build();
+    let mut session = MonitoringSession::builder(server).policy(policy).build();
 
     for _ in 0..3 {
         assert!(!session.tick(&mut floor, &mut rng).unwrap().is_alarm());
@@ -109,7 +108,7 @@ fn utrp_session_survives_a_snapshot_restore_cycle() {
         *session.server().config(),
     )
     .unwrap();
-    let mut session = MonitoringSession::new(restored, policy);
+    let mut session = MonitoringSession::builder(restored).policy(policy).build();
     for _ in 0..3 {
         assert!(
             !session.tick(&mut floor, &mut rng).unwrap().is_alarm(),
@@ -123,13 +122,9 @@ fn session_escalation_event_is_logged_in_order() {
     let mut rng = StdRng::seed_from_u64(4);
     let mut floor = TagPopulation::with_sequential_ids(250);
     let server = MonitorServer::new(floor.ids(), 3, 0.95).unwrap();
-    let mut session = MonitoringSession::new(
-        server,
-        SessionPolicy {
-            alarms_to_escalate: 1,
-            ..SessionPolicy::default()
-        },
-    );
+    let mut session = MonitoringSession::builder(server)
+        .alarms_to_escalate(1)
+        .build();
     session.tick(&mut floor, &mut rng).unwrap();
     floor.remove_random(6, &mut rng).unwrap();
     session.tick(&mut floor, &mut rng).unwrap();

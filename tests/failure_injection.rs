@@ -6,6 +6,7 @@ use rand::SeedableRng;
 use tagwatch::core::trp;
 use tagwatch::core::utrp::run_honest_reader;
 use tagwatch::prelude::*;
+use tagwatch::sim::FaultPlan;
 
 #[test]
 fn heavy_reply_loss_causes_alarms_not_crashes() {
@@ -162,7 +163,6 @@ fn scripted_desync_is_diagnosed_recovered_and_confirmed() {
     // that verifies intact.
     use tagwatch::core::utrp::attributed_round;
     use tagwatch::core::{run_honest_reader_with, ResyncHypothesis};
-    use tagwatch::sim::FaultPlan;
 
     let mut server = MonitorServer::with_config(
         TagPopulation::with_sequential_ids(40).ids(),
@@ -183,15 +183,29 @@ fn scripted_desync_is_diagnosed_recovered_and_confirmed() {
     // round verifies intact, but its counter ends one behind the
     // mirror.
     let ch1 = server.issue_utrp_challenge(&mut rng).unwrap();
-    let registry: Vec<(TagId, Counter)> = floor.ids().into_iter().map(|id| (id, Counter::ZERO)).collect();
+    let registry: Vec<(TagId, Counter)> = floor
+        .ids()
+        .into_iter()
+        .map(|id| (id, Counter::ZERO))
+        .collect();
     let (dry, attribution) = attributed_round(&registry, &ch1).unwrap();
     let first_occupied = dry.bitstring.iter_ones().next().unwrap();
     let victim = attribution[first_occupied][0];
     let plan = FaultPlan::new().lose_announcement(dry.announcements - 1, [victim]);
-    let response =
-        run_honest_reader_with(&mut floor, &ch1, &timing, &Channel::ideal(), &plan, &mut rng)
-            .unwrap();
-    assert!(server.verify_utrp(ch1, &response).unwrap().verdict.is_intact());
+    let response = run_honest_reader_with(
+        &mut floor,
+        &ch1,
+        &timing,
+        &Channel::ideal(),
+        &plan,
+        &mut rng,
+    )
+    .unwrap();
+    assert!(server
+        .verify_utrp(ch1, &response)
+        .unwrap()
+        .verdict
+        .is_intact());
 
     // Later rounds: the stale counter stays latent while it happens to
     // hash into an indistinguishable slot (those rounds verify intact)
@@ -224,7 +238,11 @@ fn scripted_desync_is_diagnosed_recovered_and_confirmed() {
     assert_eq!(server.resync_from_hypothesis().unwrap(), vec![victim]);
     let ch3 = server.issue_utrp_challenge(&mut rng).unwrap();
     let response = run_honest_reader(&mut floor, &ch3, &timing).unwrap();
-    assert!(server.verify_utrp(ch3, &response).unwrap().verdict.is_intact());
+    assert!(server
+        .verify_utrp(ch3, &response)
+        .unwrap()
+        .verdict
+        .is_intact());
 }
 
 #[test]
@@ -255,7 +273,10 @@ fn physical_audit_resyncs_after_undiagnosable_fault() {
     let ch = server.issue_utrp_challenge(&mut rng).unwrap();
     let response = run_honest_reader(&mut floor, &ch, &timing).unwrap();
     let report = server.verify_utrp(ch, &response).unwrap();
-    assert!(report.is_alarm(), "beyond-window desync must alarm: {report}");
+    assert!(
+        report.is_alarm(),
+        "beyond-window desync must alarm: {report}"
+    );
     assert!(!server.counters_synced());
     assert!(matches!(
         server.issue_utrp_challenge(&mut rng),
@@ -269,7 +290,11 @@ fn physical_audit_resyncs_after_undiagnosable_fault() {
     assert!(server.counters_synced());
     let ch = server.issue_utrp_challenge(&mut rng).unwrap();
     let response = run_honest_reader(&mut floor, &ch, &timing).unwrap();
-    assert!(server.verify_utrp(ch, &response).unwrap().verdict.is_intact());
+    assert!(server
+        .verify_utrp(ch, &response)
+        .unwrap()
+        .verdict
+        .is_intact());
 }
 
 #[test]
@@ -345,4 +370,134 @@ fn capture_effect_reduces_collisions_for_collect_all() {
         capture <= plain,
         "capture effect should not slow inventory: {capture} vs {plain} rounds"
     );
+}
+
+// ---------------------------------------------------------------------
+// Unified-executor differential audit: the `RoundExecutor` introduced
+// with the soak subsystem must agree *exactly* with both pre-existing
+// fault engines (the fast participant-array engine behind
+// `run_honest_reader_with` and the per-device state-machine engine
+// behind `run_device_round_with`) for arbitrary fault plans, and with
+// the fault-free paths when no faults are configured. Any bitstring or
+// counter divergence between the paths is a regression.
+// ---------------------------------------------------------------------
+
+fn random_plan(rng: &mut StdRng, frame: u64) -> FaultPlan {
+    use rand::Rng;
+    let mut plan = FaultPlan::new();
+    for _ in 0..rng.gen_range(0..4u32) {
+        plan = plan.lose_replies_at(rng.gen_range(0..frame));
+    }
+    if rng.gen_bool(0.5) {
+        let victim = TagId::new(u128::from(rng.gen_range(1..=40u64)));
+        plan = plan.lose_announcement(rng.gen_range(0..30u64), [victim]);
+    }
+    if rng.gen_bool(0.25) {
+        plan = plan.crash_after_slot(rng.gen_range(frame / 2..frame));
+    }
+    if rng.gen_bool(0.25) {
+        plan = plan.truncate_response(rng.gen_range(1..frame));
+    }
+    plan
+}
+
+#[test]
+fn unified_executor_agrees_with_both_legacy_fault_engines() {
+    use tagwatch::core::{run_device_round_with, run_honest_reader_with, RoundExecutor};
+
+    let channel = Channel::with_config(ChannelConfig {
+        reply_loss_prob: 0.05,
+        phantom_reply_prob: 0.01,
+        capture_prob: 0.2,
+        downlink_loss_prob: 0.02,
+    })
+    .unwrap();
+    let timing = TimingModel::gen2();
+
+    for seed in 0..12u64 {
+        let mut meta_rng = StdRng::seed_from_u64(900 + seed);
+        let mut floor_a = TagPopulation::with_sequential_ids(40);
+        let mut floor_b = floor_a.clone();
+        let mut floor_c = floor_a.clone();
+        let f = FrameSize::new(120).unwrap();
+        let challenge = UtrpChallenge::generate(f, &timing, &mut meta_rng);
+        let plan = random_plan(&mut meta_rng, f.get());
+
+        let executor = RoundExecutor::new(channel, Some(plan.clone()));
+        let mut rng_a = StdRng::seed_from_u64(7000 + seed);
+        let mut rng_b = StdRng::seed_from_u64(7000 + seed);
+        let mut rng_c = StdRng::seed_from_u64(7000 + seed);
+
+        let a = executor
+            .run_utrp(&mut floor_a, &challenge, &timing, &mut rng_a)
+            .unwrap();
+        let b = run_honest_reader_with(
+            &mut floor_b,
+            &challenge,
+            &timing,
+            &channel,
+            &plan,
+            &mut rng_b,
+        )
+        .unwrap();
+        let c = run_device_round_with(
+            &mut floor_c,
+            &challenge,
+            &timing,
+            &channel,
+            &plan,
+            &mut rng_c,
+        )
+        .unwrap();
+
+        assert_eq!(a, b, "executor vs honest-reader engine, seed {seed}");
+        assert_eq!(b, c, "participant engine vs device engine, seed {seed}");
+        for (ta, tb) in floor_a.iter().zip(floor_b.iter()) {
+            assert_eq!(ta.counter(), tb.counter(), "counter drift, seed {seed}");
+        }
+        for (tb, tc) in floor_b.iter().zip(floor_c.iter()) {
+            assert_eq!(tb.counter(), tc.counter(), "counter drift, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn faultless_executor_is_byte_identical_to_fault_free_paths() {
+    use tagwatch::core::utrp::run_honest_reader;
+    use tagwatch::core::RoundExecutor;
+
+    let timing = TimingModel::gen2();
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        let mut floor_a = TagPopulation::with_sequential_ids(60);
+        let mut floor_b = floor_a.clone();
+        let f = FrameSize::new(160).unwrap();
+
+        // UTRP: executor with an *empty* plan must take the exact
+        // fault-free path (and consume no RNG).
+        let challenge = UtrpChallenge::generate(f, &timing, &mut rng);
+        let executor = RoundExecutor::new(Channel::ideal(), Some(FaultPlan::new()));
+        let mut unused_rng = StdRng::seed_from_u64(0);
+        let via_executor = executor
+            .run_utrp(&mut floor_a, &challenge, &timing, &mut unused_rng)
+            .unwrap();
+        let direct = run_honest_reader(&mut floor_b, &challenge, &timing).unwrap();
+        assert_eq!(via_executor, direct, "seed {seed}");
+
+        // TRP: same story against observed_bitstring.
+        let trp_ch = TrpChallenge::generate(f, &mut rng);
+        let via_trp = executor
+            .run_trp(&floor_a, &trp_ch, &mut unused_rng)
+            .unwrap();
+        assert_eq!(
+            via_trp,
+            trp::observed_bitstring(&floor_a.ids(), &trp_ch),
+            "seed {seed}"
+        );
+        assert_eq!(
+            unused_rng,
+            StdRng::seed_from_u64(0),
+            "faultless executor consumed RNG, seed {seed}"
+        );
+    }
 }

@@ -154,7 +154,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F)
         .collect();
     per_iter.sort_by(f64::total_cmp);
     let median = per_iter[per_iter.len() / 2];
-    println!("bench {label:<48} {:>12}/iter ({iters} iters/sample)", human(median));
+    println!(
+        "bench {label:<48} {:>12}/iter ({iters} iters/sample)",
+        human(median)
+    );
 }
 
 fn human(seconds: f64) -> String {

@@ -136,7 +136,7 @@ impl Strategy for Range<f64> {
 pub mod prop {
     /// Collection strategies.
     pub mod collection {
-        use super::super::{Strategy, StdRngAlias};
+        use super::super::{StdRngAlias, Strategy};
         use std::collections::HashSet;
         use std::fmt::Debug;
         use std::hash::Hash;
