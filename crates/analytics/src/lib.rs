@@ -29,6 +29,7 @@ pub mod histogram;
 pub mod montecarlo;
 pub mod parallel;
 pub mod report;
+pub mod scan;
 pub mod session;
 pub mod soak;
 pub mod stats;
@@ -44,6 +45,7 @@ pub use montecarlo::{
 };
 pub use parallel::{parallel_count, parallel_map, worker_threads};
 pub use report::{sparkline, Table};
+pub use scan::{chunked_min_scan, parallel_min_scan, run_round_parallel};
 pub use session::{
     MonitoringSession, SessionBuilder, SessionEvent, SessionPolicy, SessionPolicyBuilder,
     TickProtocol,

@@ -1,0 +1,204 @@
+//! Parallel re-seed scans: a chunked minimum-reduction over the core
+//! engine's [`ScanJob`], with a merge that is deterministic by
+//! construction.
+//!
+//! Every UTRP announcement reduces the active set to its minimum reply
+//! slot plus the members that chose it (see
+//! [`tagwatch_core::engine`]). The core crate ships the sequential
+//! scanner and stays thread-free; this module supplies the parallel
+//! strategy on top of [`parallel_map`](crate::parallel::parallel_map):
+//!
+//! 1. split the active arrays into fixed, index-ordered chunks;
+//! 2. scan each chunk independently (each bottoms out in
+//!    [`ScanJob::scan_range`], so per-tag slots are computed by exactly
+//!    the same code as the sequential pass);
+//! 3. merge: the global minimum is the min over chunk minima, and the
+//!    member list is the concatenation of matching chunks **in chunk
+//!    index order** — which is ascending active-index order, the same
+//!    contract the sequential scanner meets.
+//!
+//! Because the merge never depends on thread scheduling (chunk results
+//! come back in index order from `parallel_map`), the parallel scanner
+//! is bit-identical to the sequential one on every announcement — not
+//! merely on the final bitstring. The tests pin both levels.
+//!
+//! Small scans fall back to the sequential pass: below
+//! [`PARALLEL_THRESHOLD`] active tags, thread fan-out costs more than
+//! the scan itself. A full round's scan sizes shrink as tags retire, so
+//! even million-tag rounds end their tail sequentially.
+
+use tagwatch_core::engine::{sequential_min_scan, ScanJob};
+use tagwatch_core::nonce::NonceSequence;
+use tagwatch_core::{CoreError, RoundScratch};
+use tagwatch_sim::FrameSize;
+
+use crate::parallel::{parallel_map, worker_threads};
+
+/// Active-set size below which [`parallel_min_scan`] runs sequentially.
+///
+/// Chosen so the per-announcement thread fan-out (scope spawn + channel
+/// collect, tens of microseconds) cannot dominate the scan it
+/// parallelizes (~1 ns/tag): at 64k tags a scan is ~100 µs of work.
+pub const PARALLEL_THRESHOLD: usize = 1 << 16;
+
+/// One announcement's minimum scan, chunked across worker threads.
+///
+/// Drop-in for [`sequential_min_scan`] in
+/// [`RoundScratch::run_with`]: returns the same minimum slot and fills
+/// `members` with the same active indices in the same (ascending)
+/// order, regardless of thread count.
+pub fn parallel_min_scan(job: &ScanJob<'_>, members: &mut Vec<u32>) -> Option<u64> {
+    let threads = worker_threads();
+    if job.len() < PARALLEL_THRESHOLD || threads <= 1 {
+        return sequential_min_scan(job, members);
+    }
+    let chunk = job.len().div_ceil(threads);
+    chunked_min_scan(job, chunk, members)
+}
+
+/// [`parallel_min_scan`] with an explicit chunk length (tests exercise
+/// degenerate chunkings; the public entry point picks one per the
+/// worker count).
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`.
+pub fn chunked_min_scan(
+    job: &ScanJob<'_>,
+    chunk_len: usize,
+    members: &mut Vec<u32>,
+) -> Option<u64> {
+    assert!(chunk_len > 0, "chunk length must be positive");
+    members.clear();
+    if job.is_empty() {
+        return None;
+    }
+    let chunks = job.len().div_ceil(chunk_len) as u64;
+    // Each chunk returns (min slot, member indices ascending); results
+    // arrive in chunk index order, so concatenation preserves the
+    // ascending-index contract.
+    let partials = parallel_map(chunks, |c| {
+        let lo = c as usize * chunk_len;
+        let hi = (lo + chunk_len).min(job.len());
+        let mut chunk_members = Vec::new();
+        let min = job.scan_range(lo, hi, &mut chunk_members);
+        (min, chunk_members)
+    });
+    let best = partials.iter().filter_map(|(m, _)| *m).min()?;
+    for (min, chunk_members) in &partials {
+        if *min == Some(best) {
+            members.extend_from_slice(chunk_members);
+        }
+    }
+    Some(best)
+}
+
+/// Runs one UTRP round over `scratch`'s loaded participants with the
+/// parallel scanner — [`RoundScratch::run`] with
+/// [`parallel_min_scan`] injected.
+///
+/// # Errors
+///
+/// As [`RoundScratch::run`].
+pub fn run_round_parallel(
+    scratch: &mut RoundScratch,
+    f: FrameSize,
+    nonces: &NonceSequence,
+) -> Result<u64, CoreError> {
+    scratch.run_with(f, nonces, parallel_min_scan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tagwatch_core::utrp::{UtrpChallenge, UtrpParticipant};
+    use tagwatch_sim::{Counter, TagId, TimingModel};
+
+    fn challenge(f: u64, seed: u64) -> UtrpChallenge {
+        let mut rng = StdRng::seed_from_u64(seed);
+        UtrpChallenge::generate(FrameSize::new(f).unwrap(), &TimingModel::gen2(), &mut rng)
+    }
+
+    fn parts(n: u64) -> Vec<UtrpParticipant> {
+        (1..=n)
+            .map(|i| {
+                let mut p = UtrpParticipant::new(TagId::from(i), Counter::new(i % 7));
+                p.mute = i % 11 == 0;
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_round_is_bit_identical_to_sequential() {
+        for (n, f, seed) in [(50u64, 64u64, 1u64), (300, 128, 2), (1000, 96, 3)] {
+            let ch = challenge(f, seed);
+            let population = parts(n);
+
+            let mut seq = RoundScratch::new();
+            seq.load_participants(&population);
+            let seq_ann = seq.run(ch.frame_size(), ch.nonces()).unwrap();
+            let seq_bs = seq.take_bitstring();
+
+            let mut par = RoundScratch::new();
+            par.load_participants(&population);
+            let par_ann = run_round_parallel(&mut par, ch.frame_size(), ch.nonces()).unwrap();
+            assert_eq!(*par.bitstring(), seq_bs, "n={n} f={f}");
+            assert_eq!(par_ann, seq_ann, "n={n} f={f}");
+        }
+    }
+
+    #[test]
+    fn every_announcement_merges_identically() {
+        // Attribution-level check: per-announcement member lists (the
+        // strongest observable of scanner behaviour) must match between
+        // sequential and awkward chunkings (chunk=1 maximizes chunk
+        // count; chunk=7 leaves a ragged tail).
+        let ch = challenge(80, 9);
+        let population = parts(150);
+
+        let mut seq_replies: Vec<(u64, Vec<u32>)> = Vec::new();
+        let mut seq = RoundScratch::new();
+        seq.load_participants(&population);
+        seq.run_attributed_with(ch.frame_size(), ch.nonces(), sequential_min_scan, |s, m| {
+            seq_replies.push((s, m.to_vec()));
+        })
+        .unwrap();
+
+        for chunk in [1usize, 7, 64, 1024] {
+            let mut replies: Vec<(u64, Vec<u32>)> = Vec::new();
+            let mut scratch = RoundScratch::new();
+            scratch.load_participants(&population);
+            scratch
+                .run_attributed_with(
+                    ch.frame_size(),
+                    ch.nonces(),
+                    |job, members| chunked_min_scan(job, chunk, members),
+                    |s, m| replies.push((s, m.to_vec())),
+                )
+                .unwrap();
+            assert_eq!(replies, seq_replies, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_job_returns_none() {
+        let ch = challenge(16, 4);
+        let mut scratch = RoundScratch::new();
+        scratch.load_pairs(std::iter::empty());
+        let ann = run_round_parallel(&mut scratch, ch.frame_size(), ch.nonces()).unwrap();
+        assert_eq!(ann, 1);
+        assert_eq!(scratch.bitstring().count_ones(), 0);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn threshold_keeps_small_scans_sequential() {
+        // Not directly observable from outputs (they're identical by
+        // design); assert the constant is sane so a refactor can't
+        // silently set it to 0 and fan out every tiny scan.
+        assert!(PARALLEL_THRESHOLD >= 1024);
+    }
+}

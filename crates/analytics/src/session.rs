@@ -39,7 +39,7 @@ use rand::Rng;
 use tagwatch_core::identify::{identify_missing, IdentifyConfig};
 use tagwatch_core::protocol::{Protocol, Trp, Utrp};
 use tagwatch_core::trp::observed_bitstring;
-use tagwatch_core::{CoreError, MonitorReport, MonitorServer, RoundExecutor};
+use tagwatch_core::{CoreError, MonitorReport, MonitorServer, RoundExecutor, RoundScratch};
 use tagwatch_sim::{TagId, TagPopulation};
 
 /// Which protocol routine ticks use.
@@ -284,6 +284,10 @@ pub struct MonitoringSession {
     desync_strikes: BTreeMap<TagId, u32>,
     quarantined: BTreeSet<TagId>,
     log: Vec<SessionEvent>,
+    // Reusable field-round state: every tick runs its UTRP round in
+    // this scratch, so a long-lived session allocates round buffers
+    // once instead of once per tick.
+    scratch: RoundScratch,
 }
 
 impl MonitoringSession {
@@ -298,6 +302,7 @@ impl MonitoringSession {
             desync_strikes: BTreeMap::new(),
             quarantined: BTreeSet::new(),
             log: Vec::new(),
+            scratch: RoundScratch::new(),
         }
     }
 
@@ -437,11 +442,14 @@ impl MonitoringSession {
         rng: &mut R,
     ) -> Result<&SessionEvent, CoreError> {
         let report = match self.policy.protocol {
-            TickProtocol::Trp => Trp.run_round(&mut self.server, floor, executor, rng)?,
+            TickProtocol::Trp => {
+                Trp.run_round(&mut self.server, floor, executor, &mut self.scratch, rng)?
+            }
             TickProtocol::Utrp => {
                 let mut attempt = 0u32;
                 loop {
-                    let report = Utrp.run_round(&mut self.server, floor, executor, rng)?;
+                    let report =
+                        Utrp.run_round(&mut self.server, floor, executor, &mut self.scratch, rng)?;
                     if !report.verdict.is_desynced() {
                         break report;
                     }

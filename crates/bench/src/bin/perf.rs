@@ -1,0 +1,379 @@
+//! Round-engine throughput harness: the perf-regression companion to
+//! the correctness suite.
+//!
+//! Measures rounds/sec, slots/sec, and ns/announcement for TRP and
+//! UTRP rounds at n ∈ {10³, 10⁴, 10⁵, 10⁶}, with the UTRP round run
+//! through **both** engines where tractable:
+//!
+//! * `soa` — the struct-of-arrays [`RoundScratch`] engine (the hot
+//!   path everywhere since it landed), measured as a full round:
+//!   load + scan + counter write-back, scratch reused across rounds;
+//! * `legacy` — the original [`SubsetRound`] engine, driven exactly as
+//!   the pre-refactor `simulate_round` drove it (participant clone in,
+//!   copy-back out), kept for n ≤ 10⁵ (its per-announcement rescan
+//!   makes million-tag rounds take minutes).
+//!
+//! Frames are capped at [`FRAME_CAP`] slots: paper-sized frames scale
+//! with n, which at 10⁶ tags would make a single round O(n·f) ≈ 10¹¹
+//! hash probes — the cap keeps the workload dense (n ≫ f, maximum
+//! collision churn) and the per-n numbers comparable.
+//!
+//! A soak-tick probe times the full session stack (challenge sizing,
+//! round, verify, mirror update) per tick, and a million-tag UTRP
+//! round is run to completion as an acceptance gate.
+//!
+//! Output goes to `BENCH_perf.json` (override with `--out PATH`). The
+//! flat `"checks"` object mirrors the headline rates one-per-line so
+//! the `--check` mode (and CI's perf-smoke job) can compare runs
+//! without a JSON parser:
+//!
+//! ```text
+//! cargo run --release -p tagwatch-bench --bin perf              # full grid
+//! cargo run --release -p tagwatch-bench --bin perf -- --smoke   # n ≤ 10⁴, CI-sized
+//! cargo run --release -p tagwatch-bench --bin perf -- \
+//!     --smoke --check BENCH_perf.json --tolerance 0.30          # regression gate
+//! ```
+//!
+//! `--check` exits non-zero if any shared check key regressed by more
+//! than the tolerance (default 0.30) against the baseline file.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tagwatch_analytics::MonitoringSession;
+use tagwatch_analytics::TickProtocol;
+use tagwatch_core::trp::{self, TrpChallenge};
+use tagwatch_core::utrp::{simulate_round_scratch, SubsetRound, UtrpChallenge, UtrpParticipant};
+use tagwatch_core::{Bitstring, MonitorServer, RoundScratch};
+use tagwatch_sim::{Counter, FrameSize, TagId, TimingModel};
+
+/// Cap on benchmark frame sizes (see module docs).
+const FRAME_CAP: u64 = 1024;
+
+/// Minimum measured wall time per data point; reps adapt to reach it.
+const TARGET_SECS: f64 = 0.3;
+
+struct EngineStats {
+    rounds: u64,
+    elapsed_secs: f64,
+    announcements: u64,
+}
+
+impl EngineStats {
+    fn rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.elapsed_secs
+    }
+    fn slots_per_sec(&self, f: u64) -> f64 {
+        (self.rounds * f) as f64 / self.elapsed_secs
+    }
+    fn ns_per_announcement(&self) -> f64 {
+        self.elapsed_secs * 1e9 / self.announcements as f64
+    }
+}
+
+/// Benchmark population in the deployment steady state: all counters
+/// equal (they start equal at registration and the protocol advances
+/// them uniformly, so a synced fleet stays uniform forever). This is
+/// the regime every soak tick and mirror prediction runs in, and the
+/// one the SoA engine's uniform-key collapse targets.
+fn participants(n: u64) -> Vec<UtrpParticipant> {
+    (1..=n)
+        .map(|i| UtrpParticipant::new(TagId::from(i), Counter::ZERO))
+        .collect()
+}
+
+/// Population with scattered counters (a desynced or mid-recovery
+/// fleet): forces the engine's general two-`mix64` path.
+fn participants_mixed(n: u64) -> Vec<UtrpParticipant> {
+    (1..=n)
+        .map(|i| UtrpParticipant::new(TagId::from(i), Counter::new(i % 5)))
+        .collect()
+}
+
+/// Runs `round` repeatedly until [`TARGET_SECS`] of wall time (at least
+/// `min_rounds`), returning the aggregate. `round` returns the
+/// announcement count of one round.
+fn measure<F: FnMut() -> u64>(min_rounds: u64, mut round: F) -> EngineStats {
+    let mut rounds = 0u64;
+    let mut announcements = 0u64;
+    let start = Instant::now();
+    loop {
+        announcements += round();
+        rounds += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if rounds >= min_rounds && elapsed >= TARGET_SECS {
+            return EngineStats {
+                rounds,
+                elapsed_secs: elapsed,
+                announcements,
+            };
+        }
+    }
+}
+
+/// One UTRP round through the SoA scratch engine, full cost: load,
+/// scan, counter write-back.
+fn soa_round(scratch: &mut RoundScratch, parts: &mut [UtrpParticipant], ch: &UtrpChallenge) -> u64 {
+    simulate_round_scratch(scratch, parts, ch.frame_size(), ch.nonces())
+        .expect("nonce sequence covers the frame")
+}
+
+/// One UTRP round through the legacy [`SubsetRound`] engine, driven as
+/// the pre-refactor `simulate_round` drove it: clone in, announce /
+/// min-scan / retire per reply, copy-back out.
+fn legacy_round(parts: &mut [UtrpParticipant], ch: &UtrpChallenge) -> u64 {
+    let f = ch.frame_size();
+    let total = f.get();
+    let mut bs = Bitstring::zeros(f.as_usize());
+    let mut cursor = ch.nonces().cursor();
+
+    let mut state = SubsetRound::new(parts.to_vec());
+    state.announce(cursor.next_nonce().expect("frame-long sequence"), f);
+    let mut subframe_start = 0u64;
+
+    while let Some(rel) = state.next_reply_rel() {
+        let global = subframe_start + rel;
+        bs.set(global as usize, true).expect("global < frame");
+        state.take_reply();
+        let remaining = total - (global + 1);
+        if remaining == 0 {
+            break;
+        }
+        subframe_start = global + 1;
+        let f_sub = FrameSize::new(remaining).expect("remaining > 0");
+        state.announce(cursor.next_nonce().expect("frame-long sequence"), f_sub);
+    }
+
+    let (finished, announcements) = state.finish();
+    parts.copy_from_slice(&finished);
+    announcements
+}
+
+fn fmt_engine(out: &mut String, name: &str, s: &EngineStats, f: u64) {
+    let _ = write!(
+        out,
+        "        \"{name}\": {{\n          \"rounds\": {},\n          \"elapsed_ms\": {:.3},\n          \"rounds_per_sec\": {:.3},\n          \"slots_per_sec\": {:.1},\n          \"ns_per_announcement\": {:.2}\n        }}",
+        s.rounds,
+        s.elapsed_secs * 1e3,
+        s.rounds_per_sec(),
+        s.slots_per_sec(f),
+        s.ns_per_announcement(),
+    );
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_perf.json".to_owned();
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.30f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--check" => check_path = Some(args.next().expect("--check needs a baseline path")),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance needs a value")
+                    .parse()
+                    .expect("tolerance must be a number")
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline = check_path.as_deref().map(|p| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"))
+    });
+
+    let sizes: &[u64] = if smoke {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+    // Legacy rescans all n tags per announcement; at 10⁶ that's minutes
+    // per round, so the comparison stops at 10⁵ (where the acceptance
+    // criterion is checked).
+    let legacy_max = 100_000u64;
+    let timing = TimingModel::gen2();
+    let mut checks: Vec<(String, f64)> = Vec::new();
+
+    let mut utrp_json: Vec<String> = Vec::new();
+    let mut trp_json: Vec<String> = Vec::new();
+
+    for &n in sizes {
+        let f_raw = (2 * n).min(FRAME_CAP);
+        let f = FrameSize::new(f_raw).expect("positive frame");
+        let mut rng = StdRng::seed_from_u64(7 + n);
+        let ch = UtrpChallenge::generate(f, &timing, &mut rng);
+
+        eprintln!("utrp n={n} f={f_raw}: soa...");
+        let mut parts = participants(n);
+        let mut scratch = RoundScratch::new();
+        let soa = measure(1, || soa_round(&mut scratch, &mut parts, &ch));
+        checks.push((
+            format!("utrp_soa_rounds_per_sec_n{n}"),
+            soa.rounds_per_sec(),
+        ));
+
+        eprintln!("utrp n={n} f={f_raw}: soa (mixed counters)...");
+        let mut parts = participants_mixed(n);
+        let soa_mixed = measure(1, || soa_round(&mut scratch, &mut parts, &ch));
+
+        let legacy = if n <= legacy_max {
+            eprintln!("utrp n={n} f={f_raw}: legacy...");
+            let mut parts = participants(n);
+            Some(measure(1, || legacy_round(&mut parts, &ch)))
+        } else {
+            None
+        };
+
+        let mut entry = String::new();
+        let _ = write!(
+            entry,
+            "    {{\n      \"n\": {n},\n      \"frame\": {f_raw},\n      \"engines\": {{\n"
+        );
+        fmt_engine(&mut entry, "soa", &soa, f_raw);
+        entry.push_str(",\n");
+        fmt_engine(&mut entry, "soa_mixed_counters", &soa_mixed, f_raw);
+        if let Some(l) = &legacy {
+            entry.push_str(",\n");
+            fmt_engine(&mut entry, "legacy", l, f_raw);
+            let speedup = soa.rounds_per_sec() / l.rounds_per_sec();
+            let _ = write!(entry, ",\n        \"soa_speedup\": {speedup:.2}");
+            eprintln!("utrp n={n}: soa/legacy speedup = {speedup:.1}x");
+        }
+        entry.push_str("\n      }\n    }");
+        utrp_json.push(entry);
+
+        // TRP: one frame, one linear pass — the n-scaling baseline.
+        eprintln!("trp n={n} f={f_raw}...");
+        let ids: Vec<TagId> = (1..=n).map(TagId::from).collect();
+        let mut rng = StdRng::seed_from_u64(11 + n);
+        let trp_ch = TrpChallenge::generate(f, &mut rng);
+        let trp = measure(1, || {
+            let bs = trp::observed_bitstring(&ids, &trp_ch);
+            u64::from(bs.count_ones() > 0)
+        });
+        checks.push((format!("trp_rounds_per_sec_n{n}"), trp.rounds_per_sec()));
+        let mut entry = String::new();
+        let _ = write!(
+            entry,
+            "    {{\n      \"n\": {n},\n      \"frame\": {f_raw},\n      \"rounds\": {},\n      \"elapsed_ms\": {:.3},\n      \"rounds_per_sec\": {:.3},\n      \"slots_per_sec\": {:.1}\n    }}",
+            trp.rounds,
+            trp.elapsed_secs * 1e3,
+            trp.rounds_per_sec(),
+            trp.slots_per_sec(f_raw),
+        );
+        trp_json.push(entry);
+    }
+
+    // Soak-tick probe: the full per-tick stack (Eq. 2/3 sizing, round,
+    // verify, mirror update) through a real session.
+    let soak_n = if smoke { 500u64 } else { 2_000 };
+    let soak_ticks = if smoke { 20u64 } else { 50 };
+    eprintln!("soak-tick probe: n={soak_n}, {soak_ticks} ticks...");
+    let ids: Vec<TagId> = (1..=soak_n).map(TagId::from).collect();
+    let server = MonitorServer::new(ids, 10, 0.95).expect("valid params");
+    let mut session = MonitoringSession::builder(server)
+        .protocol(TickProtocol::Utrp)
+        .build();
+    let mut floor = tagwatch_sim::TagPopulation::with_sequential_ids(soak_n as usize);
+    let mut rng = StdRng::seed_from_u64(99);
+    let start = Instant::now();
+    for _ in 0..soak_ticks {
+        session.tick(&mut floor, &mut rng).expect("intact tick");
+    }
+    let soak_elapsed = start.elapsed().as_secs_f64();
+    let ticks_per_sec = soak_ticks as f64 / soak_elapsed;
+    checks.push(("soak_ticks_per_sec".to_owned(), ticks_per_sec));
+
+    // Million-tag acceptance round (full grid only): one UTRP round at
+    // n = 10⁶ must complete through the SoA engine.
+    let million = if smoke {
+        None
+    } else {
+        eprintln!("million-tag acceptance round...");
+        let n = 1_000_000u64;
+        let f = FrameSize::new(FRAME_CAP).expect("positive frame");
+        let mut rng = StdRng::seed_from_u64(1_000_003);
+        let ch = UtrpChallenge::generate(f, &timing, &mut rng);
+        let mut parts = participants(n);
+        let mut scratch = RoundScratch::new();
+        let start = Instant::now();
+        let announcements = soa_round(&mut scratch, &mut parts, &ch);
+        let elapsed = start.elapsed().as_secs_f64();
+        let occupied = scratch.bitstring().count_ones();
+        Some((n, FRAME_CAP, announcements, occupied, elapsed * 1e3))
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"tagwatch-perf-v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"frame_cap\": {FRAME_CAP},");
+    json.push_str("  \"utrp\": [\n");
+    json.push_str(&utrp_json.join(",\n"));
+    json.push_str("\n  ],\n  \"trp\": [\n");
+    json.push_str(&trp_json.join(",\n"));
+    json.push_str("\n  ],\n");
+    let _ = write!(
+        json,
+        "  \"soak_tick\": {{\n    \"n\": {soak_n},\n    \"ticks\": {soak_ticks},\n    \"elapsed_ms\": {:.3},\n    \"ticks_per_sec\": {ticks_per_sec:.3}\n  }},\n",
+        soak_elapsed * 1e3
+    );
+    if let Some((n, f, announcements, occupied, ms)) = million {
+        let _ = write!(
+            json,
+            "  \"million_tag_round\": {{\n    \"n\": {n},\n    \"frame\": {f},\n    \"announcements\": {announcements},\n    \"occupied_slots\": {occupied},\n    \"elapsed_ms\": {ms:.1}\n  }},\n"
+        );
+    }
+    json.push_str("  \"checks\": {\n");
+    let check_lines: Vec<String> = checks
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v:.3}"))
+        .collect();
+    json.push_str(&check_lines.join(",\n"));
+    json.push_str("\n  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write perf report");
+    eprintln!("wrote {out_path}");
+
+    // Regression gate: every check key present in both runs must not
+    // have dropped by more than the tolerance.
+    if let Some(base) = baseline {
+        let mut regressed = false;
+        for (key, current) in &checks {
+            let needle = format!("\"{key}\":");
+            let Some(pos) = base.find(&needle) else {
+                eprintln!("check {key}: not in baseline, skipping");
+                continue;
+            };
+            let rest = &base[pos + needle.len()..];
+            let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+            let prior: f64 = rest[..end].trim().parse().expect("numeric baseline value");
+            let floor = prior * (1.0 - tolerance);
+            if *current < floor {
+                eprintln!(
+                    "REGRESSION {key}: {current:.3} < {floor:.3} (baseline {prior:.3}, tolerance {tolerance})"
+                );
+                regressed = true;
+            } else {
+                eprintln!("ok {key}: {current:.3} vs baseline {prior:.3}");
+            }
+        }
+        if regressed {
+            std::process::exit(1);
+        }
+    }
+}

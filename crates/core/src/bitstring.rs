@@ -43,6 +43,19 @@ impl Bitstring {
         }
     }
 
+    /// Reinitializes this bitstring to `len` all-zero bits, reusing the
+    /// existing word allocation when it is large enough.
+    ///
+    /// This is the buffer-reuse primitive behind the zero-allocation
+    /// round engine: a [`crate::engine::RoundScratch`] resets one
+    /// bitstring per round instead of allocating a fresh one.
+    pub fn reset(&mut self, len: usize) {
+        let words = len.div_ceil(WORD_BITS);
+        self.words.clear();
+        self.words.resize(words, 0);
+        self.len = len;
+    }
+
     /// Builds a bitstring from booleans.
     #[must_use]
     pub fn from_bools(bits: &[bool]) -> Self {
@@ -144,11 +157,43 @@ impl Bitstring {
 
     /// Number of positions where the two bitstrings disagree.
     ///
+    /// Computed word-at-a-time (XOR + popcount per `u64`) with no
+    /// intermediate allocation — this is the verdict comparison on the
+    /// per-round hot path, so it must not churn the allocator or walk
+    /// bits one by one.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::LengthMismatch`] if lengths differ.
     pub fn hamming_distance(&self, other: &Bitstring) -> Result<usize, CoreError> {
-        Ok(self.xor(other)?.count_ones())
+        self.check_len(other)?;
+        Ok(self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a ^ b).count_ones() as usize)
+            .sum())
+    }
+
+    /// Index of the first position where the two bitstrings disagree,
+    /// or `None` when they are identical.
+    ///
+    /// Scans whole `u64` words and only inspects bits inside the first
+    /// differing word (via trailing-zeros), so agreement over long
+    /// prefixes costs one compare per 64 slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LengthMismatch`] if lengths differ.
+    pub fn first_mismatch(&self, other: &Bitstring) -> Result<Option<usize>, CoreError> {
+        self.check_len(other)?;
+        for (wi, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
+            let diff = a ^ b;
+            if diff != 0 {
+                return Ok(Some(wi * WORD_BITS + diff.trailing_zeros() as usize));
+            }
+        }
+        Ok(None)
     }
 
     /// Indices of all disagreeing positions, ascending — the server's
@@ -158,8 +203,58 @@ impl Bitstring {
     ///
     /// Returns [`CoreError::LengthMismatch`] if lengths differ.
     pub fn mismatch_indices(&self, other: &Bitstring) -> Result<Vec<usize>, CoreError> {
-        let diff = self.xor(other)?;
-        Ok(diff.iter_ones().collect())
+        self.check_len(other)?;
+        let mut out = Vec::new();
+        for (wi, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut diff = a ^ b;
+            while diff != 0 {
+                out.push(wi * WORD_BITS + diff.trailing_zeros() as usize);
+                diff &= diff - 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Iterates (ascending) over positions set in `self` but clear in
+    /// `other` — "expected occupied, came back empty", the desync
+    /// diagnosis's candidate slots — one word at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LengthMismatch`] if lengths differ.
+    pub fn iter_dropped_ones<'a>(
+        &'a self,
+        other: &'a Bitstring,
+    ) -> Result<impl Iterator<Item = usize> + 'a, CoreError> {
+        self.check_len(other)?;
+        Ok(self
+            .words
+            .iter()
+            .zip(&other.words)
+            .enumerate()
+            .flat_map(move |(wi, (&a, &b))| {
+                let base = wi * WORD_BITS;
+                let mut bits = a & !b;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        None
+                    } else {
+                        let tz = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        Some(base + tz)
+                    }
+                })
+            }))
+    }
+
+    fn check_len(&self, other: &Bitstring) -> Result<(), CoreError> {
+        if self.len != other.len {
+            return Err(CoreError::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
+        }
+        Ok(())
     }
 
     /// Iterates over the indices of set bits, ascending.
@@ -403,5 +498,78 @@ mod tests {
     fn from_iterator_collects() {
         let b: Bitstring = [true, false, true].into_iter().collect();
         assert_eq!(b.to_string(), "101");
+    }
+
+    #[test]
+    fn reset_reuses_buffer_and_clears_bits() {
+        let mut b = Bitstring::zeros(200);
+        for i in [0usize, 63, 64, 199] {
+            b.set(i, true).unwrap();
+        }
+        b.reset(130);
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.count_ones(), 0);
+        // Growing again must also come up all-zero.
+        b.set(129, true).unwrap();
+        b.reset(300);
+        assert_eq!(b.len(), 300);
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b, Bitstring::zeros(300));
+    }
+
+    #[test]
+    fn first_mismatch_finds_earliest_disagreement() {
+        let a = bs("110010");
+        let b = bs("100011");
+        assert_eq!(a.first_mismatch(&b).unwrap(), Some(1));
+        assert_eq!(a.first_mismatch(&a).unwrap(), None);
+        // Across a word boundary: identical first word, diff at bit 70.
+        let mut x = Bitstring::zeros(100);
+        let mut y = Bitstring::zeros(100);
+        x.set(3, true).unwrap();
+        y.set(3, true).unwrap();
+        x.set(70, true).unwrap();
+        assert_eq!(x.first_mismatch(&y).unwrap(), Some(70));
+        assert!(Bitstring::zeros(5)
+            .first_mismatch(&Bitstring::zeros(6))
+            .is_err());
+    }
+
+    #[test]
+    fn word_level_hamming_matches_bitwise_count() {
+        // Cross-check the word-at-a-time hamming against a per-bit loop
+        // on multiword strings with dense tails.
+        let a: Bitstring = (0..193).map(|i| i % 3 == 0).collect();
+        let b: Bitstring = (0..193).map(|i| i % 5 == 0).collect();
+        let naive = a.iter().zip(b.iter()).filter(|(x, y)| x != y).count();
+        assert_eq!(a.hamming_distance(&b).unwrap(), naive);
+        assert_eq!(a.mismatch_indices(&b).unwrap().len(), naive);
+        let first = a.first_mismatch(&b).unwrap().unwrap();
+        assert_eq!(first, a.mismatch_indices(&b).unwrap()[0]);
+    }
+
+    #[test]
+    fn iter_dropped_ones_lists_expected_but_empty_slots() {
+        let expected = bs("110101");
+        let observed = bs("100110");
+        // Set in expected, clear in observed: positions 1 and 5.
+        assert_eq!(
+            expected
+                .iter_dropped_ones(&observed)
+                .unwrap()
+                .collect::<Vec<_>>(),
+            vec![1, 5]
+        );
+        // Multiword, ascending across the boundary.
+        let mut e = Bitstring::zeros(140);
+        let o = Bitstring::zeros(140);
+        for i in [5usize, 64, 139] {
+            e.set(i, true).unwrap();
+        }
+        assert_eq!(
+            e.iter_dropped_ones(&o).unwrap().collect::<Vec<_>>(),
+            vec![5, 64, 139]
+        );
+        assert!(e.iter_dropped_ones(&Bitstring::zeros(3)).is_err());
     }
 }

@@ -1,0 +1,602 @@
+//! The struct-of-arrays UTRP round engine.
+//!
+//! [`crate::utrp::SubsetRound`] — the original engine — keeps an
+//! array-of-structs `Vec<UtrpParticipant>` and walks it through an
+//! index indirection (`active: Vec<usize>`) on every announcement. At
+//! million-tag populations that layout is the bottleneck: each probe
+//! gathers a 24-byte struct through a second cache line, re-folds the
+//! 128-bit tag ID, wraps the counter in a newtype, and ends in a
+//! 64-bit hardware division — tens of cycles per tag, hundreds of
+//! thousands of tags, re-scanned after *every* reply.
+//!
+//! [`RoundScratch`] re-states the same round over three contiguous
+//! arrays:
+//!
+//! * `folded[i]` — the tag's ID pre-folded to 64 bits (done **once** at
+//!   load, not once per announcement),
+//! * `bases[i]` — the tag's pre-round counter as a raw `u64`,
+//! * `orig[i]` — the tag's index in the caller's load order (for
+//!   attribution and stable reporting).
+//!
+//! Retired tags are removed by `swap_remove` on all three arrays, so
+//! the active set stays dense and every scan is a single linear pass.
+//! Two further observations keep the inner loop branch-light:
+//!
+//! * Counters advance **uniformly** (+1 per announcement heard), so the
+//!   effective counter is `base + announcements` — no per-tag writes
+//!   mid-round, and when every base is equal (the steady state of a
+//!   synced deployment) the whole counter term collapses into the
+//!   announcement key: one [`mix64`] per tag instead of two.
+//! * The `mod f` reduction uses [`FastMod`] — Lemire's exact remainder
+//!   by multiplication — which is bit-identical to `%` (see its docs),
+//!   so outcomes, soak digests, and recorded experiments are unchanged.
+//!
+//! ## Scanner injection
+//!
+//! The per-announcement minimum scan is expressed as a [`ScanJob`] so
+//! the reduction strategy is pluggable without `tagwatch-core` growing
+//! a thread-pool dependency: [`sequential_min_scan`] is the default,
+//! and `tagwatch-analytics` provides a chunked parallel scanner over
+//! the same job (deterministic merge: global minimum slot first, then
+//! chunks in index order — member lists come out identical to the
+//! sequential scan's, so results are scanner-independent by
+//! construction; the differential tests pin it).
+//!
+//! ## Semantics
+//!
+//! Byte-identical to [`crate::utrp::simulate_round_reference`], the
+//! literal Algs. 6–7 execution: same bitstring, same announcement
+//! count, same post-round counters. The differential and property
+//! tests in [`crate::utrp`] pin the agreement across population sizes,
+//! frame shapes, counter states, and mute subsets.
+
+use tagwatch_sim::hash::{mix64, FastMod};
+use tagwatch_sim::{Counter, FrameSize, TagId, TagPopulation};
+
+use crate::bitstring::Bitstring;
+use crate::error::CoreError;
+use crate::nonce::NonceSequence;
+use crate::utrp::UtrpParticipant;
+
+/// One announcement's minimum-slot scan over the active arrays.
+///
+/// A scanner receives the job plus a member buffer and must return the
+/// minimal slot any active tag chose (`None` when no tag is active),
+/// filling the buffer with the *active-array indices* of every tag that
+/// chose that slot, in ascending index order.
+#[derive(Debug)]
+pub struct ScanJob<'a> {
+    folded: &'a [u64],
+    bases: &'a [u64],
+    nonce: u64,
+    advance: u64,
+    uniform_key: Option<u64>,
+    frame: FastMod,
+}
+
+impl ScanJob<'_> {
+    /// Number of active tags in the scan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.folded.len()
+    }
+
+    /// Whether no tags are active.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.folded.is_empty()
+    }
+
+    /// The sub-frame reducer (divisor = slots remaining).
+    #[must_use]
+    pub fn frame(&self) -> FastMod {
+        self.frame
+    }
+
+    /// Scans `lo..hi` of the active arrays, returning the minimal slot
+    /// in that range and pushing the (global) active indices of its
+    /// members onto `members` in ascending order. `members` is cleared
+    /// first.
+    ///
+    /// Both the sequential scanner and each chunk of a parallel scanner
+    /// bottom out here, so every strategy computes the same per-tag
+    /// slots: `mix64(folded ⊕ r ⊕ mix64(base + advance)) mod f`, with
+    /// the counter term pre-collapsed into the key when all bases are
+    /// equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo..hi` is out of bounds for the active arrays.
+    pub fn scan_range(&self, lo: usize, hi: usize, members: &mut Vec<u32>) -> Option<u64> {
+        members.clear();
+        let folded = &self.folded[lo..hi];
+        let frame = self.frame;
+        let mut best = u64::MAX;
+        // Candidate pre-filter: once a best slot exists, a probe whose
+        // Lemire fraction exceeds `threshold` is guaranteed to land
+        // strictly above it (see `FastMod::candidate_threshold`), so the
+        // exact remainder and the best/members bookkeeping are skipped.
+        // In a dense frame `best` hits 0 within a handful of probes and
+        // the steady-state iteration is just hash → fraction → compare,
+        // with a branch that predicts "skip" almost every time. The
+        // filter is conservative — sub-threshold probes are verified
+        // with the exact remainder — so the scan is bit-identical to
+        // the unfiltered one.
+        let mut threshold = u128::MAX;
+        match self.uniform_key {
+            Some(key) => {
+                for (j, &fv) in folded.iter().enumerate() {
+                    let frac = frame.frac(mix64(fv ^ key));
+                    if frac > threshold {
+                        continue;
+                    }
+                    let s = frame.rem_of_frac(frac);
+                    if s < best {
+                        best = s;
+                        threshold = frame.candidate_threshold(s);
+                        members.clear();
+                        members.push((lo + j) as u32);
+                    } else if s == best {
+                        members.push((lo + j) as u32);
+                    }
+                }
+            }
+            None => {
+                let bases = &self.bases[lo..hi];
+                for (j, (&fv, &bv)) in folded.iter().zip(bases).enumerate() {
+                    let ct = mix64(bv.wrapping_add(self.advance));
+                    let frac = frame.frac(mix64(fv ^ self.nonce ^ ct));
+                    if frac > threshold {
+                        continue;
+                    }
+                    let s = frame.rem_of_frac(frac);
+                    if s < best {
+                        best = s;
+                        threshold = frame.candidate_threshold(s);
+                        members.clear();
+                        members.push((lo + j) as u32);
+                    } else if s == best {
+                        members.push((lo + j) as u32);
+                    }
+                }
+            }
+        }
+        if members.is_empty() {
+            None
+        } else {
+            Some(best)
+        }
+    }
+}
+
+/// The default scanner: one linear pass over the whole active set.
+pub fn sequential_min_scan(job: &ScanJob<'_>, members: &mut Vec<u32>) -> Option<u64> {
+    job.scan_range(0, job.len(), members)
+}
+
+/// Reusable round state: the struct-of-arrays active set, the member
+/// buffers, and the output bitstring, all retained across rounds so a
+/// long monitoring session performs no per-round allocation in steady
+/// state (buffers grow to the population size once and stay).
+///
+/// Typical use:
+///
+/// ```rust
+/// use rand::SeedableRng;
+/// use tagwatch_core::engine::RoundScratch;
+/// use tagwatch_core::utrp::UtrpChallenge;
+/// use tagwatch_sim::{Counter, FrameSize, TagId, TimingModel};
+///
+/// # fn main() -> Result<(), tagwatch_core::CoreError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let ch = UtrpChallenge::generate(FrameSize::new(64)?, &TimingModel::gen2(), &mut rng);
+///
+/// let mut scratch = RoundScratch::new();
+/// scratch.load_pairs((1..=20u64).map(|i| (TagId::from(i), Counter::ZERO)));
+/// let announcements = scratch.run(ch.frame_size(), ch.nonces())?;
+/// assert_eq!(scratch.bitstring().len(), 64);
+/// assert!(announcements >= 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoundScratch {
+    folded: Vec<u64>,
+    bases: Vec<u64>,
+    orig: Vec<u32>,
+    members: Vec<u32>,
+    members_orig: Vec<u32>,
+    bitstring: Bitstring,
+    announcements: u64,
+    uniform_base: Option<u64>,
+    loaded: u32,
+}
+
+impl Default for RoundScratch {
+    fn default() -> Self {
+        RoundScratch::new()
+    }
+}
+
+impl RoundScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    #[must_use]
+    pub fn new() -> Self {
+        RoundScratch {
+            folded: Vec::new(),
+            bases: Vec::new(),
+            orig: Vec::new(),
+            members: Vec::new(),
+            members_orig: Vec::new(),
+            bitstring: Bitstring::zeros(0),
+            announcements: 0,
+            uniform_base: None,
+            loaded: 0,
+        }
+    }
+
+    /// Loads the round's participants from `(id, counter, mute)`
+    /// triples. Mute tags never enter the active arrays (they cannot
+    /// reply) but still occupy a load index, so attribution indices
+    /// always refer to the caller's original order.
+    pub fn load<I: IntoIterator<Item = (TagId, Counter, bool)>>(&mut self, parts: I) {
+        self.folded.clear();
+        self.bases.clear();
+        self.orig.clear();
+        self.loaded = 0;
+        let mut uniform = true;
+        let mut first_base: Option<u64> = None;
+        for (id, ct, mute) in parts {
+            let index = self.loaded;
+            self.loaded += 1;
+            if mute {
+                continue;
+            }
+            let base = ct.get();
+            match first_base {
+                None => first_base = Some(base),
+                Some(b) if b != base => uniform = false,
+                Some(_) => {}
+            }
+            self.folded.push(id.fold64());
+            self.bases.push(base);
+            self.orig.push(index);
+        }
+        self.uniform_base = if uniform { first_base } else { None };
+    }
+
+    /// Loads from [`UtrpParticipant`]s (counters at pre-round values).
+    pub fn load_participants(&mut self, parts: &[UtrpParticipant]) {
+        self.load(parts.iter().map(|p| (p.id, p.counter, p.mute)));
+    }
+
+    /// Loads from `(id, counter)` pairs — e.g. the server's registry
+    /// mirror iterated in place, with no intermediate `Vec`.
+    pub fn load_pairs<I: IntoIterator<Item = (TagId, Counter)>>(&mut self, pairs: I) {
+        self.load(pairs.into_iter().map(|(id, ct)| (id, ct, false)));
+    }
+
+    /// Loads from a physical tag population (detuned tags are mute).
+    pub fn load_population(&mut self, population: &TagPopulation) {
+        self.load(
+            population
+                .iter()
+                .map(|t| (t.id(), t.counter(), t.is_detuned())),
+        );
+    }
+
+    /// How many participants the last load saw (including mute ones).
+    #[must_use]
+    pub fn loaded(&self) -> usize {
+        self.loaded as usize
+    }
+
+    /// The occupancy bitstring of the last run.
+    #[must_use]
+    pub fn bitstring(&self) -> &Bitstring {
+        &self.bitstring
+    }
+
+    /// Moves the last run's bitstring out (the scratch keeps an empty
+    /// one and re-grows on the next run — use when the caller needs an
+    /// owned artifact, e.g. a reader response).
+    #[must_use]
+    pub fn take_bitstring(&mut self) -> Bitstring {
+        std::mem::replace(&mut self.bitstring, Bitstring::zeros(0))
+    }
+
+    /// Announcements made by the last run.
+    #[must_use]
+    pub fn announcements(&self) -> u64 {
+        self.announcements
+    }
+
+    /// Runs one UTRP round over the loaded participants with the
+    /// default sequential scanner, returning the announcement count.
+    /// The bitstring is left in [`RoundScratch::bitstring`].
+    ///
+    /// Counters are **not** written back anywhere — the round's only
+    /// counter effect is uniform (+announcements for every loaded tag,
+    /// mute included), which the caller applies to its own store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NonceSequenceExhausted`] if `nonces` is
+    /// shorter than the frame.
+    pub fn run(&mut self, f: FrameSize, nonces: &NonceSequence) -> Result<u64, CoreError> {
+        self.run_with(f, nonces, sequential_min_scan)
+    }
+
+    /// [`RoundScratch::run`] with an injected scanner (e.g. the chunked
+    /// parallel min-reduction in `tagwatch-analytics`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NonceSequenceExhausted`] if `nonces` is
+    /// shorter than the frame.
+    pub fn run_with<S>(
+        &mut self,
+        f: FrameSize,
+        nonces: &NonceSequence,
+        scanner: S,
+    ) -> Result<u64, CoreError>
+    where
+        S: FnMut(&ScanJob<'_>, &mut Vec<u32>) -> Option<u64>,
+    {
+        self.run_inner(f, nonces, scanner, |_, _| {})
+    }
+
+    /// [`RoundScratch::run_with`], invoking `on_reply(global_slot,
+    /// orig_indices)` for every occupied slot, with the replying tags'
+    /// original load indices in ascending order — the engine behind
+    /// slot attribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NonceSequenceExhausted`] if `nonces` is
+    /// shorter than the frame.
+    pub fn run_attributed_with<S, F>(
+        &mut self,
+        f: FrameSize,
+        nonces: &NonceSequence,
+        scanner: S,
+        on_reply: F,
+    ) -> Result<u64, CoreError>
+    where
+        S: FnMut(&ScanJob<'_>, &mut Vec<u32>) -> Option<u64>,
+        F: FnMut(u64, &[u32]),
+    {
+        self.run_inner(f, nonces, scanner, on_reply)
+    }
+
+    fn run_inner<S, F>(
+        &mut self,
+        f: FrameSize,
+        nonces: &NonceSequence,
+        mut scanner: S,
+        mut on_reply: F,
+    ) -> Result<u64, CoreError>
+    where
+        S: FnMut(&ScanJob<'_>, &mut Vec<u32>) -> Option<u64>,
+        F: FnMut(u64, &[u32]),
+    {
+        let total = f.get();
+        self.bitstring.reset(f.as_usize());
+        self.announcements = 0;
+        let mut cursor = nonces.cursor();
+        let mut subframe_start = 0u64;
+        let mut frame = FastMod::new(f);
+
+        loop {
+            let r = cursor.next_nonce()?.as_u64();
+            self.announcements += 1;
+            let advance = self.announcements;
+            let job = ScanJob {
+                folded: &self.folded,
+                bases: &self.bases,
+                nonce: r,
+                advance,
+                uniform_key: self
+                    .uniform_base
+                    .map(|base| r ^ mix64(base.wrapping_add(advance))),
+                frame,
+            };
+            let Some(rel) = scanner(&job, &mut self.members) else {
+                // No active tag replies: the rest of the frame is
+                // silence and the round ends (counters advanced once
+                // for this final announcement, as in the reference).
+                break;
+            };
+
+            let global = subframe_start + rel;
+            debug_assert!(global < total);
+            self.bitstring
+                .set(global as usize, true)
+                .expect("global < frame");
+
+            // Attribution wants original load indices ascending; the
+            // member buffer holds active indices (ascending by scanner
+            // contract, but active order is scrambled by swap_remove).
+            self.members_orig.clear();
+            self.members_orig
+                .extend(self.members.iter().map(|&i| self.orig[i as usize]));
+            self.members_orig.sort_unstable();
+            on_reply(global, &self.members_orig);
+
+            // Retire the repliers: swap-remove in descending index
+            // order keeps earlier indices valid.
+            for &mi in self.members.iter().rev() {
+                let i = mi as usize;
+                self.folded.swap_remove(i);
+                self.bases.swap_remove(i);
+                self.orig.swap_remove(i);
+            }
+
+            let remaining = total - (global + 1);
+            if remaining == 0 {
+                break;
+            }
+            subframe_start = global + 1;
+            frame = FastMod::from_divisor(remaining);
+        }
+        Ok(self.announcements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utrp::{simulate_round_reference, UtrpChallenge};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tagwatch_sim::TimingModel;
+
+    fn challenge(f: u64, seed: u64) -> UtrpChallenge {
+        let mut rng = StdRng::seed_from_u64(seed);
+        UtrpChallenge::generate(FrameSize::new(f).unwrap(), &TimingModel::gen2(), &mut rng)
+    }
+
+    fn mixed_parts(n: u64) -> Vec<UtrpParticipant> {
+        (1..=n)
+            .map(|i| {
+                let mut p = UtrpParticipant::new(TagId::from(i), Counter::new(i % 5));
+                p.mute = i % 13 == 0;
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scratch_matches_reference_and_reuses_buffers() {
+        let mut scratch = RoundScratch::new();
+        for (n, f_raw, seed) in [(1u64, 4u64, 1u64), (30, 64, 2), (120, 90, 3), (90, 256, 4)] {
+            let ch = challenge(f_raw, seed);
+            let parts = mixed_parts(n);
+            let mut reference = parts.clone();
+            let expected =
+                simulate_round_reference(&mut reference, ch.frame_size(), ch.nonces()).unwrap();
+
+            scratch.load_participants(&parts);
+            let announcements = scratch.run(ch.frame_size(), ch.nonces()).unwrap();
+            assert_eq!(*scratch.bitstring(), expected.bitstring, "n={n} f={f_raw}");
+            assert_eq!(announcements, expected.announcements, "n={n} f={f_raw}");
+        }
+    }
+
+    #[test]
+    fn uniform_counter_key_collapse_is_exact() {
+        // All-equal bases take the one-mix64 fast path; shifting a
+        // single tag's counter forces the general path. Both must agree
+        // with the reference bit-for-bit.
+        let ch = challenge(128, 7);
+        for bump in [0u64, 1] {
+            let mut parts: Vec<UtrpParticipant> = (1..=60u64)
+                .map(|i| UtrpParticipant::new(TagId::from(i), Counter::new(41)))
+                .collect();
+            parts[17].counter = Counter::new(41 + bump);
+            let mut reference = parts.clone();
+            let expected =
+                simulate_round_reference(&mut reference, ch.frame_size(), ch.nonces()).unwrap();
+            let mut scratch = RoundScratch::new();
+            scratch.load_participants(&parts);
+            scratch.run(ch.frame_size(), ch.nonces()).unwrap();
+            assert_eq!(*scratch.bitstring(), expected.bitstring, "bump={bump}");
+            assert_eq!(scratch.announcements(), expected.announcements);
+        }
+    }
+
+    #[test]
+    fn attribution_reports_orig_indices_ascending() {
+        let ch = challenge(50, 9);
+        // Dense population so some slots collide.
+        let parts: Vec<UtrpParticipant> = (1..=120u64)
+            .map(|i| UtrpParticipant::new(TagId::from(i), Counter::ZERO))
+            .collect();
+        let mut scratch = RoundScratch::new();
+        scratch.load_participants(&parts);
+        let mut seen: Vec<u32> = Vec::new();
+        let mut slots: Vec<u64> = Vec::new();
+        scratch
+            .run_attributed_with(
+                ch.frame_size(),
+                ch.nonces(),
+                sequential_min_scan,
+                |slot, members| {
+                    assert!(!members.is_empty());
+                    assert!(members.windows(2).all(|w| w[0] < w[1]), "not ascending");
+                    slots.push(slot);
+                    seen.extend_from_slice(members);
+                },
+            )
+            .unwrap();
+        // Slots strictly increase (each reply ends a sub-frame).
+        assert!(slots.windows(2).all(|w| w[0] < w[1]));
+        // Every non-mute participant replies exactly once.
+        seen.sort_unstable();
+        let expected: Vec<u32> = (0..120).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn chunked_scan_merge_equals_sequential() {
+        // Simulate a parallel scanner in-process: scan fixed chunks,
+        // merge by (min slot, chunk index order). Must equal the
+        // sequential scanner on every announcement of a real round.
+        let ch = challenge(96, 11);
+        let parts = mixed_parts(200);
+
+        let mut seq = RoundScratch::new();
+        seq.load_participants(&parts);
+        seq.run(ch.frame_size(), ch.nonces()).unwrap();
+        let seq_bs = seq.take_bitstring();
+        let seq_announced = seq.announcements();
+
+        let mut chunked = RoundScratch::new();
+        chunked.load_participants(&parts);
+        let mut chunk_members: Vec<u32> = Vec::new();
+        chunked
+            .run_with(ch.frame_size(), ch.nonces(), |job, members| {
+                members.clear();
+                let mut best: Option<u64> = None;
+                let chunk = 17;
+                let mut lo = 0;
+                while lo < job.len() {
+                    let hi = (lo + chunk).min(job.len());
+                    if let Some(m) = job.scan_range(lo, hi, &mut chunk_members) {
+                        match best {
+                            Some(b) if m > b => {}
+                            Some(b) if m == b => members.extend_from_slice(&chunk_members),
+                            _ => {
+                                best = Some(m);
+                                members.clear();
+                                members.extend_from_slice(&chunk_members);
+                            }
+                        }
+                    }
+                    lo = hi;
+                }
+                best
+            })
+            .unwrap();
+        assert_eq!(*chunked.bitstring(), seq_bs);
+        assert_eq!(chunked.announcements(), seq_announced);
+    }
+
+    #[test]
+    fn all_mute_or_empty_loads_announce_once() {
+        let ch = challenge(16, 5);
+        let mut scratch = RoundScratch::new();
+        scratch.load_pairs(std::iter::empty());
+        assert_eq!(scratch.run(ch.frame_size(), ch.nonces()).unwrap(), 1);
+        assert_eq!(scratch.bitstring().count_ones(), 0);
+
+        let mut muted = mixed_parts(5);
+        for p in &mut muted {
+            p.mute = true;
+        }
+        scratch.load_participants(&muted);
+        assert_eq!(scratch.loaded(), 5);
+        assert_eq!(scratch.run(ch.frame_size(), ch.nonces()).unwrap(), 1);
+        assert_eq!(scratch.bitstring().count_ones(), 0);
+    }
+}

@@ -26,10 +26,11 @@ use tagwatch_sim::tag::TagReply;
 use tagwatch_sim::{Channel, FaultPlan, TagPopulation, TimingModel};
 
 use crate::bitstring::Bitstring;
+use crate::engine::RoundScratch;
 use crate::error::CoreError;
 use crate::faulty::run_honest_reader_with;
 use crate::trp::{observed_bitstring, TrpChallenge};
-use crate::utrp::{run_honest_reader, UtrpChallenge, UtrpResponse};
+use crate::utrp::{run_honest_reader_scratch, UtrpChallenge, UtrpResponse};
 
 /// One configured way of executing protocol rounds: a radio channel and
 /// an optional scripted fault plan.
@@ -179,8 +180,29 @@ impl RoundExecutor {
         timing: &TimingModel,
         rng: &mut R,
     ) -> Result<UtrpResponse, CoreError> {
+        let mut scratch = RoundScratch::new();
+        self.run_utrp_scratch(floor, challenge, timing, rng, &mut scratch)
+    }
+
+    /// [`RoundExecutor::run_utrp`] through a caller-owned
+    /// [`RoundScratch`], so long-running drivers (sessions, soak loops)
+    /// reuse the round buffers tick after tick instead of reallocating.
+    /// Identical semantics; the scratch only serves the faultless fast
+    /// path — scripted-fault rounds are cold and keep their own state.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RoundExecutor::run_utrp`].
+    pub fn run_utrp_scratch<R: Rng + ?Sized>(
+        &self,
+        floor: &mut TagPopulation,
+        challenge: &UtrpChallenge,
+        timing: &TimingModel,
+        rng: &mut R,
+        scratch: &mut RoundScratch,
+    ) -> Result<UtrpResponse, CoreError> {
         if self.is_faultless() {
-            return run_honest_reader(floor, challenge, timing);
+            return run_honest_reader_scratch(floor, challenge, timing, scratch);
         }
         let empty = FaultPlan::new();
         let plan = self.plan.as_ref().unwrap_or(&empty);
@@ -191,6 +213,7 @@ impl RoundExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::utrp::run_honest_reader;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use tagwatch_sim::{ChannelConfig, FrameSize, Nonce, TagId};

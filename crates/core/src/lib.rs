@@ -62,6 +62,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bitstring;
+pub mod engine;
 pub mod error;
 pub mod executor;
 pub mod faulty;
@@ -80,11 +81,13 @@ pub mod utrp;
 pub mod verdict;
 
 pub use bitstring::Bitstring;
+pub use engine::{sequential_min_scan, RoundScratch, ScanJob};
 pub use error::CoreError;
 pub use executor::RoundExecutor;
 pub use faulty::{run_device_round_with, run_honest_reader_with, simulate_round_with};
 pub use frame::{
-    trp_detection_at, trp_frame_size, trp_frame_size_with_model, utrp_frame_size, UtrpSizing,
+    trp_detection_at, trp_frame_size, trp_frame_size_with_model, utrp_frame_size, FrameSizer,
+    UtrpSizing,
 };
 pub use groups::{GroupedAudit, GroupedMonitor, GroupedReport};
 pub use identify::{identify_missing, Identifier, IdentifyConfig, IdentifyOutcome};

@@ -22,14 +22,32 @@ impl LnFactorial {
     /// Builds the table up to `ln(max!)`.
     #[must_use]
     pub fn up_to(max: u64) -> Self {
-        let mut table = Vec::with_capacity(max as usize + 1);
-        table.push(0.0); // ln(0!) = 0
-        let mut acc = 0.0f64;
-        for k in 1..=max {
-            acc += (k as f64).ln();
-            table.push(acc);
+        let mut t = LnFactorial { table: vec![0.0] }; // ln(0!) = 0
+        t.grow_to(max);
+        t
+    }
+
+    /// Extends the table to cover `ln(max!)`, reusing every entry
+    /// already computed. A no-op when `max ≤ self.max()`.
+    ///
+    /// The log-factorial recurrence `ln(k!) = ln((k−1)!) + ln k`
+    /// continues exactly from the last cached entry, so a grown table is
+    /// bit-identical to one built with [`up_to`](LnFactorial::up_to)
+    /// directly — growth is purely an amortization: a frame-size search
+    /// that gallops past its initial guess pays only for the new
+    /// entries, and one table can serve every sizing call of a server's
+    /// lifetime.
+    pub fn grow_to(&mut self, max: u64) {
+        let want = max as usize + 1;
+        if self.table.len() >= want {
+            return;
         }
-        LnFactorial { table }
+        self.table.reserve(want - self.table.len());
+        let mut acc = *self.table.last().expect("table holds at least ln(0!)");
+        for k in self.table.len() as u64..=max {
+            acc += (k as f64).ln();
+            self.table.push(acc);
+        }
     }
 
     /// Largest `k` the table covers.
@@ -189,5 +207,24 @@ mod tests {
     #[test]
     fn table_max_reports_capacity() {
         assert_eq!(LnFactorial::up_to(7).max(), 7);
+    }
+
+    #[test]
+    fn grown_table_is_bit_identical_to_direct_build() {
+        let direct = LnFactorial::up_to(5_000);
+        let mut grown = LnFactorial::up_to(3);
+        grown.grow_to(40);
+        grown.grow_to(17); // shrink request: no-op
+        assert_eq!(grown.max(), 40);
+        grown.grow_to(5_000);
+        assert_eq!(grown.max(), direct.max());
+        for k in 0..=5_000u64 {
+            assert!(
+                grown.ln_factorial(k).to_bits() == direct.ln_factorial(k).to_bits(),
+                "k = {k}: grown {} != direct {}",
+                grown.ln_factorial(k),
+                direct.ln_factorial(k)
+            );
+        }
     }
 }

@@ -61,6 +61,28 @@ pub fn sync_horizon(n: u64, m: u64, f: u64, c: u64) -> f64 {
 /// requires at least one tag on each side) or `f == 0`.
 #[must_use]
 pub fn utrp_detection_probability(n: u64, m: u64, f: u64, c: u64, model: EmptySlotModel) -> f64 {
+    let mut table = LnFactorial::up_to(0);
+    utrp_detection_probability_with(&mut table, n, m, f, c, model)
+}
+
+/// [`utrp_detection_probability`] against a caller-provided
+/// log-factorial table, grown in place to whatever this evaluation
+/// needs. Frame-size searches call this hundreds of times with nearby
+/// `f`; sharing one table turns per-call `O(f)` rebuilds into a single
+/// amortized build (see [`LnFactorial::grow_to`]).
+///
+/// # Panics
+///
+/// As [`utrp_detection_probability`].
+#[must_use]
+pub fn utrp_detection_probability_with(
+    table: &mut LnFactorial,
+    n: u64,
+    m: u64,
+    f: u64,
+    c: u64,
+    model: EmptySlotModel,
+) -> f64 {
     assert!(m + 1 < n, "need n > m + 1 for a colluder split");
     assert!(f >= 1, "frame must have at least one slot");
     let c_prime = sync_horizon(n, m, f, c);
@@ -76,14 +98,15 @@ pub fn utrp_detection_probability(n: u64, m: u64, f: u64, c: u64, model: EmptySl
     let s1 = n - m - 1;
     let s2 = m + 1;
 
-    let table = LnFactorial::up_to(f_eff.max(s1));
+    table.grow_to(f_eff.max(s1));
+    let table = &*table;
     let mut detect = 0.0f64;
     // Outer sum over y = j present-tag responders after the horizon.
-    for (j, py) in binomial_terms(&table, s1, q, WINDOW_SIGMAS) {
+    for (j, py) in binomial_terms(table, s1, q, WINDOW_SIGMAS) {
         // Inner binomial over empty slots of the effective frame, with
         // the sum over x collapsed via the PGF of B(m+1, q).
         let p_empty = model.empty_slot_probability(j, f_eff);
-        let undetected: f64 = binomial_terms(&table, f_eff, p_empty, WINDOW_SIGMAS)
+        let undetected: f64 = binomial_terms(table, f_eff, p_empty, WINDOW_SIGMAS)
             .map(|(k, pmf)| {
                 let b = 1.0 - k as f64 / f_eff as f64;
                 pmf * powi_u64((1.0 - q) + q * b, s2)
@@ -209,6 +232,22 @@ mod tests {
             assert!(
                 (fast - reference).abs() < 1e-6,
                 "n={n} m={m} f={f} c={c}: fast {fast} vs ref {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_table_reuse_is_bit_identical_to_fresh_tables() {
+        // One table reused across an ascending-then-descending sweep
+        // (like a gallop + bisect) must reproduce the fresh-table value
+        // exactly — growth never perturbs existing entries.
+        let mut table = LnFactorial::up_to(0);
+        for &f in &[200u64, 1600, 400, 3000, 50, 900] {
+            let shared = utrp_detection_probability_with(&mut table, 800, 10, f, 20, POISSON);
+            let fresh = utrp_detection_probability(800, 10, f, 20, POISSON);
+            assert!(
+                shared.to_bits() == fresh.to_bits(),
+                "f={f}: shared {shared} vs fresh {fresh}"
             );
         }
     }

@@ -23,6 +23,7 @@ use rand::Rng;
 
 use tagwatch_sim::TagPopulation;
 
+use crate::engine::RoundScratch;
 use crate::error::CoreError;
 use crate::executor::RoundExecutor;
 use crate::server::MonitorServer;
@@ -41,6 +42,13 @@ pub trait Protocol {
     /// Runs one full round: issue a challenge from `server`, execute it
     /// over `floor` through `executor`, verify, and return the report.
     ///
+    /// `scratch` is the caller's reusable field-round state (see
+    /// [`RoundScratch`]): long-running drivers pass the same scratch
+    /// every tick so rounds stop churning the allocator. It never
+    /// affects semantics — a fresh scratch and a reused one produce
+    /// byte-identical rounds. TRP rounds carry no re-seed state and
+    /// leave it untouched.
+    ///
     /// # Errors
     ///
     /// Propagates protocol errors other than the response-shape mapping
@@ -51,6 +59,7 @@ pub trait Protocol {
         server: &mut MonitorServer,
         floor: &mut TagPopulation,
         executor: &RoundExecutor,
+        scratch: &mut RoundScratch,
         rng: &mut R,
     ) -> Result<MonitorReport, CoreError>;
 }
@@ -89,6 +98,7 @@ impl Protocol for Trp {
         server: &mut MonitorServer,
         floor: &mut TagPopulation,
         executor: &RoundExecutor,
+        _scratch: &mut RoundScratch,
         rng: &mut R,
     ) -> Result<MonitorReport, CoreError> {
         let challenge = server.issue_trp_challenge(rng)?;
@@ -114,12 +124,13 @@ impl Protocol for Utrp {
         server: &mut MonitorServer,
         floor: &mut TagPopulation,
         executor: &RoundExecutor,
+        scratch: &mut RoundScratch,
         rng: &mut R,
     ) -> Result<MonitorReport, CoreError> {
         let timing = server.config().timing;
         let challenge = server.issue_utrp_challenge(rng)?;
         let f = challenge.frame_size().get();
-        let response = executor.run_utrp(floor, &challenge, &timing, rng)?;
+        let response = executor.run_utrp_scratch(floor, &challenge, &timing, rng, scratch)?;
         alarm_on_shape_mismatch(
             server.verify_utrp(challenge, &response),
             ProtocolKind::Utrp,
@@ -165,6 +176,7 @@ mod tests {
                 &mut protocol_server,
                 &mut protocol_floor,
                 &RoundExecutor::ideal(),
+                &mut RoundScratch::new(),
                 &mut rng_b,
             )
             .unwrap();
@@ -178,7 +190,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..3 {
             let report = Utrp
-                .run_round(&mut server, &mut floor, &RoundExecutor::ideal(), &mut rng)
+                .run_round(
+                    &mut server,
+                    &mut floor,
+                    &RoundExecutor::ideal(),
+                    &mut RoundScratch::new(),
+                    &mut rng,
+                )
                 .unwrap();
             assert!(report.verdict.is_intact());
         }
@@ -204,7 +222,13 @@ mod tests {
             Some(FaultPlan::new().truncate_response(8)),
         );
         let report = Utrp
-            .run_round(&mut server, &mut floor, &executor, &mut rng)
+            .run_round(
+                &mut server,
+                &mut floor,
+                &executor,
+                &mut RoundScratch::new(),
+                &mut rng,
+            )
             .unwrap();
         assert!(report.is_alarm());
         assert!(report.verdict.is_alarm());
@@ -212,7 +236,13 @@ mod tests {
         // the field advanced while the mirror did not, so the *next*
         // clean round is diagnosed as a uniform mirror lag.
         let next = Utrp
-            .run_round(&mut server, &mut floor, &RoundExecutor::ideal(), &mut rng)
+            .run_round(
+                &mut server,
+                &mut floor,
+                &RoundExecutor::ideal(),
+                &mut RoundScratch::new(),
+                &mut rng,
+            )
             .unwrap();
         assert!(
             matches!(&next.verdict, Verdict::Desynced { suspects } if suspects.is_empty()),
@@ -220,7 +250,13 @@ mod tests {
         );
 
         let trp_report = Trp
-            .run_round(&mut server, &mut floor, &executor, &mut rng)
+            .run_round(
+                &mut server,
+                &mut floor,
+                &executor,
+                &mut RoundScratch::new(),
+                &mut rng,
+            )
             .unwrap();
         assert!(trp_report.is_alarm(), "TRP truncation must alarm too");
     }
@@ -231,7 +267,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         floor.remove_random(4, &mut rng).unwrap();
         let report = Trp
-            .run_round(&mut server, &mut floor, &RoundExecutor::ideal(), &mut rng)
+            .run_round(
+                &mut server,
+                &mut floor,
+                &RoundExecutor::ideal(),
+                &mut RoundScratch::new(),
+                &mut rng,
+            )
             .unwrap();
         assert!(report.is_alarm());
     }

@@ -14,6 +14,7 @@ use rand::Rng;
 use tagwatch_sim::{Counter, FrameSize, TagId, TimingModel};
 
 use crate::bitstring::Bitstring;
+use crate::engine::RoundScratch;
 use crate::error::CoreError;
 use crate::frame::{trp_frame_size, utrp_frame_size, UtrpSizing};
 use crate::params::MonitorParams;
@@ -121,6 +122,11 @@ pub struct MonitorServer {
     counters_synced: bool,
     pending_resync: Option<ResyncHypothesis>,
     history: Vec<MonitorReport>,
+    // Reusable mirror-simulation state: verify_utrp predicts the
+    // expected round into this scratch every tick, so the hot path
+    // performs no per-round allocation (buffers grow to the registry
+    // size once and stay).
+    scratch: RoundScratch,
 }
 
 impl MonitorServer {
@@ -166,6 +172,7 @@ impl MonitorServer {
             counters_synced: true,
             pending_resync: None,
             history: Vec::new(),
+            scratch: RoundScratch::new(),
         })
     }
 
@@ -347,11 +354,16 @@ impl MonitorServer {
                 received: response.bitstring.len() as u64,
             });
         }
-        let registry: Vec<(TagId, Counter)> =
-            self.registry.iter().map(|(&id, &ct)| (id, ct)).collect();
-        let expected = expected_round(&registry, &challenge)?;
+        // Mirror prediction runs in the server's reusable scratch: the
+        // registry is streamed straight from the BTreeMap into the
+        // engine's arrays — no intermediate Vec, no fresh bitstring.
+        // (Taken out of `self` for the duration to keep the borrow
+        // checker happy about the simultaneous registry iteration.)
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.load_pairs(self.registry.iter().map(|(&id, &ct)| (id, ct)));
+        let announcements = scratch.run(challenge.frame_size(), challenge.nonces())?;
         let late = !challenge.timer().accepts(response.elapsed);
-        let mismatched = expected.bitstring.hamming_distance(&response.bitstring)?;
+        let mismatched = scratch.bitstring().hamming_distance(&response.bitstring)?;
 
         let verdict = if late {
             // A blown deadline is the paper's collusion signal; no
@@ -360,23 +372,30 @@ impl MonitorServer {
             Verdict::NotIntact
         } else if mismatched == 0 {
             Verdict::Intact
-        } else if let Some(hypothesis) = self.diagnose_desync(
-            &registry,
-            &challenge,
-            &expected.bitstring,
-            &response.bitstring,
-        )? {
-            let suspects = hypothesis.suspects();
-            self.pending_resync = Some(hypothesis);
-            Verdict::Desynced { suspects }
         } else {
-            self.pending_resync = None;
-            Verdict::NotIntact
+            // Diagnosis is the cold path: only now materialize the
+            // registry as a Vec for the hypothesis search.
+            let registry: Vec<(TagId, Counter)> =
+                self.registry.iter().map(|(&id, &ct)| (id, ct)).collect();
+            if let Some(hypothesis) = self.diagnose_desync(
+                &registry,
+                &challenge,
+                scratch.bitstring(),
+                &response.bitstring,
+            )? {
+                let suspects = hypothesis.suspects();
+                self.pending_resync = Some(hypothesis);
+                Verdict::Desynced { suspects }
+            } else {
+                self.pending_resync = None;
+                Verdict::NotIntact
+            }
         };
+        self.scratch = scratch;
 
         if verdict.is_intact() {
             for ct in self.registry.values_mut() {
-                *ct = Counter::new(ct.get().wrapping_add(expected.announcements));
+                *ct = Counter::new(ct.get().wrapping_add(announcements));
             }
         } else {
             self.counters_synced = false;
@@ -444,12 +463,10 @@ impl MonitorServer {
         // so attribute the expected round's slots and collect those.
         let (_, attribution) = attributed_round(registry, challenge)?;
         let mut candidates: Vec<TagId> = Vec::new();
-        for (slot, tags) in attribution.iter().enumerate() {
-            if expected.get(slot)? && !observed.get(slot)? {
-                for &tag in tags {
-                    if !candidates.contains(&tag) {
-                        candidates.push(tag);
-                    }
+        for slot in expected.iter_dropped_ones(observed)? {
+            for &tag in &attribution[slot] {
+                if !candidates.contains(&tag) {
+                    candidates.push(tag);
                 }
             }
         }

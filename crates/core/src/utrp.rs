@@ -33,6 +33,7 @@ use tagwatch_sim::hash::slot_for_counted;
 use tagwatch_sim::{Counter, FrameSize, Nonce, SimDuration, TagId, TagPopulation, TimingModel};
 
 use crate::bitstring::Bitstring;
+use crate::engine::{sequential_min_scan, RoundScratch};
 use crate::error::CoreError;
 use crate::nonce::NonceSequence;
 use crate::timer::ResponseTimer;
@@ -140,8 +141,11 @@ pub struct RoundOutcome {
 }
 
 /// One reader's incremental state over a tag subset during a UTRP
-/// round — the engine behind [`simulate_round`] and the collusion
-/// attack in `tagwatch-attack`.
+/// round — the original (array-of-structs) engine, kept for the
+/// collusion attack in `tagwatch-attack` and as the baseline the perf
+/// harness measures the struct-of-arrays engine
+/// ([`crate::engine::RoundScratch`], which now backs [`simulate_round`])
+/// against.
 ///
 /// Two observations make rounds fast without changing semantics:
 ///
@@ -262,9 +266,11 @@ impl SubsetRound {
 /// [`run_honest_reader`] runs it over the physical population — the
 /// paper's determinism argument made executable.
 ///
-/// Internally this is the fast sub-frame-skipping engine
-/// ([`SubsetRound`]); [`simulate_round_reference`] is the literal
-/// slot-by-slot form, and the two are tested to agree bit-for-bit.
+/// Internally this is the struct-of-arrays sub-frame-skipping engine
+/// ([`crate::engine::RoundScratch`]), operating **in place** — no
+/// participant clone, no copy-back; [`simulate_round_reference`] is the
+/// literal slot-by-slot form, and the two are tested to agree
+/// bit-for-bit.
 ///
 /// # Errors
 ///
@@ -275,34 +281,36 @@ pub fn simulate_round(
     f: FrameSize,
     nonces: &NonceSequence,
 ) -> Result<RoundOutcome, CoreError> {
-    let total = f.get();
-    let mut bs = Bitstring::zeros(f.as_usize());
-    let mut cursor = nonces.cursor();
-
-    let mut state = SubsetRound::new(participants.to_vec());
-    state.announce(cursor.next_nonce()?, f);
-    let mut subframe_start = 0u64;
-
-    while let Some(rel) = state.next_reply_rel() {
-        let global = subframe_start + rel;
-        debug_assert!(global < total);
-        bs.set(global as usize, true).expect("global < frame");
-        state.take_reply();
-        let remaining = total - (global + 1);
-        if remaining == 0 {
-            break;
-        }
-        subframe_start = global + 1;
-        let f_sub = FrameSize::new(remaining).expect("remaining > 0");
-        state.announce(cursor.next_nonce()?, f_sub);
-    }
-
-    let (finished, announcements) = state.finish();
-    participants.copy_from_slice(&finished);
+    let mut scratch = RoundScratch::new();
+    let announcements = simulate_round_scratch(&mut scratch, participants, f, nonces)?;
     Ok(RoundOutcome {
-        bitstring: bs,
+        bitstring: scratch.take_bitstring(),
         announcements,
     })
+}
+
+/// [`simulate_round`] through a caller-owned [`RoundScratch`]: loads
+/// the participants into the scratch's arrays, runs the round, and
+/// advances every participant's counter in place by the announcement
+/// count. The bitstring stays in the scratch
+/// ([`RoundScratch::bitstring`]) so repeated rounds allocate nothing.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NonceSequenceExhausted`] if the sequence is too
+/// short.
+pub fn simulate_round_scratch(
+    scratch: &mut RoundScratch,
+    participants: &mut [UtrpParticipant],
+    f: FrameSize,
+    nonces: &NonceSequence,
+) -> Result<u64, CoreError> {
+    scratch.load_participants(participants);
+    let announcements = scratch.run(f, nonces)?;
+    for p in participants.iter_mut() {
+        p.counter = Counter::new(p.counter.get().wrapping_add(announcements));
+    }
+    Ok(announcements)
 }
 
 /// The literal slot-by-slot form of Algs. 6–7, kept as an executable
@@ -414,27 +422,38 @@ pub fn run_honest_reader(
     challenge: &UtrpChallenge,
     timing: &TimingModel,
 ) -> Result<UtrpResponse, CoreError> {
-    let mut participants: Vec<UtrpParticipant> = population
-        .iter()
-        .map(|t| UtrpParticipant {
-            id: t.id(),
-            counter: t.counter(),
-            mute: t.is_detuned(),
-        })
-        .collect();
-    let outcome = simulate_round(
-        &mut participants,
-        challenge.frame_size(),
-        challenge.nonces(),
-    )?;
+    let mut scratch = RoundScratch::new();
+    run_honest_reader_scratch(population, challenge, timing, &mut scratch)
+}
+
+/// [`run_honest_reader`] through a caller-owned [`RoundScratch`]: the
+/// population is loaded straight into the scratch's arrays (no
+/// intermediate participant `Vec`), and the only per-round allocation
+/// left is the response bitstring itself — the owned artifact handed
+/// to the server.
+///
+/// # Errors
+///
+/// Propagates round-simulation errors.
+pub fn run_honest_reader_scratch(
+    population: &mut TagPopulation,
+    challenge: &UtrpChallenge,
+    timing: &TimingModel,
+    scratch: &mut RoundScratch,
+) -> Result<UtrpResponse, CoreError> {
+    scratch.load_population(population);
+    let announcements = scratch.run(challenge.frame_size(), challenge.nonces())?;
     for tag in population.iter_mut() {
-        tag.advance_counter(outcome.announcements);
+        tag.advance_counter(announcements);
     }
-    let elapsed = round_duration(timing, &outcome);
+    let bitstring = scratch.bitstring().clone();
+    let slots = bitstring.len() as u64;
+    let occupied = bitstring.count_ones() as u64;
+    let elapsed = round_duration_parts(timing, slots, occupied, announcements);
     Ok(UtrpResponse {
-        bitstring: outcome.bitstring,
+        bitstring,
         elapsed,
-        announcements: outcome.announcements,
+        announcements,
     })
 }
 
@@ -528,10 +547,25 @@ pub fn run_device_round(
 /// a presence burst).
 #[must_use]
 pub fn round_duration(timing: &TimingModel, outcome: &RoundOutcome) -> SimDuration {
-    let slots = outcome.bitstring.len() as u64;
-    let occupied = outcome.bitstring.count_ones() as u64;
+    round_duration_parts(
+        timing,
+        outcome.bitstring.len() as u64,
+        outcome.bitstring.count_ones() as u64,
+        outcome.announcements,
+    )
+}
+
+/// [`round_duration`] from its raw components, for callers that keep
+/// the bitstring in a scratch buffer rather than a [`RoundOutcome`].
+#[must_use]
+pub fn round_duration_parts(
+    timing: &TimingModel,
+    slots: u64,
+    occupied: u64,
+    announcements: u64,
+) -> SimDuration {
     let empty = slots - occupied;
-    timing.frame_announce * outcome.announcements
+    timing.frame_announce * announcements
         + timing.slot_broadcast * slots
         + timing.presence_reply * occupied
         + timing.empty_slot * empty
@@ -548,15 +582,13 @@ pub fn expected_round(
     registry: &[(TagId, Counter)],
     challenge: &UtrpChallenge,
 ) -> Result<RoundOutcome, CoreError> {
-    let mut participants: Vec<UtrpParticipant> = registry
-        .iter()
-        .map(|&(id, ct)| UtrpParticipant::new(id, ct))
-        .collect();
-    simulate_round(
-        &mut participants,
-        challenge.frame_size(),
-        challenge.nonces(),
-    )
+    let mut scratch = RoundScratch::new();
+    scratch.load_pairs(registry.iter().copied());
+    let announcements = scratch.run(challenge.frame_size(), challenge.nonces())?;
+    Ok(RoundOutcome {
+        bitstring: scratch.take_bitstring(),
+        announcements,
+    })
 }
 
 /// Like [`expected_round`], but also attributes every occupied slot to
@@ -573,42 +605,20 @@ pub fn attributed_round(
     challenge: &UtrpChallenge,
 ) -> Result<(RoundOutcome, Vec<Vec<TagId>>), CoreError> {
     let f = challenge.frame_size();
-    let total = f.get();
-    let mut bs = Bitstring::zeros(f.as_usize());
     let mut attribution: Vec<Vec<TagId>> = vec![Vec::new(); f.as_usize()];
-    let mut cursor = challenge.nonces().cursor();
-
-    let parts: Vec<UtrpParticipant> = registry
-        .iter()
-        .map(|&(id, ct)| UtrpParticipant::new(id, ct))
-        .collect();
-    let mut state = SubsetRound::new(parts);
-    state.announce(cursor.next_nonce()?, f);
-    let mut subframe_start = 0u64;
-
-    while let Some(rel) = state.next_reply_rel() {
-        let global = subframe_start + rel;
-        debug_assert!(global < total);
-        bs.set(global as usize, true).expect("global < frame");
-        attribution[global as usize] = state
-            .next_reply_members()
-            .iter()
-            .map(|&i| registry[i].0)
-            .collect();
-        state.take_reply();
-        let remaining = total - (global + 1);
-        if remaining == 0 {
-            break;
-        }
-        subframe_start = global + 1;
-        let f_sub = FrameSize::new(remaining).expect("remaining > 0");
-        state.announce(cursor.next_nonce()?, f_sub);
-    }
-
-    let (_, announcements) = state.finish();
+    let mut scratch = RoundScratch::new();
+    scratch.load_pairs(registry.iter().copied());
+    let announcements = scratch.run_attributed_with(
+        f,
+        challenge.nonces(),
+        sequential_min_scan,
+        |slot, members| {
+            attribution[slot as usize] = members.iter().map(|&i| registry[i as usize].0).collect();
+        },
+    )?;
     Ok((
         RoundOutcome {
-            bitstring: bs,
+            bitstring: scratch.take_bitstring(),
             announcements,
         },
         attribution,
@@ -691,6 +701,59 @@ mod tests {
             assert_eq!(device.bitstring, fast.bitstring, "n={n} f={f_raw}");
             assert_eq!(device.announcements, fast.announcements, "n={n} f={f_raw}");
             // Device counters advanced identically.
+            for (tag, part) in pop.iter().zip(parts.iter()) {
+                assert_eq!(tag.counter(), part.counter, "counter of {}", tag.id());
+            }
+        }
+    }
+
+    #[test]
+    fn large_population_rounds_match_reference() {
+        // The SoA engine at the scales it was built for. Frames are
+        // kept modest so the O(n·f) reference stays debug-tractable;
+        // density (n ≫ f) maximizes collisions, sub-frame churn, and
+        // swap-remove traffic — the paths most likely to diverge.
+        for (n, f_raw, seed) in [(10_000u64, 256u64, 21u64), (100_000, 64, 22)] {
+            let ch = challenge(f_raw, seed);
+            let mut fast: Vec<UtrpParticipant> = (1..=n)
+                .map(|i| {
+                    let mut p = UtrpParticipant::new(TagId::from(i), Counter::new(i % 23));
+                    p.mute = i % 17 == 0;
+                    p
+                })
+                .collect();
+            let mut reference = fast.clone();
+            let a = simulate_round(&mut fast, ch.frame_size(), ch.nonces()).unwrap();
+            let b = simulate_round_reference(&mut reference, ch.frame_size(), ch.nonces()).unwrap();
+            assert_eq!(a, b, "outcome diverged for n={n} f={f_raw}");
+            assert_eq!(fast, reference, "counters diverged for n={n} f={f_raw}");
+        }
+    }
+
+    #[test]
+    fn large_population_device_rounds_match_engine() {
+        // Device-state-machine parity at scale: every physical tag's
+        // counter must advance exactly as the engine's uniform rule
+        // predicts, including detuned (mute) tags.
+        for (n, f_raw, seed) in [(10_000usize, 256u64, 31u64), (100_000, 64, 32)] {
+            let ch = challenge(f_raw, seed);
+            let mut pop = TagPopulation::with_sequential_ids(n);
+            let mut rng = StdRng::seed_from_u64(seed);
+            pop.detune_random(n / 20, &mut rng).unwrap();
+            let mut parts: Vec<UtrpParticipant> = pop
+                .iter()
+                .map(|t| UtrpParticipant {
+                    id: t.id(),
+                    counter: t.counter(),
+                    mute: t.is_detuned(),
+                })
+                .collect();
+
+            let device = run_device_round(&mut pop, &ch, &TimingModel::gen2()).unwrap();
+            let fast = simulate_round(&mut parts, ch.frame_size(), ch.nonces()).unwrap();
+
+            assert_eq!(device.bitstring, fast.bitstring, "n={n} f={f_raw}");
+            assert_eq!(device.announcements, fast.announcements, "n={n} f={f_raw}");
             for (tag, part) in pop.iter().zip(parts.iter()) {
                 assert_eq!(tag.counter(), part.counter, "counter of {}", tag.id());
             }

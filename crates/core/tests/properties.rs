@@ -153,4 +153,56 @@ proptest! {
         let b = NonceSequence::generate(len, &mut rand::rngs::StdRng::seed_from_u64(seed));
         prop_assert_eq!(a, b);
     }
+
+    // ---------------- SoA round engine ----------------
+
+    #[test]
+    fn soa_engine_matches_reference_on_random_rounds(
+        counters in prop::collection::vec(0u64..1_000, 1..200),
+        f in 1u64..300,
+        mute_mod in 2u64..20,
+        nonce_seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        use tagwatch_core::utrp::{
+            simulate_round, simulate_round_reference, UtrpChallenge, UtrpParticipant,
+        };
+        use tagwatch_core::RoundScratch;
+        use tagwatch_sim::{FrameSize, TimingModel};
+
+        // Random population: ids dense, counters arbitrary (uniform
+        // bases sometimes — exercising the key-collapse fast path —
+        // and scattered otherwise), a modular mute subset.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(nonce_seed);
+        let ch = UtrpChallenge::generate(
+            FrameSize::new(f).unwrap(),
+            &TimingModel::gen2(),
+            &mut rng,
+        );
+        let mut fast: Vec<UtrpParticipant> = counters
+            .iter()
+            .enumerate()
+            .map(|(i, &ct)| {
+                let mut p = UtrpParticipant::new(TagId::from(i as u64 + 1), Counter::new(ct));
+                p.mute = (i as u64).is_multiple_of(mute_mod);
+                p
+            })
+            .collect();
+        let pristine = fast.clone();
+        let mut reference = fast.clone();
+
+        let a = simulate_round(&mut fast, ch.frame_size(), ch.nonces()).unwrap();
+        let b = simulate_round_reference(&mut reference, ch.frame_size(), ch.nonces()).unwrap();
+        prop_assert_eq!(&a, &b, "outcome diverged");
+        prop_assert_eq!(&fast, &reference, "counters diverged");
+
+        // A reused scratch must agree with the one-shot path too.
+        let mut scratch = RoundScratch::new();
+        for _ in 0..2 {
+            scratch.load_participants(&pristine);
+            let announcements = scratch.run(ch.frame_size(), ch.nonces()).unwrap();
+            prop_assert_eq!(scratch.bitstring(), &a.bitstring);
+            prop_assert_eq!(announcements, a.announcements);
+        }
+    }
 }

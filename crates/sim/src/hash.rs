@@ -76,6 +76,126 @@ pub fn slot_for_counted(id: TagId, r: Nonce, ct: Counter, f: FrameSize) -> u64 {
     reduce(mix64(id.fold64() ^ r.as_u64() ^ mix64(ct.get())), f)
 }
 
+/// A precomputed divisor that evaluates `x % f` without a hardware
+/// divide, bit-identical to the `%` operator.
+///
+/// The round engines evaluate [`reduce`] once per active tag per
+/// announcement — millions of times per large round — and a 64-bit
+/// integer divide by a runtime divisor is the single slowest ALU op on
+/// that path (tens of cycles, not pipelined). `FastMod` hoists the
+/// divisor work out of the loop using Lemire's exact remainder method
+/// (Lemire, Kaser & Kurz, *"Faster remainders when the divisor is a
+/// constant"*, 2019): precompute `M = ⌈2¹²⁸ / f⌉` once per frame, then
+///
+/// ```text
+/// x mod f = (((M · x) mod 2¹²⁸) · f) >> 128
+/// ```
+///
+/// which is three 64×64→128 multiplies per evaluation. The identity is
+/// *exact* for every `x: u64` and every divisor `f ≥ 1` — this is not an
+/// approximate multiply-shift reduction — so bitstrings, soak digests,
+/// and every recorded experiment stay byte-identical to the plain `%`
+/// path. The `f = 1` edge case falls out naturally: `M` wraps to 0, the
+/// product is 0, and the remainder is 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastMod {
+    divisor: u64,
+    magic: u128,
+}
+
+impl FastMod {
+    /// Precomputes the magic constant for reductions modulo `f`.
+    #[must_use]
+    pub const fn new(f: FrameSize) -> Self {
+        Self::from_divisor(f.get())
+    }
+
+    /// Precomputes the magic constant for an arbitrary non-zero divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor == 0` (a frame always has at least one slot).
+    #[must_use]
+    pub const fn from_divisor(divisor: u64) -> Self {
+        assert!(divisor != 0, "FastMod divisor must be non-zero");
+        // ⌈2¹²⁸ / d⌉ = ⌊(2¹²⁸ − 1) / d⌋ + 1 for d > 1; for d = 1 the
+        // `+ 1` wraps to 0, which the multiply then annihilates — the
+        // correct remainder (always 0) with no branch.
+        let magic = (u128::MAX / divisor as u128).wrapping_add(1);
+        FastMod { divisor, magic }
+    }
+
+    /// The divisor this reducer was built for.
+    #[must_use]
+    pub const fn divisor(self) -> u64 {
+        self.divisor
+    }
+
+    /// Computes `x % divisor`, bit-identical to the `%` operator.
+    #[inline]
+    #[must_use]
+    pub const fn rem(self, x: u64) -> u64 {
+        self.rem_of_frac(self.frac(x))
+    }
+
+    /// The Lemire fraction `(M · x) mod 2¹²⁸` — the intermediate of
+    /// [`FastMod::rem`], exposed so hot loops can split the reduction:
+    /// compute the fraction (two multiplies), test it against
+    /// [`FastMod::candidate_threshold`], and only finish with
+    /// [`FastMod::rem_of_frac`] (two more multiplies) when the value can
+    /// still matter.
+    #[inline]
+    #[must_use]
+    pub const fn frac(self, x: u64) -> u128 {
+        self.magic.wrapping_mul(x as u128)
+    }
+
+    /// Completes a reduction started by [`FastMod::frac`]:
+    /// `rem_of_frac(frac(x)) == x % divisor` for every `x`.
+    #[inline]
+    #[must_use]
+    pub const fn rem_of_frac(self, frac: u128) -> u64 {
+        // ⌊(frac · d) / 2¹²⁸⌋ with d: u64, via two 64×64→128 limbs:
+        // frac = hi·2⁶⁴ + lo ⇒ (frac·d) >> 128 = (hi·d + ((lo·d) >> 64)) >> 64.
+        let d = self.divisor as u128;
+        let lo_prod = (frac as u64 as u128 * d) >> 64;
+        let hi_prod = (frac >> 64) * d;
+        ((hi_prod + lo_prod) >> 64) as u64
+    }
+
+    /// The largest Lemire fraction that can still reduce to a remainder
+    /// `≤ bound`: if `frac(x) > candidate_threshold(bound)` then
+    /// `x % divisor > bound`, **guaranteed**. The converse does not hold
+    /// — a fraction at or below the threshold may still reduce above
+    /// `bound` — so callers must treat sub-threshold values as
+    /// *candidates* and verify them with [`FastMod::rem_of_frac`]. Used
+    /// as a conservative pre-filter, the split is therefore bit-identical
+    /// to calling [`FastMod::rem`] on every value.
+    ///
+    /// Soundness: `M ≥ 2¹²⁸ / d`, so `frac ≥ (bound+1) · M` implies
+    /// `frac · d ≥ (bound+1) · 2¹²⁸`, i.e. `rem = ⌊frac · d / 2¹²⁸⌋ ≥
+    /// bound + 1`. The threshold is `(bound+1) · M − 1`, so `frac >
+    /// threshold` is exactly that condition. When every remainder is
+    /// trivially `≤ bound` (`bound ≥ d − 1`, including `d = 1` where `M`
+    /// wrapped to 0) the threshold is `u128::MAX`, which no fraction
+    /// exceeds — everything stays a candidate.
+    #[inline]
+    #[must_use]
+    pub const fn candidate_threshold(self, bound: u64) -> u128 {
+        if self.magic == 0 || bound >= self.divisor - 1 {
+            return u128::MAX;
+        }
+        // bound + 1 ≤ d − 1 and M·(d−1) < 2¹²⁸ for every u64 divisor
+        // (since (d−1)² < 2¹²⁸), so the product cannot overflow; the
+        // checked form guards the argument anyway — an overflow would
+        // silently truncate the threshold and drop true candidates.
+        match self.magic.checked_mul(bound as u128 + 1) {
+            Some(t) => t - 1,
+            None => u128::MAX,
+        }
+    }
+}
+
 /// A reusable slot hasher carrying a domain-separation seed.
 ///
 /// All protocol code in this workspace uses the [`slot_for`] /
@@ -276,5 +396,143 @@ mod tests {
     #[test]
     fn single_slot_frame_always_slot_zero() {
         assert_eq!(slot_for(TagId::new(123), Nonce::new(9), FrameSize::ONE), 0);
+    }
+
+    #[test]
+    fn fastmod_matches_operator_on_edge_divisors() {
+        let divisors = [
+            1u64,
+            2,
+            3,
+            4,
+            5,
+            7,
+            8,
+            16,
+            255,
+            256,
+            257,
+            977,
+            1 << 20,
+            (1 << 20) + 1,
+            (1 << 32) - 1,
+            1 << 32,
+            (1 << 32) + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let xs = [
+            0u64,
+            1,
+            2,
+            3,
+            255,
+            256,
+            977,
+            u32::MAX as u64,
+            u32::MAX as u64 + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &d in &divisors {
+            let fm = FastMod::from_divisor(d);
+            assert_eq!(fm.divisor(), d);
+            for &x in &xs {
+                assert_eq!(fm.rem(x), x % d, "x={x} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn fastmod_matches_operator_on_random_pairs() {
+        // Deterministic pseudo-random sweep: every (x, d) pair drawn from
+        // the avalanche hash, including divisors near powers of two where
+        // approximate reductions break.
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        for i in 0..200_000u64 {
+            state = mix64(state ^ i);
+            let x = state;
+            state = mix64(state ^ 0x9e37_79b9_7f4a_7c15);
+            let mut d = state;
+            if i % 3 == 0 {
+                // Cluster around powers of two ±1.
+                let shift = (state % 63) as u32 + 1;
+                d = (1u64 << shift).wrapping_add((state >> 32) % 3).max(1);
+            }
+            if d == 0 {
+                d = 1;
+            }
+            assert_eq!(FastMod::from_divisor(d).rem(x), x % d, "x={x} d={d}");
+        }
+    }
+
+    #[test]
+    fn frac_and_rem_of_frac_compose_to_rem() {
+        let mut state = 0x1bd1_1bda_a9fc_1a22u64;
+        for _ in 0..20_000 {
+            state = mix64(state ^ 0x9e37_79b9_7f4a_7c15);
+            let x = state;
+            state = mix64(state);
+            let d = state.max(1);
+            let fm = FastMod::from_divisor(d);
+            assert_eq!(fm.rem_of_frac(fm.frac(x)), x % d, "x={x} d={d}");
+        }
+    }
+
+    #[test]
+    fn candidate_threshold_never_skips_a_true_candidate() {
+        // The load-bearing guarantee: frac > threshold(bound) must imply
+        // rem > bound, for every (x, d, bound). Equivalently no value
+        // with rem <= bound may exceed the threshold. Sweep small
+        // divisors exhaustively-ish and large ones pseudo-randomly.
+        let mut state = 0x8cb9_2ba7_2f3d_8dd7u64;
+        for _ in 0..50_000 {
+            state = mix64(state ^ 1);
+            let x = state;
+            state = mix64(state ^ 2);
+            let d = (state % 3000).max(1);
+            state = mix64(state ^ 3);
+            let bound = state % d.max(2);
+            let fm = FastMod::from_divisor(d);
+            if fm.frac(x) > fm.candidate_threshold(bound) {
+                assert!(x % d > bound, "skipped x={x} d={d} bound={bound}");
+            }
+        }
+        // Huge divisors (overflow-adjacent thresholds).
+        for d in [u64::MAX, u64::MAX - 1, 1u64 << 63, (1 << 63) + 1] {
+            let fm = FastMod::from_divisor(d);
+            for i in 0..2_000u64 {
+                let x = mix64(i ^ d);
+                let bound = mix64(i) % d;
+                if fm.frac(x) > fm.candidate_threshold(bound) {
+                    assert!(x % d > bound, "skipped x={x} d={d} bound={bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_threshold_degenerate_cases_keep_everything_candidate() {
+        // d = 1: every remainder is 0 <= bound, so nothing may be
+        // skipped; magic wrapped to 0 makes the threshold MAX.
+        assert_eq!(FastMod::from_divisor(1).candidate_threshold(0), u128::MAX);
+        // bound >= d - 1: remainders are always <= bound.
+        assert_eq!(FastMod::from_divisor(64).candidate_threshold(63), u128::MAX);
+        assert_eq!(FastMod::from_divisor(64).candidate_threshold(99), u128::MAX);
+        // The filter still prunes for a meaningful bound.
+        let fm = FastMod::from_divisor(1024);
+        assert!(fm.candidate_threshold(0) < u128::MAX / 512);
+    }
+
+    #[test]
+    fn fastmod_agrees_with_reduce_for_frame_sizes() {
+        for f_raw in [1u64, 2, 3, 10, 127, 977, 1 << 20] {
+            let f = FrameSize::new(f_raw).unwrap();
+            let fm = FastMod::new(f);
+            for i in 0..500u64 {
+                let h = mix64(i ^ 0xdead_beef);
+                assert_eq!(fm.rem(h), reduce(h, f));
+            }
+        }
     }
 }

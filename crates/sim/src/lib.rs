@@ -78,7 +78,7 @@ pub use epc::{sgtin_batch, Sgtin96};
 pub use error::SimError;
 pub use event::{EventQueue, Scheduled};
 pub use fault::{FaultInjector, FaultPlan};
-pub use hash::{slot_for, slot_for_counted, SlotHasher};
+pub use hash::{slot_for, slot_for_counted, FastMod, SlotHasher};
 pub use ident::{FrameSize, Nonce, TagId};
 pub use markov::{ChannelLevel, MarkovChannel};
 pub use population::TagPopulation;
