@@ -45,10 +45,13 @@ pub use montecarlo::{
 };
 pub use parallel::{parallel_count, parallel_map, worker_threads};
 pub use report::{sparkline, Table};
-pub use scan::{chunked_min_scan, parallel_min_scan, run_round_parallel};
+pub use scan::{
+    chunked_min_scan, chunked_min_scan_counting, parallel_min_scan, run_round_chunked_observed,
+    run_round_parallel,
+};
 pub use session::{
     MonitoringSession, SessionBuilder, SessionEvent, SessionPolicy, SessionPolicyBuilder,
     TickProtocol,
 };
-pub use soak::{run_soak, SoakConfig, SoakCounts, SoakReport};
+pub use soak::{run_soak, run_soak_observed, SoakConfig, SoakCounts, SoakReport};
 pub use stats::{Proportion, Summary};

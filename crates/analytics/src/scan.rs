@@ -6,7 +6,7 @@
 //! slot plus the members that chose it (see
 //! [`tagwatch_core::engine`]). The core crate ships the sequential
 //! scanner and stays thread-free; this module supplies the parallel
-//! strategy on top of [`parallel_map`](crate::parallel::parallel_map):
+//! strategy on top of [`parallel_map`]:
 //!
 //! 1. split the active arrays into fixed, index-ordered chunks;
 //! 2. scan each chunk independently (each bottoms out in
@@ -27,9 +27,10 @@
 //! the scan itself. A full round's scan sizes shrink as tags retire, so
 //! even million-tag rounds end their tail sequentially.
 
-use tagwatch_core::engine::{sequential_min_scan, ScanJob};
+use tagwatch_core::engine::{sequential_min_scan, ScanJob, ScanStats};
 use tagwatch_core::nonce::NonceSequence;
 use tagwatch_core::{CoreError, RoundScratch};
+use tagwatch_obs::Obs;
 use tagwatch_sim::FrameSize;
 
 use crate::parallel::{parallel_map, worker_threads};
@@ -108,6 +109,85 @@ pub fn run_round_parallel(
     scratch.run_with(f, nonces, parallel_min_scan)
 }
 
+/// [`chunked_min_scan`] that additionally accumulates probe
+/// accounting into `stats`. Each chunk counts independently (the
+/// counting scan shares the plain scan's selection loop, so scan
+/// *results* stay bit-identical) and the per-chunk stats are summed in
+/// chunk index order. `probes` equals the sequential counting scan's
+/// total exactly; `filtered` is strategy-dependent — the candidate
+/// pre-filter warms up per chunk, so a fresh chunk skips fewer probes
+/// than a long sequential pass would. For a fixed chunking it is
+/// fully deterministic.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`.
+pub fn chunked_min_scan_counting(
+    job: &ScanJob<'_>,
+    chunk_len: usize,
+    members: &mut Vec<u32>,
+    stats: &mut ScanStats,
+) -> Option<u64> {
+    assert!(chunk_len > 0, "chunk length must be positive");
+    members.clear();
+    if job.is_empty() {
+        return None;
+    }
+    let chunks = job.len().div_ceil(chunk_len) as u64;
+    let partials = parallel_map(chunks, |c| {
+        let lo = c as usize * chunk_len;
+        let hi = (lo + chunk_len).min(job.len());
+        let mut chunk_members = Vec::new();
+        let mut chunk_stats = ScanStats::default();
+        let min = job.scan_range_counting(lo, hi, &mut chunk_members, &mut chunk_stats);
+        (min, chunk_members, chunk_stats)
+    });
+    for (_, _, chunk_stats) in &partials {
+        stats.merge(*chunk_stats);
+    }
+    let best = partials.iter().filter_map(|(m, _, _)| *m).min()?;
+    for (min, chunk_members, _) in &partials {
+        if *min == Some(best) {
+            members.extend_from_slice(chunk_members);
+        }
+    }
+    Some(best)
+}
+
+/// Runs one UTRP round over `scratch` with the chunked scanner and
+/// telemetry: probe and candidate-filter totals land in `obs` (see
+/// [`chunked_min_scan_counting`] for which of those are
+/// chunking-invariant). With a disabled `obs`, this is
+/// [`chunked_min_scan`] with no accounting at all.
+///
+/// # Errors
+///
+/// As [`RoundScratch::run`].
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`.
+pub fn run_round_chunked_observed(
+    scratch: &mut RoundScratch,
+    f: FrameSize,
+    nonces: &NonceSequence,
+    chunk_len: usize,
+    obs: &Obs,
+) -> Result<u64, CoreError> {
+    if !obs.enabled() {
+        return scratch.run_with(f, nonces, |job, members| {
+            chunked_min_scan(job, chunk_len, members)
+        });
+    }
+    let mut stats = ScanStats::default();
+    let announcements = scratch.run_with(f, nonces, |job, members| {
+        chunked_min_scan_counting(job, chunk_len, members, &mut stats)
+    })?;
+    obs.add(obs.m.probes_total, stats.probes);
+    obs.add(obs.m.probes_filtered, stats.filtered);
+    Ok(announcements)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +261,53 @@ mod tests {
                 .unwrap();
             assert_eq!(replies, seq_replies, "chunk={chunk}");
         }
+    }
+
+    #[test]
+    fn observed_chunked_round_is_bit_identical_and_probe_invariant() {
+        let ch = challenge(96, 6);
+        let population = parts(400);
+
+        let seq_obs = Obs::new();
+        let mut seq = RoundScratch::new();
+        seq.load_participants(&population);
+        let seq_ann = seq
+            .run_observed(ch.frame_size(), ch.nonces(), &seq_obs)
+            .unwrap();
+        let seq_probes = seq_obs.counter(seq_obs.m.probes_total);
+        assert!(seq_probes > 0, "counting scan must count");
+
+        for chunk in [1usize, 7, 64] {
+            let obs = Obs::new();
+            let mut scratch = RoundScratch::new();
+            scratch.load_participants(&population);
+            let ann =
+                run_round_chunked_observed(&mut scratch, ch.frame_size(), ch.nonces(), chunk, &obs)
+                    .unwrap();
+            assert_eq!(ann, seq_ann, "chunk={chunk}");
+            assert_eq!(scratch.bitstring(), seq.bitstring(), "chunk={chunk}");
+            // Probes are chunking-invariant (every active tag is probed
+            // once per announcement regardless of chunk boundaries);
+            // filtered counts are not (per-chunk filter warm-up).
+            assert_eq!(obs.counter(obs.m.probes_total), seq_probes, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn observed_round_with_disabled_obs_matches_plain() {
+        let ch = challenge(64, 8);
+        let population = parts(120);
+        let obs = Obs::disabled();
+
+        let mut plain = RoundScratch::new();
+        plain.load_participants(&population);
+        plain.run(ch.frame_size(), ch.nonces()).unwrap();
+
+        let mut observed = RoundScratch::new();
+        observed.load_participants(&population);
+        run_round_chunked_observed(&mut observed, ch.frame_size(), ch.nonces(), 16, &obs).unwrap();
+        assert_eq!(plain.bitstring(), observed.bitstring());
+        assert_eq!(obs.counter(obs.m.probes_total), 0);
     }
 
     #[test]

@@ -40,6 +40,7 @@ use tagwatch_core::identify::{identify_missing, IdentifyConfig};
 use tagwatch_core::protocol::{Protocol, Trp, Utrp};
 use tagwatch_core::trp::observed_bitstring;
 use tagwatch_core::{CoreError, MonitorReport, MonitorServer, RoundExecutor, RoundScratch};
+use tagwatch_obs::{Obs, ObsEvent};
 use tagwatch_sim::{TagId, TagPopulation};
 
 /// Which protocol routine ticks use.
@@ -504,6 +505,146 @@ impl MonitoringSession {
         }
         Ok(self.log.last().expect("just pushed"))
     }
+
+    /// [`tick_with`](MonitoringSession::tick_with), instrumented: round
+    /// and verdict telemetry flows through the observed protocol paths,
+    /// and the session's own ladder (resyncs, quarantines, escalations)
+    /// is recorded into `obs` as it climbs. With a disabled [`Obs`]
+    /// this is behaviorally identical to `tick_with` — same log, same
+    /// RNG stream — so drivers can thread one code path and pay for
+    /// telemetry only when it is on.
+    ///
+    /// A quarantine transition is a postmortem trigger: it latches the
+    /// flight-recorder dump (first trigger wins) so the events leading
+    /// up to the offending desyncs survive for inspection.
+    ///
+    /// # Errors
+    ///
+    /// See [`tick_with`](MonitoringSession::tick_with).
+    pub fn tick_observed<R: Rng + ?Sized>(
+        &mut self,
+        floor: &mut TagPopulation,
+        executor: &RoundExecutor,
+        rng: &mut R,
+        obs: &Obs,
+    ) -> Result<&SessionEvent, CoreError> {
+        let report = match self.policy.protocol {
+            TickProtocol::Trp => Trp.run_round_observed(
+                &mut self.server,
+                floor,
+                executor,
+                &mut self.scratch,
+                rng,
+                obs,
+            )?,
+            TickProtocol::Utrp => {
+                let mut attempt = 0u32;
+                let report = loop {
+                    let report = Utrp.run_round_observed(
+                        &mut self.server,
+                        floor,
+                        executor,
+                        &mut self.scratch,
+                        rng,
+                        obs,
+                    )?;
+                    if !report.verdict.is_desynced() {
+                        break report;
+                    }
+                    let suspects = self.server.resync_from_hypothesis()?;
+                    attempt += 1;
+                    obs.inc(obs.m.resync_attempts);
+                    obs.emit(ObsEvent::Resynced {
+                        attempt: u64::from(attempt),
+                        suspects: suspects.len() as u64,
+                    });
+                    self.log.push(SessionEvent::Resynced {
+                        attempt,
+                        suspects: suspects.clone(),
+                    });
+                    let newly = self.strike(&suspects);
+                    if !newly.is_empty() {
+                        obs.inc(obs.m.quarantine_events);
+                        obs.set_gauge(obs.m.quarantine_occupancy, self.quarantined.len() as u64);
+                        obs.emit(ObsEvent::Quarantined {
+                            tags: newly.len() as u64,
+                            occupancy: self.quarantined.len() as u64,
+                        });
+                        obs.capture_dump("quarantine");
+                        self.log.push(SessionEvent::Quarantined { tags: newly });
+                    }
+                    if attempt > self.policy.max_desync_retries {
+                        break report;
+                    }
+                };
+                if attempt > 0 {
+                    obs.observe(obs.m.resync_depth, f64::from(attempt));
+                    if !report.verdict.is_desynced() {
+                        obs.inc(obs.m.resync_successes);
+                    }
+                }
+                report
+            }
+        };
+
+        if report.is_alarm() || report.verdict.is_desynced() {
+            self.consecutive_alarms += 1;
+        } else {
+            self.consecutive_alarms = 0;
+        }
+
+        if self.consecutive_alarms >= self.policy.alarms_to_escalate {
+            self.consecutive_alarms = 0;
+            let registry = self.server.registered_ids();
+            let audible: Vec<TagId> = floor
+                .iter()
+                .filter(|t| !t.is_detuned())
+                .map(|t| t.id())
+                .collect();
+            let outcome = identify_missing(&registry, self.policy.identify, rng, |challenge| {
+                Ok(observed_bitstring(&audible, challenge))
+            })?;
+            obs.inc(obs.m.escalations);
+            obs.emit(ObsEvent::Escalated {
+                missing: outcome.missing.len() as u64,
+                unresolved: outcome.unresolved.len() as u64,
+                slots_used: outcome.slots_used,
+            });
+            self.log.push(SessionEvent::Checked(report));
+            self.log.push(SessionEvent::Escalated {
+                missing: outcome.missing,
+                unresolved: outcome.unresolved,
+                slots_used: outcome.slots_used,
+            });
+        } else {
+            self.log.push(SessionEvent::Checked(report));
+        }
+        Ok(self.log.last().expect("just pushed"))
+    }
+
+    /// Instrumented [`release_quarantined`]: additionally counts the
+    /// audit and records how long the released tags sat quarantined
+    /// (`latency_ticks`, supplied by the driver that tracks tick time).
+    ///
+    /// [`release_quarantined`]: MonitoringSession::release_quarantined
+    pub fn release_quarantined_observed<I: IntoIterator<Item = TagId>>(
+        &mut self,
+        tags: I,
+        latency_ticks: u64,
+        obs: &Obs,
+    ) -> Vec<TagId> {
+        let released = self.release_quarantined(tags);
+        if !released.is_empty() {
+            obs.inc(obs.m.audits_total);
+            obs.observe(obs.m.audit_latency_ticks, latency_ticks as f64);
+            obs.set_gauge(obs.m.quarantine_occupancy, self.quarantined.len() as u64);
+            obs.emit(ObsEvent::AuditCompleted {
+                released: released.len() as u64,
+                latency_ticks,
+            });
+        }
+        released
+    }
 }
 
 #[cfg(test)]
@@ -822,6 +963,141 @@ mod tests {
             assert_eq!(a.server().history(), b.server().history());
             assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "RNG diverged");
         }
+    }
+
+    #[test]
+    fn observed_tick_matches_plain_and_counts_rounds() {
+        use rand::Rng as _;
+        use tagwatch_obs::Obs;
+        for (protocol, enabled) in [
+            (TickProtocol::Trp, true),
+            (TickProtocol::Trp, false),
+            (TickProtocol::Utrp, true),
+            (TickProtocol::Utrp, false),
+        ] {
+            let policy = SessionPolicy {
+                protocol,
+                ..SessionPolicy::default()
+            };
+            let (mut a, mut floor_a) = session(120, 3, policy);
+            let (mut b, mut floor_b) = session(120, 3, policy);
+            let mut rng_a = StdRng::seed_from_u64(31);
+            let mut rng_b = StdRng::seed_from_u64(31);
+            let ideal = RoundExecutor::ideal();
+            let obs = if enabled { Obs::new() } else { Obs::disabled() };
+            for _ in 0..4 {
+                a.tick_with(&mut floor_a, &ideal, &mut rng_a).unwrap();
+                b.tick_observed(&mut floor_b, &ideal, &mut rng_b, &obs)
+                    .unwrap();
+            }
+            assert_eq!(a.log(), b.log(), "{protocol:?} enabled={enabled}");
+            assert_eq!(a.server().history(), b.server().history());
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "RNG diverged");
+            let expected = if enabled { 4 } else { 0 };
+            assert_eq!(obs.counter(obs.m.rounds_total), expected);
+        }
+    }
+
+    #[test]
+    fn observed_desync_records_resync_telemetry() {
+        use tagwatch_core::ServerConfig;
+        use tagwatch_obs::Obs;
+        let mut floor = TagPopulation::with_sequential_ids(60);
+        let config = ServerConfig {
+            desync_window: 64,
+            ..ServerConfig::default()
+        };
+        let server = MonitorServer::with_config(floor.ids(), 3, 0.9, config).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let timing = server.config().timing;
+        let lost = server.issue_utrp_challenge(&mut rng).unwrap();
+        run_honest_reader(&mut floor, &lost, &timing).unwrap();
+
+        let policy = SessionPolicy {
+            protocol: TickProtocol::Utrp,
+            ..SessionPolicy::default()
+        };
+        let mut session = MonitoringSession::new(server, policy);
+        let obs = Obs::new();
+        let ideal = RoundExecutor::ideal();
+        let event = session
+            .tick_observed(&mut floor, &ideal, &mut rng, &obs)
+            .unwrap();
+        assert!(matches!(event, SessionEvent::Checked(r) if r.verdict.is_intact()));
+        assert_eq!(obs.counter(obs.m.resync_attempts), 1);
+        assert_eq!(obs.counter(obs.m.resync_successes), 1);
+        assert_eq!(obs.counter(obs.m.verify_desynced), 1);
+        assert_eq!(obs.counter(obs.m.verify_intact), 1);
+        // The desync latched a postmortem dump with the lead-up events.
+        let dump = obs.dump().expect("desync latches the flight dump");
+        assert_eq!(dump.reason, "desync");
+    }
+
+    #[test]
+    fn observed_quarantine_latches_dump_and_audit_records_latency() {
+        use tagwatch_core::faulty::run_honest_reader_with;
+        use tagwatch_core::utrp::attributed_round;
+        use tagwatch_core::ServerConfig;
+        use tagwatch_obs::Obs;
+        use tagwatch_sim::{Channel, Counter, FaultPlan};
+
+        let mut floor = TagPopulation::with_sequential_ids(25);
+        let config = ServerConfig {
+            desync_window: 8,
+            ..ServerConfig::default()
+        };
+        let mut server = MonitorServer::with_config(floor.ids(), 2, 0.9, config).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let timing = server.config().timing;
+
+        let ch1 = server.issue_utrp_challenge(&mut rng).unwrap();
+        let registry: Vec<(TagId, Counter)> = server
+            .registered_ids()
+            .into_iter()
+            .map(|id| (id, Counter::ZERO))
+            .collect();
+        let (dry, attribution) = attributed_round(&registry, &ch1).unwrap();
+        let first_slot = dry.bitstring.iter_ones().next().unwrap();
+        let victim = attribution[first_slot][0];
+        let plan = FaultPlan::new().lose_announcement(dry.announcements - 1, [victim]);
+        let response = run_honest_reader_with(
+            &mut floor,
+            &ch1,
+            &timing,
+            &Channel::ideal(),
+            &plan,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(server
+            .verify_utrp(ch1, &response)
+            .unwrap()
+            .verdict
+            .is_intact());
+
+        let mut session = MonitoringSession::builder(server)
+            .protocol(TickProtocol::Utrp)
+            .desyncs_to_quarantine(1)
+            .build();
+        let obs = Obs::new();
+        let ideal = RoundExecutor::ideal();
+        session
+            .tick_observed(&mut floor, &ideal, &mut rng, &obs)
+            .unwrap();
+        assert_eq!(session.quarantined(), vec![victim]);
+        assert_eq!(obs.counter(obs.m.quarantine_events), 1);
+        assert_eq!(obs.gauge(obs.m.quarantine_occupancy), 1);
+        // The desync verdict fired first, so the first-wins latch names
+        // it; the quarantine trigger is a no-op afterwards.
+        assert!(obs.dump().is_some());
+
+        let released = session.release_quarantined_observed([victim], 3, &obs);
+        assert_eq!(released, vec![victim]);
+        assert_eq!(obs.counter(obs.m.audits_total), 1);
+        assert_eq!(obs.gauge(obs.m.quarantine_occupancy), 0);
+        assert!(obs
+            .flight_jsonl()
+            .contains("\"type\":\"audit_completed\",\"released\":1,\"latency_ticks\":3"));
     }
 
     #[test]

@@ -48,6 +48,7 @@ use tagwatch_analytics::TickProtocol;
 use tagwatch_core::trp::{self, TrpChallenge};
 use tagwatch_core::utrp::{simulate_round_scratch, SubsetRound, UtrpChallenge, UtrpParticipant};
 use tagwatch_core::{Bitstring, MonitorServer, RoundScratch};
+use tagwatch_obs::Obs;
 use tagwatch_sim::{Counter, FrameSize, TagId, TimingModel};
 
 /// Cap on benchmark frame sizes (see module docs).
@@ -119,6 +120,25 @@ fn measure<F: FnMut() -> u64>(min_rounds: u64, mut round: F) -> EngineStats {
 fn soa_round(scratch: &mut RoundScratch, parts: &mut [UtrpParticipant], ch: &UtrpChallenge) -> u64 {
     simulate_round_scratch(scratch, parts, ch.frame_size(), ch.nonces())
         .expect("nonce sequence covers the frame")
+}
+
+/// [`soa_round`] through the telemetry entry point: identical work
+/// plus the per-round `Obs` dispatch. With a disabled handle this must
+/// cost one branch — the overhead probe holds it to ≤2%.
+fn soa_round_observed(
+    scratch: &mut RoundScratch,
+    parts: &mut [UtrpParticipant],
+    ch: &UtrpChallenge,
+    obs: &Obs,
+) -> u64 {
+    scratch.load_participants(parts);
+    let announcements = scratch
+        .run_observed(ch.frame_size(), ch.nonces(), obs)
+        .expect("nonce sequence covers the frame");
+    for p in parts.iter_mut() {
+        p.counter = Counter::new(p.counter.get().wrapping_add(announcements));
+    }
+    announcements
 }
 
 /// One UTRP round through the legacy [`SubsetRound`] engine, driven as
@@ -295,6 +315,58 @@ fn main() {
     let ticks_per_sec = soak_ticks as f64 / soak_elapsed;
     checks.push(("soak_ticks_per_sec".to_owned(), ticks_per_sec));
 
+    // Disabled-telemetry overhead probe: the same n=10⁵ UTRP SoA round
+    // through the plain entry point and the `run_observed` entry point
+    // with `Obs::disabled()`. The disabled handle short-circuits before
+    // any recording, so the observed path must stay within 2%. Each
+    // iteration times one plain round and one observed round
+    // back-to-back and records their ratio; the *median* ratio over
+    // all iterations is the overhead estimate. Adjacent rounds share
+    // machine state, so slow drift cancels inside each pair, and the
+    // median discards the interference spikes that make per-variant
+    // window averages (at ~90 ms/round) noisier than the 2% bound
+    // being checked. The per-variant minimum round time still feeds
+    // the throughput check key.
+    let overhead_n = 100_000u64;
+    eprintln!("telemetry overhead probe: n={overhead_n}...");
+    let overhead_f = FrameSize::new((2 * overhead_n).min(FRAME_CAP)).expect("positive frame");
+    let mut rng = StdRng::seed_from_u64(40_961 + overhead_n);
+    let overhead_ch = UtrpChallenge::generate(overhead_f, &timing, &mut rng);
+    let disabled = Obs::disabled();
+    let mut parts_plain = participants(overhead_n);
+    let mut parts_observed = participants(overhead_n);
+    let mut scratch = RoundScratch::new();
+    // Warm-up: touch both populations and fault in the scratch arrays.
+    soa_round(&mut scratch, &mut parts_plain, &overhead_ch);
+    soa_round_observed(&mut scratch, &mut parts_observed, &overhead_ch, &disabled);
+    let mut plain_min = f64::INFINITY;
+    let mut observed_min = f64::INFINITY;
+    let mut ratios = Vec::with_capacity(30);
+    for _ in 0..30 {
+        let start = Instant::now();
+        soa_round(&mut scratch, &mut parts_plain, &overhead_ch);
+        let plain_secs = start.elapsed().as_secs_f64();
+        plain_min = plain_min.min(plain_secs);
+        let start = Instant::now();
+        soa_round_observed(&mut scratch, &mut parts_observed, &overhead_ch, &disabled);
+        let observed_secs = start.elapsed().as_secs_f64();
+        observed_min = observed_min.min(observed_secs);
+        ratios.push(observed_secs / plain_secs);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let overhead_frac = ratios[ratios.len() / 2] - 1.0;
+    let plain_best = 1.0 / plain_min;
+    let observed_best = 1.0 / observed_min;
+    eprintln!(
+        "telemetry overhead: plain {plain_best:.1} r/s, disabled-obs {observed_best:.1} r/s \
+         ({:+.2}%)",
+        overhead_frac * 100.0
+    );
+    checks.push((
+        format!("utrp_soa_disabled_obs_rounds_per_sec_n{overhead_n}"),
+        observed_best,
+    ));
+
     // Million-tag acceptance round (full grid only): one UTRP round at
     // n = 10⁶ must complete through the SoA engine.
     let million = if smoke {
@@ -332,6 +404,10 @@ fn main() {
         "  \"soak_tick\": {{\n    \"n\": {soak_n},\n    \"ticks\": {soak_ticks},\n    \"elapsed_ms\": {:.3},\n    \"ticks_per_sec\": {ticks_per_sec:.3}\n  }},\n",
         soak_elapsed * 1e3
     );
+    let _ = write!(
+        json,
+        "  \"telemetry_overhead\": {{\n    \"n\": {overhead_n},\n    \"plain_rounds_per_sec\": {plain_best:.3},\n    \"disabled_obs_rounds_per_sec\": {observed_best:.3},\n    \"overhead_fraction\": {overhead_frac:.5}\n  }},\n"
+    );
     if let Some((n, f, announcements, occupied, ms)) = million {
         let _ = write!(
             json,
@@ -350,9 +426,27 @@ fn main() {
     eprintln!("wrote {out_path}");
 
     // Regression gate: every check key present in both runs must not
-    // have dropped by more than the tolerance.
+    // have dropped by more than the tolerance. The telemetry-overhead
+    // bound is same-run (no baseline needed) but only enforced in
+    // check mode so exploratory runs never fail on it.
     if let Some(base) = baseline {
         let mut regressed = false;
+        const OVERHEAD_BOUND: f64 = 0.02;
+        if overhead_frac > OVERHEAD_BOUND {
+            eprintln!(
+                "REGRESSION telemetry_overhead: disabled-obs round {:.2}% slower than plain \
+                 (bound {:.0}%)",
+                overhead_frac * 100.0,
+                OVERHEAD_BOUND * 100.0
+            );
+            regressed = true;
+        } else {
+            eprintln!(
+                "ok telemetry_overhead: {:+.2}% (bound {:.0}%)",
+                overhead_frac * 100.0,
+                OVERHEAD_BOUND * 100.0
+            );
+        }
         for (key, current) in &checks {
             let needle = format!("\"{key}\":");
             let Some(pos) = base.find(&needle) else {

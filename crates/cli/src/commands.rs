@@ -153,13 +153,17 @@ pub fn run(command: Command) -> Result<String, CliError> {
             quick,
             trials,
             seed,
-        } => crate::faults::run_faults(quick, trials, seed),
+            metrics_out,
+        } => crate::faults::run_faults(quick, trials, seed, metrics_out),
         Command::Soak {
             seed,
             ticks,
             utrp,
             report,
-        } => crate::soak::run_soak_command(seed, ticks, utrp, report),
+            metrics_out,
+            trace_out,
+        } => crate::soak::run_soak_command(seed, ticks, utrp, report, metrics_out, trace_out),
+        Command::Inspect { path } => crate::inspect::run_inspect(&path),
         Command::RegistryNew { n, m, alpha } => {
             let ids: Vec<TagId> = (1..=n).map(TagId::from).collect();
             let server = MonitorServer::new(ids, m, alpha).map_err(to_cli)?;
@@ -210,13 +214,18 @@ USAGE:
   tagwatch-cli simulate trp  <n> <m> [--trials T] [--seed S]
   tagwatch-cli simulate utrp <n> <m> [--budget C] [--trials T] [--seed S]
   tagwatch-cli identify <n> [--steal K] [--seed S]  run missing-tag identification
-  tagwatch-cli faults [--quick] [--trials T] [--seed S]
+  tagwatch-cli faults [--quick] [--trials T] [--seed S] [--metrics-out PATH]
                                                     fault-scenario matrix (alarm /
                                                     desync / recovery rates)
   tagwatch-cli soak [--seed S] [--ticks T] [--protocol trp|utrp] [--report PATH]
+                    [--metrics-out PATH] [--trace-out PATH]
                                                     long-horizon soak: Markov channel,
                                                     scripted incidents, invariant
-                                                    checks, JSON latency report
+                                                    checks, JSON latency report, and
+                                                    optional telemetry exports
+  tagwatch-cli inspect <path>                       summarize an exported telemetry
+                                                    artifact (metrics snapshot or
+                                                    JSONL event trace, auto-detected)
   tagwatch-cli registry new <n> <m> <alpha>         print a fresh registry snapshot
   tagwatch-cli registry info < snapshot.txt         summarize a snapshot from stdin
   tagwatch-cli help
@@ -224,6 +233,8 @@ USAGE:
 EXAMPLES:
   tagwatch-cli size trp 1000 10 0.95
   tagwatch-cli simulate utrp 500 5 --budget 20 --trials 1000
+  tagwatch-cli soak --ticks 500 --metrics-out results/soak_metrics.json
+  tagwatch-cli inspect results/soak_metrics.json
 ";
 
 #[cfg(test)]
@@ -240,6 +251,9 @@ mod tests {
             "simulate",
             "faults",
             "soak",
+            "inspect",
+            "--metrics-out",
+            "--trace-out",
             "registry",
         ] {
             assert!(text.contains(word), "help missing `{word}`");

@@ -22,6 +22,7 @@ use rand::SeedableRng;
 use tagwatch_core::faulty::run_honest_reader_with;
 use tagwatch_core::utrp::attributed_round;
 use tagwatch_core::{CoreError, MonitorServer, ServerConfig, Verdict};
+use tagwatch_obs::Obs;
 use tagwatch_sim::{
     Channel, ChannelConfig, Counter, FaultPlan, SeedSequence, TagId, TagPopulation,
 };
@@ -118,19 +119,32 @@ struct Tally {
     recovered: u64,
 }
 
-/// Runs the full scenario matrix and renders the report.
+/// Runs the full scenario matrix and renders the report. With
+/// `--metrics-out`, every round's verdict and recovery action also
+/// streams into a telemetry registry whose deterministic snapshot is
+/// written to the given path.
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] only for internal protocol errors (a bug, not
 /// bad user input — the parser validates the flags).
-pub fn run_faults(quick: bool, trials: u64, seed: u64) -> Result<String, CliError> {
+pub fn run_faults(
+    quick: bool,
+    trials: u64,
+    seed: u64,
+    metrics_out: Option<String>,
+) -> Result<String, CliError> {
     if trials == 0 {
         return Err(CliError {
             message: "--trials must be at least 1".to_owned(),
         });
     }
     let trials = if quick { trials.min(20) } else { trials };
+    let obs = if metrics_out.is_some() {
+        Obs::new()
+    } else {
+        Obs::disabled()
+    };
     let seeds = SeedSequence::new(seed);
     let mut out = String::new();
     out.push_str(&format!(
@@ -147,7 +161,7 @@ pub fn run_faults(quick: bool, trials: u64, seed: u64) -> Result<String, CliErro
         let mut tally = Tally::default();
         for t in 0..trials {
             let trial_seed = seeds.seed_for((i as u64) << 32 | t);
-            let result = run_trial(*scenario, trial_seed).map_err(|e| CliError {
+            let result = run_trial(*scenario, trial_seed, &obs).map_err(|e| CliError {
                 message: format!("{} trial {t}: {e}", scenario.name()),
             })?;
             tally.alarms += u64::from(result.alarmed);
@@ -169,6 +183,14 @@ pub fn run_faults(quick: bool, trials: u64, seed: u64) -> Result<String, CliErro
         "\nexpectations: baseline alarms 0 and recovers 1; theft(m+1) alarms near 1;\n\
          desync-recovery desyncs 1 with audit 0 (hypothesis resync suffices).\n",
     );
+    if let Some(path) = &metrics_out {
+        crate::soak::write_artifact(path, &obs.snapshot_json())?;
+        out.push_str(&format!(
+            "metrics snapshot ({} rounds, digest fnv64:{:016x}) -> {path}\n",
+            obs.counter(obs.m.rounds_total),
+            obs.snapshot_digest(),
+        ));
+    }
     Ok(out)
 }
 
@@ -181,7 +203,7 @@ struct TrialResult {
     recovered: bool,
 }
 
-fn run_trial(scenario: Scenario, seed: u64) -> Result<TrialResult, CoreError> {
+fn run_trial(scenario: Scenario, seed: u64, obs: &Obs) -> Result<TrialResult, CoreError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut floor = TagPopulation::with_sequential_ids(N);
     let config = ServerConfig {
@@ -208,29 +230,44 @@ fn run_trial(scenario: Scenario, seed: u64) -> Result<TrialResult, CoreError> {
         if !server.counters_synced() {
             server.resync_counters(floor.iter().map(|t| (t.id(), t.counter())))?;
             result.audited = true;
+            obs.inc(obs.m.audits_total);
         }
         let challenge = server.issue_utrp_challenge(&mut rng)?;
         let plan = round_plan(scenario, round, &server, &challenge)?;
         let channel = scenario.channel();
         let response =
             run_honest_reader_with(&mut floor, &challenge, &timing, &channel, &plan, &mut rng)?;
+        obs.inc(obs.m.rounds_total);
+        obs.inc(obs.m.rounds_utrp);
         match server.verify_utrp(challenge, &response) {
-            Ok(report) => match report.verdict {
-                Verdict::Intact => {
-                    if round == ROUNDS - 1 {
-                        result.recovered = true;
+            Ok(report) => {
+                obs.observe(obs.m.hamming_distance, report.mismatched_slots as f64);
+                match report.verdict {
+                    Verdict::Intact => {
+                        obs.inc(obs.m.verify_intact);
+                        if round == ROUNDS - 1 {
+                            result.recovered = true;
+                        }
+                    }
+                    Verdict::NotIntact => {
+                        obs.inc(obs.m.verify_alarm);
+                        result.alarmed = true;
+                    }
+                    Verdict::Desynced { .. } => {
+                        obs.inc(obs.m.verify_desynced);
+                        obs.inc(obs.m.resync_attempts);
+                        result.desynced = true;
+                        server.resync_from_hypothesis()?;
                     }
                 }
-                Verdict::NotIntact => result.alarmed = true,
-                Verdict::Desynced { .. } => {
-                    result.desynced = true;
-                    server.resync_from_hypothesis()?;
-                }
-            },
+            }
             // A malformed response (e.g. truncation) is an alarm; the
             // challenge is spent, so the field advanced while the
             // mirror did not — the *next* round sees a uniform lead.
-            Err(CoreError::ResponseShapeMismatch { .. }) => result.alarmed = true,
+            Err(CoreError::ResponseShapeMismatch { .. }) => {
+                obs.inc(obs.m.verify_alarm);
+                result.alarmed = true;
+            }
             Err(e) => return Err(e),
         }
     }
@@ -296,7 +333,7 @@ mod tests {
 
     #[test]
     fn matrix_runs_and_reports_every_scenario() {
-        let report = run_faults(true, 5, 1).unwrap();
+        let report = run_faults(true, 5, 1, None).unwrap();
         for scenario in SCENARIOS {
             assert!(
                 report.lines().any(|l| l.starts_with(scenario.name())),
@@ -308,7 +345,7 @@ mod tests {
 
     #[test]
     fn baseline_is_quiet_and_theft_detects() {
-        let report = run_faults(true, 10, 2).unwrap();
+        let report = run_faults(true, 10, 2, None).unwrap();
         let baseline = rates(scenario_line(&report, "baseline"));
         assert_eq!(baseline, vec![0.0, 0.0, 0.0, 1.0], "{report}");
         let theft = rates(scenario_line(&report, "theft(m+1)"));
@@ -317,7 +354,7 @@ mod tests {
 
     #[test]
     fn desync_recovery_is_diagnosed_without_audits() {
-        let report = run_faults(true, 10, 3).unwrap();
+        let report = run_faults(true, 10, 3, None).unwrap();
         let row = rates(scenario_line(&report, "desync-recovery"));
         let (alarm, desync, audit, recovered) = (row[0], row[1], row[2], row[3]);
         assert_eq!(alarm, 0.0, "{report}");
@@ -328,7 +365,7 @@ mod tests {
 
     #[test]
     fn crash_truncation_and_skew_alarm_but_recover() {
-        let report = run_faults(true, 8, 4).unwrap();
+        let report = run_faults(true, 8, 4, None).unwrap();
         for name in ["reader-crash", "truncation", "clock-skew"] {
             let row = rates(scenario_line(&report, name));
             assert_eq!(row[0], 1.0, "{name} must alarm: {report}");
@@ -338,8 +375,8 @@ mod tests {
 
     #[test]
     fn matrix_is_deterministic_per_seed() {
-        let a = run_faults(true, 5, 7).unwrap();
-        let b = run_faults(true, 5, 7).unwrap();
+        let a = run_faults(true, 5, 7, None).unwrap();
+        let b = run_faults(true, 5, 7, None).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -1,0 +1,237 @@
+//! The `inspect` subcommand: a human-oriented summary of the
+//! telemetry artifacts the other commands export.
+//!
+//! Two artifact kinds exist, and the file content disambiguates them:
+//!
+//! * a **metrics snapshot** (`--metrics-out`) carries the
+//!   `tagwatch-obs-metrics-v1` schema marker — summarized as its
+//!   non-zero counters/gauges, histogram populations, flight-ring
+//!   state, and embedded digest;
+//! * a **flight-recorder trace** (`--trace-out`) is JSONL, one event
+//!   object per line — summarized as per-type counts plus the head and
+//!   tail of the retained window.
+//!
+//! Both formats are hand-rolled with fixed field order (the workspace
+//! has no serde), so the summaries here parse them with plain string
+//! operations rather than a JSON parser — intentionally: anything the
+//! simple scan cannot read would also break the byte-stability
+//! contract the exporters promise.
+
+use std::collections::BTreeMap;
+
+use crate::parse::CliError;
+
+/// The schema marker every metrics snapshot carries.
+const METRICS_SCHEMA: &str = "tagwatch-obs-metrics";
+
+/// Reads and summarizes a telemetry artifact.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if the file cannot be read or matches
+/// neither artifact shape.
+pub fn run_inspect(path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError {
+        message: format!("cannot read `{path}`: {e}"),
+    })?;
+    if text.contains(METRICS_SCHEMA) {
+        Ok(summarize_metrics(path, &text))
+    } else if looks_like_trace(&text) {
+        Ok(summarize_trace(path, &text))
+    } else {
+        Err(CliError {
+            message: format!(
+                "`{path}` is neither a metrics snapshot (no `{METRICS_SCHEMA}` marker) \
+                 nor a JSONL event trace"
+            ),
+        })
+    }
+}
+
+/// A trace is JSONL of event objects: every non-empty line starts an
+/// object and declares a `"seq"` field first.
+fn looks_like_trace(text: &str) -> bool {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    match lines.next() {
+        Some(first) => first.trim_start().starts_with("{\"seq\":"),
+        None => false,
+    }
+}
+
+/// Pulls the value text of `"name": value` off a snapshot body line.
+fn field_value(line: &str) -> Option<(&str, &str)> {
+    let trimmed = line.trim();
+    let rest = trimmed.strip_prefix('"')?;
+    let (name, rest) = rest.split_once("\":")?;
+    Some((name, rest.trim().trim_end_matches(',')))
+}
+
+fn summarize_metrics(path: &str, text: &str) -> String {
+    let mut out = format!("{path}: metrics snapshot\n");
+    let mut section = "";
+    let mut zero_counters = 0u64;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        match trimmed {
+            "\"counters\": {" => {
+                section = "counters";
+                out.push_str("counters (non-zero):\n");
+                continue;
+            }
+            "\"gauges\": {" => {
+                if zero_counters > 0 {
+                    out.push_str(&format!("  ({zero_counters} more at zero)\n"));
+                }
+                section = "gauges";
+                out.push_str("gauges:\n");
+                continue;
+            }
+            "\"histograms\": {" => {
+                section = "histograms";
+                out.push_str("histograms:\n");
+                continue;
+            }
+            _ => {}
+        }
+        let Some((name, value)) = field_value(line) else {
+            continue;
+        };
+        match (section, name) {
+            (_, "flight") => out.push_str(&format!("flight ring: {value}\n")),
+            (_, "digest") => out.push_str(&format!("digest: {value}\n")),
+            ("counters", _) => {
+                if value == "0" {
+                    zero_counters += 1;
+                } else {
+                    out.push_str(&format!("  {name:<24} {value}\n"));
+                }
+            }
+            ("gauges", _) => out.push_str(&format!("  {name:<24} {value}\n")),
+            ("histograms", _) => {
+                // `{"lo": .., "hi": .., "bins": [..], .., "count": N}`:
+                // the trailing count is the population.
+                let count = value
+                    .rsplit("\"count\": ")
+                    .next()
+                    .map_or("?", |v| v.trim_end_matches(['}', ',']));
+                out.push_str(&format!("  {name:<24} {count} sample(s)\n"));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Pulls `"type":"x"` out of one event line.
+fn event_type(line: &str) -> &str {
+    line.split("\"type\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .unwrap_or("?")
+}
+
+fn summarize_trace(path: &str, text: &str) -> String {
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut by_type: BTreeMap<&str, u64> = BTreeMap::new();
+    for line in &lines {
+        *by_type.entry(event_type(line)).or_insert(0) += 1;
+    }
+    let mut out = format!("{path}: event trace, {} event(s)\n", lines.len());
+    out.push_str("events by type:\n");
+    for (kind, count) in &by_type {
+        out.push_str(&format!("  {kind:<24} {count}\n"));
+    }
+    const SHOW: usize = 3;
+    if !lines.is_empty() {
+        out.push_str("first:\n");
+        for line in lines.iter().take(SHOW) {
+            out.push_str(&format!("  {line}\n"));
+        }
+        if lines.len() > SHOW {
+            if lines.len() > 2 * SHOW {
+                out.push_str(&format!("  ... {} more ...\n", lines.len() - 2 * SHOW));
+            }
+            out.push_str("last:\n");
+            let tail_start = lines.len().saturating_sub(SHOW).max(SHOW);
+            for line in &lines[tail_start..] {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagwatch_obs::{Obs, ObsEvent, ProtoKind, VerdictKind};
+
+    fn sample_obs() -> Obs {
+        let obs = Obs::new();
+        obs.inc(obs.m.rounds_total);
+        obs.inc(obs.m.rounds_utrp);
+        obs.set_gauge(obs.m.last_frame_size, 64);
+        obs.observe(obs.m.frame_size, 64.0);
+        obs.emit(ObsEvent::RoundCompleted {
+            proto: ProtoKind::Utrp,
+            frame: 64,
+            occupied: 12,
+            reseeds: 11,
+            elapsed_us: 900,
+        });
+        obs.emit(ObsEvent::Verified {
+            proto: ProtoKind::Utrp,
+            verdict: VerdictKind::Intact,
+            mismatched: 0,
+            late: false,
+        });
+        obs
+    }
+
+    #[test]
+    fn inspects_a_metrics_snapshot() {
+        let dir = std::env::temp_dir().join("tagwatch-inspect-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        std::fs::write(&path, sample_obs().snapshot_json()).unwrap();
+        let out = run_inspect(&path.to_string_lossy()).unwrap();
+        assert!(out.contains("metrics snapshot"), "{out}");
+        assert!(out.contains("rounds_total"), "{out}");
+        assert!(out.contains("more at zero"), "{out}");
+        assert!(out.contains("last_frame_size"), "{out}");
+        assert!(out.contains("frame_size"), "{out}");
+        assert!(out.contains("digest: \"fnv64:"), "{out}");
+        assert!(
+            !out.contains("rounds_trp"),
+            "zero counters are elided: {out}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inspects_an_event_trace() {
+        let dir = std::env::temp_dir().join("tagwatch-inspect-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        std::fs::write(&path, sample_obs().flight_jsonl()).unwrap();
+        let out = run_inspect(&path.to_string_lossy()).unwrap();
+        assert!(out.contains("event trace, 2 event(s)"), "{out}");
+        assert!(out.contains("round_completed"), "{out}");
+        assert!(out.contains("verified"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_missing_and_unrecognized_files() {
+        let e = run_inspect("/nonexistent/nothing.json").unwrap_err();
+        assert!(e.message.contains("cannot read"));
+
+        let dir = std::env::temp_dir().join("tagwatch-inspect-bad-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.txt");
+        std::fs::write(&path, "hello world\n").unwrap();
+        let e = run_inspect(&path.to_string_lossy()).unwrap_err();
+        assert!(e.message.contains("neither"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

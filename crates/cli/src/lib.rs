@@ -13,6 +13,7 @@
 
 pub mod commands;
 pub mod faults;
+pub mod inspect;
 pub mod parse;
 pub mod soak;
 

@@ -73,9 +73,9 @@ pub enum Command {
         /// Root seed.
         seed: u64,
     },
-    /// `faults [--quick] [--trials T] [--seed S]` — run the named
-    /// fault-scenario matrix and print per-scenario alarm / desync /
-    /// recovery rates.
+    /// `faults [--quick] [--trials T] [--seed S] [--metrics-out PATH]`
+    /// — run the named fault-scenario matrix and print per-scenario
+    /// alarm / desync / recovery rates.
     Faults {
         /// Cap trials at a smoke-test size (CI).
         quick: bool,
@@ -83,10 +83,12 @@ pub enum Command {
         trials: u64,
         /// Root seed.
         seed: u64,
+        /// Where to write the telemetry metrics snapshot, if anywhere.
+        metrics_out: Option<String>,
     },
     /// `soak [--seed S] [--ticks T] [--protocol trp|utrp]
-    /// [--report PATH]` — run the long-horizon soak driver and write
-    /// its JSON report.
+    /// [--report PATH] [--metrics-out PATH] [--trace-out PATH]` — run
+    /// the long-horizon soak driver and write its JSON report.
     Soak {
         /// Root seed (the whole run is deterministic in it).
         seed: u64,
@@ -96,6 +98,16 @@ pub enum Command {
         utrp: bool,
         /// Report path override (default `results/soak_<seed>.json`).
         report: Option<String>,
+        /// Where to write the telemetry metrics snapshot, if anywhere.
+        metrics_out: Option<String>,
+        /// Where to write the flight-recorder JSONL trace, if anywhere.
+        trace_out: Option<String>,
+    },
+    /// `inspect <path>` — summarize an exported telemetry artifact (a
+    /// metrics snapshot or a JSONL event trace, auto-detected).
+    Inspect {
+        /// Path of the artifact to summarize.
+        path: String,
     },
     /// `registry new <n> <m> <alpha>` — print a fresh snapshot.
     RegistryNew {
@@ -152,6 +164,17 @@ fn flag(args: &[String], name: &str, default: u64) -> Result<u64, CliError> {
             .map_err(|_| err(format!("bad {name} value"))),
         None => Ok(default),
     }
+}
+
+fn path_flag(args: &[String], name: &str) -> Result<Option<String>, CliError> {
+    args.iter()
+        .position(|a| a == name)
+        .map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| err(format!("{name} needs a path")))
+        })
+        .transpose()
 }
 
 /// Parses an argument vector (without the program name).
@@ -215,6 +238,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             quick: args.iter().any(|a| a == "--quick"),
             trials: flag(args, "--trials", 100)?,
             seed: flag(args, "--seed", 1)?,
+            metrics_out: path_flag(args, "--metrics-out")?,
         }),
         "soak" => {
             let utrp = match args.iter().position(|a| a == "--protocol") {
@@ -225,22 +249,21 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 },
                 None => true,
             };
-            let report = args
-                .iter()
-                .position(|a| a == "--report")
-                .map(|i| {
-                    args.get(i + 1)
-                        .cloned()
-                        .ok_or_else(|| err("--report needs a path"))
-                })
-                .transpose()?;
             Ok(Command::Soak {
                 seed: flag(args, "--seed", 1)?,
                 ticks: flag(args, "--ticks", 5000)?,
                 utrp,
-                report,
+                report: path_flag(args, "--report")?,
+                metrics_out: path_flag(args, "--metrics-out")?,
+                trace_out: path_flag(args, "--trace-out")?,
             })
         }
+        "inspect" => Ok(Command::Inspect {
+            path: args
+                .get(1)
+                .cloned()
+                .ok_or_else(|| err("usage: inspect <path>"))?,
+        }),
         "identify" => Ok(Command::Identify {
             n: want(args, 1, "n")?,
             steal: flag(args, "--steal", 5)?,
@@ -377,7 +400,8 @@ mod tests {
             Command::Faults {
                 quick: true,
                 trials: 10,
-                seed: 3
+                seed: 3,
+                metrics_out: None,
             }
         );
         // Defaults.
@@ -386,9 +410,16 @@ mod tests {
             Command::Faults {
                 quick: false,
                 trials: 100,
-                seed: 1
+                seed: 1,
+                metrics_out: None,
             }
         );
+        assert!(matches!(
+            parse(&argv("faults --metrics-out m.json")).unwrap(),
+            Command::Faults { metrics_out: Some(p), .. } if p == "m.json"
+        ));
+        let e = parse(&argv("faults --metrics-out")).unwrap_err();
+        assert!(e.message.contains("--metrics-out"));
     }
 
     #[test]
@@ -403,6 +434,8 @@ mod tests {
                 ticks: 800,
                 utrp: false,
                 report: Some("out.json".into()),
+                metrics_out: None,
+                trace_out: None,
             }
         );
         // Defaults: seed 1, 5000 UTRP ticks, derived report path.
@@ -413,12 +446,33 @@ mod tests {
                 ticks: 5000,
                 utrp: true,
                 report: None,
+                metrics_out: None,
+                trace_out: None,
             }
         );
+        assert!(matches!(
+            parse(&argv("soak --metrics-out m.json --trace-out t.jsonl")).unwrap(),
+            Command::Soak { metrics_out: Some(m), trace_out: Some(t), .. }
+                if m == "m.json" && t == "t.jsonl"
+        ));
         let e = parse(&argv("soak --protocol carrier-pigeon")).unwrap_err();
         assert!(e.message.contains("--protocol"));
         let e = parse(&argv("soak --report")).unwrap_err();
         assert!(e.message.contains("--report"));
+        let e = parse(&argv("soak --trace-out")).unwrap_err();
+        assert!(e.message.contains("--trace-out"));
+    }
+
+    #[test]
+    fn parses_inspect() {
+        assert_eq!(
+            parse(&argv("inspect results/metrics.json")).unwrap(),
+            Command::Inspect {
+                path: "results/metrics.json".into()
+            }
+        );
+        let e = parse(&argv("inspect")).unwrap_err();
+        assert!(e.message.contains("inspect <path>"));
     }
 
     #[test]

@@ -3,8 +3,9 @@
 
 use std::path::PathBuf;
 
-use tagwatch_analytics::soak::{run_soak, SoakConfig};
+use tagwatch_analytics::soak::{run_soak_observed, SoakConfig};
 use tagwatch_analytics::TickProtocol;
+use tagwatch_obs::Obs;
 
 use crate::parse::CliError;
 
@@ -14,9 +15,27 @@ fn to_cli<E: std::fmt::Display>(e: E) -> CliError {
     }
 }
 
+/// Writes `content` to `path`, creating parent directories.
+pub(crate) fn write_artifact(path: &str, content: &str) -> Result<(), CliError> {
+    let path = PathBuf::from(path);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(to_cli)?;
+        }
+    }
+    std::fs::write(&path, content).map_err(to_cli)
+}
+
 /// Runs a soak and writes the JSON report (default path
 /// `results/soak_<seed>.json`). Exits non-zero — via the returned
 /// error — if any invariant was violated, so CI fails loudly.
+///
+/// The run is always instrumented: `--metrics-out` exports the full
+/// metrics snapshot (violation and quarantine counts included, so the
+/// exit status has queryable context) and `--trace-out` the
+/// flight-recorder JSONL window. Both artifacts are byte-deterministic
+/// in the seed. On a violation the artifacts are written *before* the
+/// error returns.
 ///
 /// # Errors
 ///
@@ -27,6 +46,8 @@ pub fn run_soak_command(
     ticks: u64,
     utrp: bool,
     report_path: Option<String>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
 ) -> Result<String, CliError> {
     let config = SoakConfig {
         seed,
@@ -38,7 +59,8 @@ pub fn run_soak_command(
         },
         ..SoakConfig::default()
     };
-    let report = run_soak(&config).map_err(to_cli)?;
+    let obs = Obs::new();
+    let report = run_soak_observed(&config, &obs).map_err(to_cli)?;
 
     let path: PathBuf = match report_path {
         Some(p) => PathBuf::from(p),
@@ -50,6 +72,12 @@ pub fn run_soak_command(
         }
     }
     std::fs::write(&path, report.to_json()).map_err(to_cli)?;
+    if let Some(p) = &metrics_out {
+        write_artifact(p, &obs.snapshot_json())?;
+    }
+    if let Some(p) = &trace_out {
+        write_artifact(p, &obs.flight_jsonl())?;
+    }
 
     let c = &report.counts;
     let pct = |q: f64| {
@@ -88,6 +116,19 @@ pub fn run_soak_command(
         pct(0.99),
         report.digest(),
     );
+    out.push_str(&format!(
+        "telemetry: {} violations, {} quarantine events, metrics digest fnv64:{:016x}\n",
+        obs.counter(obs.m.soak_violations),
+        obs.counter(obs.m.quarantine_events),
+        obs.snapshot_digest(),
+    ));
+    if let Some(dump) = &report.flight_dump {
+        out.push_str(&format!(
+            "flight dump latched ({}): {} event(s) retained\n",
+            dump.reason,
+            dump.jsonl.lines().count(),
+        ));
+    }
     if !report.is_clean() {
         out.push_str("\nINVARIANT VIOLATIONS:\n");
         for v in &report.violations {
@@ -107,17 +148,60 @@ mod tests {
     fn soak_command_writes_a_report_and_summarizes() {
         let dir = std::env::temp_dir().join("tagwatch-soak-cli-test");
         let path = dir.join("soak_cli.json");
-        let out = run_soak_command(3, 60, true, Some(path.to_string_lossy().into_owned()))
-            .expect("soak should be clean");
+        let out = run_soak_command(
+            3,
+            60,
+            true,
+            Some(path.to_string_lossy().into_owned()),
+            None,
+            None,
+        )
+        .expect("soak should be clean");
         assert!(out.contains("all soak invariants held"), "{out}");
         assert!(out.contains("digest: fnv1a:"));
+        assert!(out.contains("telemetry: 0 violations"), "{out}");
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"violations\": []"), "{json}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
+    fn soak_command_exports_deterministic_telemetry_artifacts() {
+        let dir = std::env::temp_dir().join("tagwatch-soak-cli-telemetry-test");
+        let paths = |tag: &str| {
+            (
+                dir.join(format!("report_{tag}.json")),
+                dir.join(format!("metrics_{tag}.json")),
+                dir.join(format!("trace_{tag}.jsonl")),
+            )
+        };
+        let mut artifacts = Vec::new();
+        for tag in ["a", "b"] {
+            let (report, metrics, trace) = paths(tag);
+            run_soak_command(
+                5,
+                50,
+                true,
+                Some(report.to_string_lossy().into_owned()),
+                Some(metrics.to_string_lossy().into_owned()),
+                Some(trace.to_string_lossy().into_owned()),
+            )
+            .expect("soak should be clean");
+            artifacts.push((
+                std::fs::read_to_string(&metrics).unwrap(),
+                std::fs::read_to_string(&trace).unwrap(),
+            ));
+        }
+        assert_eq!(artifacts[0], artifacts[1], "telemetry must be seed-stable");
+        assert!(artifacts[0]
+            .0
+            .contains("\"schema\": \"tagwatch-obs-metrics-v1\""));
+        assert!(artifacts[0].1.contains("\"type\":\"tick_completed\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn soak_command_rejects_zero_ticks() {
-        assert!(run_soak_command(1, 0, true, Some("/tmp/unused.json".into())).is_err());
+        assert!(run_soak_command(1, 0, true, Some("/tmp/unused.json".into()), None, None).is_err());
     }
 }

@@ -108,6 +108,37 @@ impl ScanJob<'_> {
     ///
     /// Panics if `lo..hi` is out of bounds for the active arrays.
     pub fn scan_range(&self, lo: usize, hi: usize, members: &mut Vec<u32>) -> Option<u64> {
+        let mut stats = ScanStats::default();
+        self.scan_range_impl::<false>(lo, hi, members, &mut stats)
+    }
+
+    /// [`ScanJob::scan_range`] that additionally accumulates probe
+    /// accounting into `stats` — how many per-tag probes ran and how
+    /// many the candidate pre-filter skipped. The selection logic is
+    /// the *same monomorphized loop* as the plain scan (counting is a
+    /// const-generic branch compiled out of the fast path), so results
+    /// are bit-identical; only this variant pays for the counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo..hi` is out of bounds for the active arrays.
+    pub fn scan_range_counting(
+        &self,
+        lo: usize,
+        hi: usize,
+        members: &mut Vec<u32>,
+        stats: &mut ScanStats,
+    ) -> Option<u64> {
+        self.scan_range_impl::<true>(lo, hi, members, stats)
+    }
+
+    fn scan_range_impl<const COUNT: bool>(
+        &self,
+        lo: usize,
+        hi: usize,
+        members: &mut Vec<u32>,
+        stats: &mut ScanStats,
+    ) -> Option<u64> {
         members.clear();
         let folded = &self.folded[lo..hi];
         let frame = self.frame;
@@ -123,11 +154,17 @@ impl ScanJob<'_> {
         // with the exact remainder — so the scan is bit-identical to
         // the unfiltered one.
         let mut threshold = u128::MAX;
+        if COUNT {
+            stats.probes += (hi - lo) as u64;
+        }
         match self.uniform_key {
             Some(key) => {
                 for (j, &fv) in folded.iter().enumerate() {
                     let frac = frame.frac(mix64(fv ^ key));
                     if frac > threshold {
+                        if COUNT {
+                            stats.filtered += 1;
+                        }
                         continue;
                     }
                     let s = frame.rem_of_frac(frac);
@@ -147,6 +184,9 @@ impl ScanJob<'_> {
                     let ct = mix64(bv.wrapping_add(self.advance));
                     let frac = frame.frac(mix64(fv ^ self.nonce ^ ct));
                     if frac > threshold {
+                        if COUNT {
+                            stats.filtered += 1;
+                        }
                         continue;
                     }
                     let s = frame.rem_of_frac(frac);
@@ -166,6 +206,26 @@ impl ScanJob<'_> {
         } else {
             Some(best)
         }
+    }
+}
+
+/// Probe accounting from a counting scan: the raw material for the
+/// telemetry layer's probe / candidate-filter hit-rate metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Per-tag slot probes evaluated.
+    pub probes: u64,
+    /// Probes the candidate pre-filter skipped before the exact
+    /// remainder.
+    pub filtered: u64,
+}
+
+impl ScanStats {
+    /// Adds `other`'s counts into `self` (the reduction step when
+    /// chunked scans count independently).
+    pub fn merge(&mut self, other: ScanStats) {
+        self.probes += other.probes;
+        self.filtered += other.filtered;
     }
 }
 
@@ -344,6 +404,33 @@ impl RoundScratch {
         S: FnMut(&ScanJob<'_>, &mut Vec<u32>) -> Option<u64>,
     {
         self.run_inner(f, nonces, scanner, |_, _| {})
+    }
+
+    /// [`RoundScratch::run`] with telemetry: when `obs` is enabled the
+    /// round runs through the counting scanner and records probe and
+    /// candidate-filter totals; when disabled it is exactly
+    /// [`RoundScratch::run`]. Either way the round result is
+    /// bit-identical to the uninstrumented one.
+    ///
+    /// # Errors
+    ///
+    /// As [`RoundScratch::run`].
+    pub fn run_observed(
+        &mut self,
+        f: FrameSize,
+        nonces: &NonceSequence,
+        obs: &tagwatch_obs::Obs,
+    ) -> Result<u64, CoreError> {
+        if !obs.enabled() {
+            return self.run(f, nonces);
+        }
+        let mut stats = ScanStats::default();
+        let announcements = self.run_with(f, nonces, |job, members| {
+            job.scan_range_counting(0, job.len(), members, &mut stats)
+        })?;
+        obs.add(obs.m.probes_total, stats.probes);
+        obs.add(obs.m.probes_filtered, stats.filtered);
+        Ok(announcements)
     }
 
     /// [`RoundScratch::run_with`], invoking `on_reply(global_slot,

@@ -21,6 +21,7 @@
 
 use rand::Rng;
 
+use tagwatch_obs::{Obs, ObsEvent, ProtoKind};
 use tagwatch_sim::hash::slot_for;
 use tagwatch_sim::tag::TagReply;
 use tagwatch_sim::{Channel, FaultPlan, TagPopulation, TimingModel};
@@ -30,7 +31,9 @@ use crate::engine::RoundScratch;
 use crate::error::CoreError;
 use crate::faulty::run_honest_reader_with;
 use crate::trp::{observed_bitstring, TrpChallenge};
-use crate::utrp::{run_honest_reader_scratch, UtrpChallenge, UtrpResponse};
+use crate::utrp::{
+    run_honest_reader_scratch, run_honest_reader_scratch_observed, UtrpChallenge, UtrpResponse,
+};
 
 /// One configured way of executing protocol rounds: a radio channel and
 /// an optional scripted fault plan.
@@ -165,7 +168,7 @@ impl RoundExecutor {
     /// tag's counter by the announcements it actually heard.
     ///
     /// Faultless: delegates to
-    /// [`run_honest_reader`]
+    /// [`run_honest_reader`](crate::utrp::run_honest_reader)
     /// (byte-identical, no RNG consumption); otherwise to
     /// [`run_honest_reader_with`].
     ///
@@ -207,6 +210,94 @@ impl RoundExecutor {
         let empty = FaultPlan::new();
         let plan = self.plan.as_ref().unwrap_or(&empty);
         run_honest_reader_with(floor, challenge, timing, &self.channel, plan, rng)
+    }
+
+    /// [`RoundExecutor::run_trp`] with telemetry: records round,
+    /// slot-outcome and frame-size metrics and emits a
+    /// round-completed flight event. With a disabled `obs` this is
+    /// exactly `run_trp` plus one untaken branch; the round result is
+    /// identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RoundExecutor::run_trp`].
+    pub fn run_trp_observed<R: Rng + ?Sized>(
+        &self,
+        floor: &TagPopulation,
+        challenge: &TrpChallenge,
+        rng: &mut R,
+        obs: &Obs,
+    ) -> Result<Bitstring, CoreError> {
+        let bs = self.run_trp(floor, challenge, rng)?;
+        if obs.enabled() {
+            let frame = bs.len() as u64;
+            let occupied = bs.count_ones() as u64;
+            obs.inc(obs.m.rounds_total);
+            obs.inc(obs.m.rounds_trp);
+            obs.add(obs.m.slots_total, frame);
+            obs.add(obs.m.slots_occupied, occupied);
+            obs.set_gauge(obs.m.last_frame_size, frame);
+            obs.observe(obs.m.frame_size, frame as f64);
+            obs.emit(ObsEvent::RoundCompleted {
+                proto: ProtoKind::Trp,
+                frame,
+                occupied,
+                reseeds: 0,
+                elapsed_us: 0,
+            });
+        }
+        Ok(bs)
+    }
+
+    /// [`RoundExecutor::run_utrp_scratch`] with telemetry: records
+    /// round, slot-outcome, re-seed, frame-size and elapsed-time
+    /// metrics (plus probe/candidate-filter totals on the faultless
+    /// fast path, which runs through the counting scanner) and emits a
+    /// round-completed flight event. The round result is bit-identical
+    /// to the uninstrumented path, and with a disabled `obs` this is
+    /// exactly `run_utrp_scratch` plus one untaken branch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RoundExecutor::run_utrp_scratch`].
+    pub fn run_utrp_scratch_observed<R: Rng + ?Sized>(
+        &self,
+        floor: &mut TagPopulation,
+        challenge: &UtrpChallenge,
+        timing: &TimingModel,
+        rng: &mut R,
+        scratch: &mut RoundScratch,
+        obs: &Obs,
+    ) -> Result<UtrpResponse, CoreError> {
+        let response = if self.is_faultless() && obs.enabled() {
+            run_honest_reader_scratch_observed(floor, challenge, timing, scratch, obs)?
+        } else {
+            self.run_utrp_scratch(floor, challenge, timing, rng, scratch)?
+        };
+        if obs.enabled() {
+            let frame = response.bitstring.len() as u64;
+            let occupied = response.bitstring.count_ones() as u64;
+            let reseeds = response.announcements.saturating_sub(1);
+            obs.inc(obs.m.rounds_total);
+            obs.inc(obs.m.rounds_utrp);
+            obs.add(obs.m.slots_total, frame);
+            obs.add(obs.m.slots_occupied, occupied);
+            obs.add(obs.m.reseeds_total, reseeds);
+            obs.set_gauge(obs.m.last_frame_size, frame);
+            obs.observe(obs.m.frame_size, frame as f64);
+            obs.observe(
+                obs.m.round_elapsed_ms,
+                response.elapsed.as_micros() as f64 / 1000.0,
+            );
+            obs.emit(ObsEvent::RoundCompleted {
+                proto: ProtoKind::Utrp,
+                frame,
+                occupied,
+                reseeds,
+                elapsed_us: response.elapsed.as_micros(),
+            });
+        }
+        Ok(response)
     }
 }
 

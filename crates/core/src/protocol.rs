@@ -21,6 +21,7 @@
 
 use rand::Rng;
 
+use tagwatch_obs::{Obs, ObsEvent};
 use tagwatch_sim::TagPopulation;
 
 use crate::engine::RoundScratch;
@@ -62,6 +63,52 @@ pub trait Protocol {
         scratch: &mut RoundScratch,
         rng: &mut R,
     ) -> Result<MonitorReport, CoreError>;
+
+    /// [`Protocol::run_round`] with telemetry: the field round runs
+    /// through the executor's observed variant and the verification
+    /// outcome is recorded (verdict counters, hamming-distance
+    /// histogram, a `verified` flight event, and an automatic flight
+    /// dump on a [`Verdict::Desynced`] outcome). The report is
+    /// identical to the uninstrumented round's; with a disabled `obs`
+    /// the added cost is a handful of untaken branches.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Protocol::run_round`].
+    fn run_round_observed<R: Rng + ?Sized>(
+        &self,
+        server: &mut MonitorServer,
+        floor: &mut TagPopulation,
+        executor: &RoundExecutor,
+        scratch: &mut RoundScratch,
+        rng: &mut R,
+        obs: &Obs,
+    ) -> Result<MonitorReport, CoreError>;
+}
+
+/// Records one verification outcome into the registry and flight
+/// ring. A desynced verdict is a dump trigger: the mirror disagreed
+/// with the field, and the event window leading up to it is exactly
+/// what a postmortem needs.
+fn record_report(obs: &Obs, report: &MonitorReport) {
+    if !obs.enabled() {
+        return;
+    }
+    match &report.verdict {
+        Verdict::Intact => obs.inc(obs.m.verify_intact),
+        Verdict::NotIntact => obs.inc(obs.m.verify_alarm),
+        Verdict::Desynced { .. } => obs.inc(obs.m.verify_desynced),
+    }
+    obs.observe(obs.m.hamming_distance, report.mismatched_slots as f64);
+    obs.emit(ObsEvent::Verified {
+        proto: report.protocol.obs_kind(),
+        verdict: report.verdict.obs_kind(),
+        mismatched: report.mismatched_slots as u64,
+        late: report.late,
+    });
+    if report.verdict.is_desynced() {
+        obs.capture_dump("desync");
+    }
 }
 
 /// A malformed response (wrong bitstring length) is an alarm, not an
@@ -106,6 +153,24 @@ impl Protocol for Trp {
         let bs = executor.run_trp(floor, &challenge, rng)?;
         alarm_on_shape_mismatch(server.verify_trp(challenge, &bs), ProtocolKind::Trp, f)
     }
+
+    fn run_round_observed<R: Rng + ?Sized>(
+        &self,
+        server: &mut MonitorServer,
+        floor: &mut TagPopulation,
+        executor: &RoundExecutor,
+        _scratch: &mut RoundScratch,
+        rng: &mut R,
+        obs: &Obs,
+    ) -> Result<MonitorReport, CoreError> {
+        let challenge = server.issue_trp_challenge(rng)?;
+        let f = challenge.frame_size().get();
+        let bs = executor.run_trp_observed(floor, &challenge, rng, obs)?;
+        let report =
+            alarm_on_shape_mismatch(server.verify_trp(challenge, &bs), ProtocolKind::Trp, f)?;
+        record_report(obs, &report);
+        Ok(report)
+    }
 }
 
 /// The Untrusted Reader Protocol (paper §5), with an honest reader in
@@ -136,6 +201,29 @@ impl Protocol for Utrp {
             ProtocolKind::Utrp,
             f,
         )
+    }
+
+    fn run_round_observed<R: Rng + ?Sized>(
+        &self,
+        server: &mut MonitorServer,
+        floor: &mut TagPopulation,
+        executor: &RoundExecutor,
+        scratch: &mut RoundScratch,
+        rng: &mut R,
+        obs: &Obs,
+    ) -> Result<MonitorReport, CoreError> {
+        let timing = server.config().timing;
+        let challenge = server.issue_utrp_challenge(rng)?;
+        let f = challenge.frame_size().get();
+        let response =
+            executor.run_utrp_scratch_observed(floor, &challenge, &timing, rng, scratch, obs)?;
+        let report = alarm_on_shape_mismatch(
+            server.verify_utrp(challenge, &response),
+            ProtocolKind::Utrp,
+            f,
+        )?;
+        record_report(obs, &report);
+        Ok(report)
     }
 }
 

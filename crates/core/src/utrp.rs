@@ -457,6 +457,38 @@ pub fn run_honest_reader_scratch(
     })
 }
 
+/// [`run_honest_reader_scratch`] with telemetry: when `obs` is enabled
+/// the round runs through the counting scanner, so probe and
+/// candidate-filter totals land in the registry. The round result is
+/// bit-identical to the uninstrumented path either way (the counting
+/// scanner shares the plain scan's monomorphized selection loop).
+///
+/// # Errors
+///
+/// Propagates round-simulation errors.
+pub fn run_honest_reader_scratch_observed(
+    population: &mut TagPopulation,
+    challenge: &UtrpChallenge,
+    timing: &TimingModel,
+    scratch: &mut RoundScratch,
+    obs: &tagwatch_obs::Obs,
+) -> Result<UtrpResponse, CoreError> {
+    scratch.load_population(population);
+    let announcements = scratch.run_observed(challenge.frame_size(), challenge.nonces(), obs)?;
+    for tag in population.iter_mut() {
+        tag.advance_counter(announcements);
+    }
+    let bitstring = scratch.bitstring().clone();
+    let slots = bitstring.len() as u64;
+    let occupied = bitstring.count_ones() as u64;
+    let elapsed = round_duration_parts(timing, slots, occupied, announcements);
+    Ok(UtrpResponse {
+        bitstring,
+        elapsed,
+        announcements,
+    })
+}
+
 /// Runs one honest UTRP round by driving the **actual tag device state
 /// machines** (`tagwatch_sim::Tag`, Alg. 7) slot by slot — the third
 /// and lowest-level implementation of the round, completing the

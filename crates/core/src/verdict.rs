@@ -14,6 +14,17 @@ pub enum ProtocolKind {
     Utrp,
 }
 
+impl ProtocolKind {
+    /// The flattened telemetry counterpart.
+    #[must_use]
+    pub fn obs_kind(&self) -> tagwatch_obs::ProtoKind {
+        match self {
+            ProtocolKind::Trp => tagwatch_obs::ProtoKind::Trp,
+            ProtocolKind::Utrp => tagwatch_obs::ProtoKind::Utrp,
+        }
+    }
+}
+
 impl fmt::Display for ProtocolKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -82,6 +93,16 @@ impl Verdict {
         match self {
             Verdict::Desynced { suspects } => suspects,
             _ => &[],
+        }
+    }
+
+    /// The flattened telemetry counterpart (suspect lists stay here).
+    #[must_use]
+    pub fn obs_kind(&self) -> tagwatch_obs::VerdictKind {
+        match self {
+            Verdict::Intact => tagwatch_obs::VerdictKind::Intact,
+            Verdict::NotIntact => tagwatch_obs::VerdictKind::NotIntact,
+            Verdict::Desynced { .. } => tagwatch_obs::VerdictKind::Desynced,
         }
     }
 }

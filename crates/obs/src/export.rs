@@ -1,0 +1,113 @@
+//! Deterministic export primitives: FNV-1a digests and hand-rolled
+//! JSON encoding.
+//!
+//! The workspace has no serde; every exported artifact (soak reports,
+//! perf baselines, metrics snapshots, flight-recorder dumps) is
+//! written by hand with a fixed field order so that two runs with the
+//! same seed produce *byte-identical* files. The FNV-1a digest over
+//! those bytes is the regression fingerprint CI compares. These
+//! helpers centralize the discipline `analytics::soak` pioneered so
+//! every exporter shares one implementation.
+
+/// FNV-1a offset basis (64-bit).
+pub const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice.
+#[must_use]
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET_BASIS;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a over a sequence of lines, hashing each line's bytes plus a
+/// terminating `\n` — exactly the digest `analytics::soak` has always
+/// used for its per-tick event log, so existing fingerprints are
+/// unchanged.
+#[must_use]
+pub fn fnv1a_lines<I, S>(lines: I) -> u64
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut hash = FNV_OFFSET_BASIS;
+    for line in lines {
+        for byte in line.as_ref().bytes().chain(std::iter::once(b'\n')) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number that round-trips, or `null` for
+/// non-finite values. `{:?}` keeps a decimal point / exponent (plain
+/// `{}` prints `1` for 1.0) and is Rust's shortest round-trip
+/// rendering, identical on every platform.
+#[must_use]
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_digest_matches_manual_fold() {
+        // Hash of "ab\n" computed step by step.
+        let mut expect = FNV_OFFSET_BASIS;
+        for b in [b'a', b'b', b'\n'] {
+            expect ^= u64::from(b);
+            expect = expect.wrapping_mul(FNV_PRIME);
+        }
+        assert_eq!(fnv1a_lines(["ab"]), expect);
+        assert_eq!(fnv1a_bytes(b"ab\n"), expect);
+    }
+
+    #[test]
+    fn line_digest_separates_lines() {
+        // "ab" + "c" must differ from "a" + "bc": the newline byte is
+        // part of the fold.
+        assert_ne!(fnv1a_lines(["ab", "c"]), fnv1a_lines(["a", "bc"]));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn f64_round_trips_and_rejects_nonfinite() {
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(0.5), "0.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+}

@@ -4,12 +4,28 @@
 //! tests can assert protocol behaviour ("the reader re-seeded exactly
 //! after each reply slot") and failures can be diagnosed without a
 //! debugger. Tracing is opt-in per reader and cheap when disabled.
+//!
+//! Traces are **bounded**: the buffer holds at most
+//! [`Trace::capacity`] events and drops the oldest beyond that,
+//! counting what it discarded — a week-long traced soak stays at a
+//! fixed memory footprint instead of growing without limit. The trace
+//! is one [`EventSink`] among others (the obs flight recorder is
+//! another); drivers that fan events out can be generic over the
+//! trait.
 
+use std::collections::VecDeque;
 use std::fmt;
+
+use tagwatch_obs::EventSink;
 
 use crate::ident::{FrameSize, Nonce};
 use crate::radio::SlotOutcome;
 use crate::time::SimTime;
+
+/// Default bound on retained events. At ~32 bytes per entry this caps
+/// a trace at ~2 MiB while holding several full rounds of slot-level
+/// detail.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
 
 /// One observable air-interface event.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,19 +59,37 @@ pub enum TraceEvent {
     },
 }
 
-/// A timestamped sequence of [`TraceEvent`]s.
-#[derive(Debug, Clone, Default)]
+/// A timestamped, bounded sequence of [`TraceEvent`]s with drop-oldest
+/// overflow semantics.
+#[derive(Debug, Clone)]
 pub struct Trace {
-    entries: Vec<(SimTime, TraceEvent)>,
+    entries: VecDeque<(SimTime, TraceEvent)>,
+    capacity: usize,
+    dropped: u64,
     enabled: bool,
 }
 
 impl Trace {
-    /// Creates an enabled, empty trace.
+    /// Creates an enabled, empty trace bounded at
+    /// [`DEFAULT_TRACE_CAPACITY`] events.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Creates an enabled, empty trace holding at most `capacity`
+    /// events before dropping the oldest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace needs a positive capacity");
         Trace {
-            entries: Vec::new(),
+            entries: VecDeque::new(),
+            capacity,
+            dropped: 0,
             enabled: true,
         }
     }
@@ -64,7 +98,9 @@ impl Trace {
     #[must_use]
     pub fn disabled() -> Self {
         Trace {
-            entries: Vec::new(),
+            entries: VecDeque::new(),
+            capacity: DEFAULT_TRACE_CAPACITY,
+            dropped: 0,
             enabled: false,
         }
     }
@@ -75,26 +111,43 @@ impl Trace {
         self.enabled
     }
 
-    /// Appends an event at the given simulated time (no-op if disabled).
+    /// Appends an event at the given simulated time (no-op if
+    /// disabled). At capacity, the oldest retained event is dropped
+    /// and counted.
     pub fn record(&mut self, at: SimTime, event: TraceEvent) {
         if self.enabled {
-            self.entries.push((at, event));
+            if self.entries.len() == self.capacity {
+                self.entries.pop_front();
+                self.dropped += 1;
+            }
+            self.entries.push_back((at, event));
         }
     }
 
-    /// All recorded entries in order.
-    #[must_use]
-    pub fn entries(&self) -> &[(SimTime, TraceEvent)] {
-        &self.entries
+    /// Iterates over retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, TraceEvent)> {
+        self.entries.iter()
     }
 
-    /// Number of recorded entries.
+    /// The maximum number of retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events discarded to respect the capacity bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained entries.
     #[must_use]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Whether nothing has been recorded.
+    /// Whether nothing is retained.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
@@ -124,9 +177,27 @@ impl Trace {
         .count()
     }
 
-    /// Clears all recorded entries, keeping the enabled flag.
+    /// Clears all retained entries and the dropped counter, keeping
+    /// the enabled flag and capacity.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.dropped = 0;
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventSink<(SimTime, TraceEvent)> for Trace {
+    fn accept(&mut self, (at, event): (SimTime, TraceEvent)) {
+        self.record(at, event);
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -134,6 +205,9 @@ impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.entries.is_empty() {
             return write!(f, "(empty trace)");
+        }
+        if self.dropped > 0 {
+            writeln!(f, "({} older events dropped)", self.dropped)?;
         }
         for (t, e) in &self.entries {
             writeln!(f, "[{t}] {e:?}")?;
@@ -173,7 +247,7 @@ mod tests {
         tr.record(SimTime::from_micros(1), announce());
         tr.record(SimTime::from_micros(2), empty_slot(0));
         assert_eq!(tr.len(), 2);
-        assert_eq!(tr.entries()[0].0, SimTime::from_micros(1));
+        assert_eq!(tr.iter().next().unwrap().0, SimTime::from_micros(1));
     }
 
     #[test]
@@ -182,6 +256,35 @@ mod tests {
         tr.record(SimTime::ZERO, announce());
         assert!(tr.is_empty());
         assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn capacity_drops_oldest_and_counts() {
+        let mut tr = Trace::with_capacity(3);
+        for i in 0..5 {
+            tr.record(SimTime::from_micros(i), empty_slot(i));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 2);
+        let slots: Vec<u64> = tr
+            .iter()
+            .map(|(_, e)| match e {
+                TraceEvent::SlotResolved { slot, .. } => *slot,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(slots, [2, 3, 4], "oldest events were dropped");
+    }
+
+    #[test]
+    fn event_sink_feeds_record() {
+        use tagwatch_obs::EventSink;
+        let mut tr = Trace::with_capacity(2);
+        tr.accept((SimTime::from_micros(1), announce()));
+        tr.accept((SimTime::from_micros(2), empty_slot(0)));
+        tr.accept((SimTime::from_micros(3), empty_slot(1)));
+        assert_eq!(tr.len(), 2);
+        assert_eq!(EventSink::<(SimTime, TraceEvent)>::dropped(&tr), 1);
     }
 
     #[test]
@@ -215,11 +318,13 @@ mod tests {
 
     #[test]
     fn clear_resets_entries_but_not_enabled() {
-        let mut tr = Trace::new();
+        let mut tr = Trace::with_capacity(1);
+        tr.record(SimTime::ZERO, announce());
         tr.record(SimTime::ZERO, announce());
         tr.clear();
         assert!(tr.is_empty());
         assert!(tr.is_enabled());
+        assert_eq!(tr.dropped(), 0);
     }
 
     #[test]

@@ -158,7 +158,6 @@ fn trace_slot_indices_cover_the_frame_in_order() {
         .unwrap();
     let slots: Vec<u64> = reader
         .trace()
-        .entries()
         .iter()
         .filter_map(|(_, e)| match e {
             TraceEvent::SlotResolved { slot, .. } => Some(*slot),

@@ -14,6 +14,7 @@
 //! | [`protocols`] | `tagwatch-protocols` | baselines: collect-all DFSA, query tree, cardinality estimation |
 //! | [`attack`] | `tagwatch-attack` | adversaries: replay, split-set collusion, budgeted UTRP colluders |
 //! | [`analytics`] | `tagwatch-analytics` | Monte-Carlo harness reproducing the paper's Figures 4–7, plus continuous monitoring sessions |
+//! | [`obs`] | `tagwatch-obs` | observability: metrics registry, flight recorder, deterministic JSONL/snapshot export |
 //!
 //! A command-line interface ships as the `tagwatch-cli` crate
 //! (`cargo run -p tagwatch-cli -- help`), and figure-regeneration
@@ -54,6 +55,7 @@
 pub use tagwatch_analytics as analytics;
 pub use tagwatch_attack as attack;
 pub use tagwatch_core as core;
+pub use tagwatch_obs as obs;
 pub use tagwatch_protocols as protocols;
 pub use tagwatch_sim as sim;
 
