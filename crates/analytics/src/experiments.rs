@@ -8,7 +8,7 @@
 //! seeds derived from the sweep seed, so results are machine- and
 //! thread-count-independent.
 
-use tagwatch_core::{trp_frame_size, utrp_frame_size, MonitorParams, UtrpSizing};
+use tagwatch_core::{trp_frame_size, utrp_frame_size, CoreError, MonitorParams, UtrpSizing};
 use tagwatch_sim::SeedSequence;
 
 use crate::montecarlo::{collect_all_slots_trial, trp_detection_trial, utrp_detection_cell};
@@ -98,13 +98,17 @@ pub struct Fig4Row {
 }
 
 /// Fig. 4: collect-all vs TRP scanning cost.
-#[must_use]
-pub fn fig4(config: &SweepConfig) -> Vec<Fig4Row> {
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when the grid holds an invalid `(n, m, α)`
+/// combination or a cell's frame-size search is infeasible.
+pub fn fig4(config: &SweepConfig) -> Result<Vec<Fig4Row>, CoreError> {
     let mut rows = Vec::new();
     for &m in &config.m_values {
         for &n in &config.n_values {
-            let params = MonitorParams::new(n, m, config.alpha).expect("paper grid is valid");
-            let trp_slots = trp_frame_size(&params).expect("feasible frame").get();
+            let params = MonitorParams::new(n, m, config.alpha)?;
+            let trp_slots = trp_frame_size(&params)?.get();
             let seeds = config.cell_seeds(4, m, n);
             let samples: Vec<f64> = crate::parallel::parallel_map(config.collect_trials, |t| {
                 collect_all_slots_trial(n, m, seeds.seed_for(t)) as f64
@@ -117,7 +121,7 @@ pub fn fig4(config: &SweepConfig) -> Vec<Fig4Row> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// One point of Fig. 5: TRP detection probability when `m + 1` tags are
@@ -136,13 +140,17 @@ pub struct Fig5Row {
 
 /// Fig. 5: TRP accuracy at the Eq. 2 frame size, adversary steals
 /// `m + 1`.
-#[must_use]
-pub fn fig5(config: &SweepConfig) -> Vec<Fig5Row> {
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when the grid holds an invalid `(n, m, α)`
+/// combination or a cell's frame-size search is infeasible.
+pub fn fig5(config: &SweepConfig) -> Result<Vec<Fig5Row>, CoreError> {
     let mut rows = Vec::new();
     for &m in &config.m_values {
         for &n in &config.n_values {
-            let params = MonitorParams::new(n, m, config.alpha).expect("paper grid is valid");
-            let f = trp_frame_size(&params).expect("feasible frame");
+            let params = MonitorParams::new(n, m, config.alpha)?;
+            let f = trp_frame_size(&params)?;
             let seeds = config.cell_seeds(5, m, n);
             let detected = parallel_count(config.trials, |t| {
                 trp_detection_trial(n, m, f, seeds.seed_for(t))
@@ -155,7 +163,7 @@ pub fn fig5(config: &SweepConfig) -> Vec<Fig5Row> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// One point of Fig. 6: TRP vs UTRP frame sizes.
@@ -172,8 +180,12 @@ pub struct Fig6Row {
 }
 
 /// Fig. 6: the slot overhead of collusion resistance, `c = 20`.
-#[must_use]
-pub fn fig6(config: &SweepConfig) -> Vec<Fig6Row> {
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when the grid holds an invalid `(n, m, α)`
+/// combination or a cell's frame-size search is infeasible.
+pub fn fig6(config: &SweepConfig) -> Result<Vec<Fig6Row>, CoreError> {
     let sizing = UtrpSizing {
         sync_budget: config.sync_budget,
         safety_pad: 8,
@@ -181,16 +193,16 @@ pub fn fig6(config: &SweepConfig) -> Vec<Fig6Row> {
     let mut rows = Vec::new();
     for &m in &config.m_values {
         for &n in &config.n_values {
-            let params = MonitorParams::new(n, m, config.alpha).expect("paper grid is valid");
+            let params = MonitorParams::new(n, m, config.alpha)?;
             rows.push(Fig6Row {
                 m,
                 n,
-                trp_slots: trp_frame_size(&params).expect("feasible").get(),
-                utrp_slots: utrp_frame_size(&params, sizing).expect("feasible").get(),
+                trp_slots: trp_frame_size(&params)?.get(),
+                utrp_slots: utrp_frame_size(&params, sizing)?.get(),
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// One point of Fig. 7: UTRP detection probability under the
@@ -208,8 +220,12 @@ pub struct Fig7Row {
 }
 
 /// Fig. 7: UTRP accuracy against colluding readers, `c = 20`.
-#[must_use]
-pub fn fig7(config: &SweepConfig) -> Vec<Fig7Row> {
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when the grid holds an invalid `(n, m, α)`
+/// combination or a cell's frame-size search is infeasible.
+pub fn fig7(config: &SweepConfig) -> Result<Vec<Fig7Row>, CoreError> {
     let sizing = UtrpSizing {
         sync_budget: config.sync_budget,
         safety_pad: 8,
@@ -217,8 +233,8 @@ pub fn fig7(config: &SweepConfig) -> Vec<Fig7Row> {
     let mut rows = Vec::new();
     for &m in &config.m_values {
         for &n in &config.n_values {
-            let params = MonitorParams::new(n, m, config.alpha).expect("paper grid is valid");
-            let f = utrp_frame_size(&params, sizing).expect("feasible frame");
+            let params = MonitorParams::new(n, m, config.alpha)?;
+            let f = utrp_frame_size(&params, sizing)?;
             let seeds = config.cell_seeds(7, m, n);
             let detected = utrp_detection_cell(n, m, f, config.sync_budget, config.trials, seeds);
             rows.push(Fig7Row {
@@ -229,7 +245,7 @@ pub fn fig7(config: &SweepConfig) -> Vec<Fig7Row> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// One point of the time-domain companion to Fig. 4.
@@ -250,8 +266,12 @@ pub struct Fig4TimeRow {
 /// rather than a shorter random number". Same sweep as Fig. 4 but in
 /// *air time* under the Gen2-style timing model, where an ID slot is 6×
 /// a presence slot.
-#[must_use]
-pub fn fig4_time(config: &SweepConfig) -> Vec<Fig4TimeRow> {
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when the grid holds an invalid `(n, m, α)`
+/// combination or a cell's frame-size search is infeasible.
+pub fn fig4_time(config: &SweepConfig) -> Result<Vec<Fig4TimeRow>, CoreError> {
     use rand::SeedableRng;
     use tagwatch_protocols::collect_all::{collect_all, CollectAllConfig};
     use tagwatch_sim::{Channel, Reader, ReaderConfig, TagPopulation, TimingModel};
@@ -260,8 +280,8 @@ pub fn fig4_time(config: &SweepConfig) -> Vec<Fig4TimeRow> {
     let mut rows = Vec::new();
     for &m in &config.m_values {
         for &n in &config.n_values {
-            let params = MonitorParams::new(n, m, config.alpha).expect("grid valid");
-            let f = trp_frame_size(&params).expect("feasible");
+            let params = MonitorParams::new(n, m, config.alpha)?;
+            let f = trp_frame_size(&params)?;
             // TRP time: announce + per-slot broadcast + outcome bodies.
             // Expected occupied slots: f·(1 − e^{−n/f}).
             let occupied =
@@ -288,6 +308,7 @@ pub fn fig4_time(config: &SweepConfig) -> Vec<Fig4TimeRow> {
                     &CollectAllConfig::paper(n, m),
                     &mut rng,
                 )
+                // lint:allow(s2-panic): CollectAllConfig::paper(n, m) is valid whenever MonitorParams::new(n, m, alpha) succeeded above, and a Result cannot cross the parallel_map closure boundary
                 .expect("valid config");
                 run.duration.as_micros() as f64
             });
@@ -299,7 +320,7 @@ pub fn fig4_time(config: &SweepConfig) -> Vec<Fig4TimeRow> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// One point of the safety-pad ablation.
@@ -318,18 +339,22 @@ pub struct PadAblationRow {
 /// Ablation: how much does the paper's "+5–10 slot" safety pad on the
 /// Eq. 3 frame actually buy? Measured detection at pads 0–16, fixed
 /// `m = 10`, `c = 20`, over the configured `n` grid.
-#[must_use]
-pub fn pad_ablation(config: &SweepConfig) -> Vec<PadAblationRow> {
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when the grid holds an invalid `(n, m, α)`
+/// combination or a cell's frame-size search is infeasible.
+pub fn pad_ablation(config: &SweepConfig) -> Result<Vec<PadAblationRow>, CoreError> {
     let m = 10u64;
     let mut rows = Vec::new();
     for &pad in &[0u64, 4, 8, 16] {
         for &n in &config.n_values {
-            let params = MonitorParams::new(n, m, config.alpha).expect("grid valid");
+            let params = MonitorParams::new(n, m, config.alpha)?;
             let sizing = UtrpSizing {
                 sync_budget: config.sync_budget,
                 safety_pad: pad,
             };
-            let f = utrp_frame_size(&params, sizing).expect("feasible");
+            let f = utrp_frame_size(&params, sizing)?;
             let seeds = config.cell_seeds(100 + pad, m, n);
             let detected = utrp_detection_cell(n, m, f, config.sync_budget, config.trials, seeds);
             rows.push(PadAblationRow {
@@ -340,7 +365,7 @@ pub fn pad_ablation(config: &SweepConfig) -> Vec<PadAblationRow> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// One point of the attacker-budget sweep.
@@ -359,17 +384,21 @@ pub struct BudgetSweepRow {
 /// Ablation: the frame is sized for `c = 20`; what happens when the
 /// real attacker has more (a faster side channel than the deadline
 /// model assumed) or less? Fixed `m = 10`.
-#[must_use]
-pub fn budget_sweep(config: &SweepConfig) -> Vec<BudgetSweepRow> {
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when the grid holds an invalid `(n, m, α)`
+/// combination or a cell's frame-size search is infeasible.
+pub fn budget_sweep(config: &SweepConfig) -> Result<Vec<BudgetSweepRow>, CoreError> {
     let m = 10u64;
     let mut rows = Vec::new();
     for &n in &config.n_values {
-        let params = MonitorParams::new(n, m, config.alpha).expect("grid valid");
+        let params = MonitorParams::new(n, m, config.alpha)?;
         let sizing = UtrpSizing {
             sync_budget: config.sync_budget,
             safety_pad: 8,
         };
-        let f = utrp_frame_size(&params, sizing).expect("feasible");
+        let f = utrp_frame_size(&params, sizing)?;
         for &budget in &[0u64, 10, 20, 40, 80, 160] {
             let seeds = config.cell_seeds(200 + budget, m, n);
             let detected = utrp_detection_cell(n, m, f, budget, config.trials, seeds);
@@ -381,7 +410,7 @@ pub fn budget_sweep(config: &SweepConfig) -> Vec<BudgetSweepRow> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -402,7 +431,7 @@ mod tests {
 
     #[test]
     fn fig4_shapes_hold_on_tiny_grid() {
-        let rows = fig4(&tiny());
+        let rows = fig4(&tiny()).unwrap();
         assert_eq!(rows.len(), 4);
         for row in &rows {
             // TRP must beat collect-all everywhere on the paper's grid.
@@ -427,7 +456,7 @@ mod tests {
 
     #[test]
     fn fig5_detection_stays_near_alpha() {
-        let rows = fig5(&tiny());
+        let rows = fig5(&tiny()).unwrap();
         for row in &rows {
             let (lo, _) = row.detection.wilson_interval(1.96);
             assert!(
@@ -442,7 +471,7 @@ mod tests {
 
     #[test]
     fn fig6_overhead_is_small_and_nonnegative() {
-        let rows = fig6(&tiny());
+        let rows = fig6(&tiny()).unwrap();
         for row in &rows {
             assert!(row.utrp_slots >= row.trp_slots, "m={} n={}", row.m, row.n);
             assert!(
@@ -458,7 +487,7 @@ mod tests {
 
     #[test]
     fn fig7_detection_stays_near_alpha() {
-        let rows = fig7(&tiny());
+        let rows = fig7(&tiny()).unwrap();
         for row in &rows {
             let (lo, _) = row.detection.wilson_interval(1.96);
             assert!(
@@ -473,8 +502,8 @@ mod tests {
 
     #[test]
     fn sweeps_are_reproducible() {
-        let a = fig5(&tiny());
-        let b = fig5(&tiny());
+        let a = fig5(&tiny()).unwrap();
+        let b = fig5(&tiny()).unwrap();
         assert_eq!(a, b);
     }
 
@@ -494,8 +523,8 @@ mod tests {
         let mut cfg = tiny();
         cfg.n_values = vec![300];
         cfg.m_values = vec![10];
-        let slot_rows = fig4(&cfg);
-        let time_rows = fig4_time(&cfg);
+        let slot_rows = fig4(&cfg).unwrap();
+        let time_rows = fig4_time(&cfg).unwrap();
         let slot_ratio = slot_rows[0].trp_slots as f64 / slot_rows[0].collect_all_slots.mean;
         let time_ratio = time_rows[0].trp_micros as f64 / time_rows[0].collect_all_micros.mean;
         // The paper's footnote: in time, collect-all loses even harder
@@ -512,7 +541,7 @@ mod tests {
         let mut cfg = tiny();
         cfg.n_values = vec![300];
         cfg.m_values = vec![10];
-        let rows = pad_ablation(&cfg);
+        let rows = pad_ablation(&cfg).unwrap();
         assert_eq!(rows.len(), 4);
         let at = |pad: u64| rows.iter().find(|r| r.pad == pad).unwrap();
         // Bigger pads → bigger frames → detection does not degrade
@@ -525,7 +554,7 @@ mod tests {
     fn budget_sweep_shows_graceful_degradation() {
         let mut cfg = tiny();
         cfg.n_values = vec![300];
-        let rows = budget_sweep(&cfg);
+        let rows = budget_sweep(&cfg).unwrap();
         let at = |c: u64| rows.iter().find(|r| r.attacker_budget == c).unwrap();
         // An attacker far over the design budget evades more often than
         // one at the design point.

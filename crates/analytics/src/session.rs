@@ -503,6 +503,7 @@ impl MonitoringSession {
         } else {
             self.log.push(SessionEvent::Checked(report));
         }
+        // lint:allow(s2-panic): a SessionEvent was pushed on every branch directly above
         Ok(self.log.last().expect("just pushed"))
     }
 
@@ -619,6 +620,7 @@ impl MonitoringSession {
         } else {
             self.log.push(SessionEvent::Checked(report));
         }
+        // lint:allow(s2-panic): a SessionEvent was pushed on every branch directly above
         Ok(self.log.last().expect("just pushed"))
     }
 

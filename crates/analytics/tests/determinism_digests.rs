@@ -1,0 +1,70 @@
+//! Regression gate for the determinism refactors: the ordered-map
+//! swaps (`HashMap`/`HashSet` → `BTreeMap`/`BTreeSet` in the sim
+//! population, replay attacker, and faulty-reader paths) must not move
+//! a single byte of any digested export.
+//!
+//! The anchor is the committed golden digest CI pins
+//! (`results/obs_golden_digest.txt`): the same instrumented soak the
+//! `obs-smoke` job runs (`--seed 7 --ticks 200`) must reproduce it
+//! in-process, byte for byte.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+
+use tagwatch_analytics::soak::{run_soak_observed, SoakConfig};
+use tagwatch_obs::Obs;
+
+fn golden_digest() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/obs_golden_digest.txt");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+        .trim()
+        .to_string()
+}
+
+fn last_fnv64(artifact: &str) -> String {
+    artifact
+        .lines()
+        .rev()
+        .find_map(|line| {
+            let (_, rest) = line.split_once("fnv64:")?;
+            let hex: String = rest.chars().take(16).collect();
+            (hex.len() == 16 && hex.chars().all(|c| c.is_ascii_hexdigit()))
+                .then(|| format!("fnv64:{hex}"))
+        })
+        .expect("artifact carries a trailing fnv64 digest")
+}
+
+#[test]
+fn instrumented_soak_matches_committed_golden_digest() {
+    let config = SoakConfig {
+        seed: 7,
+        ticks: 200,
+        ..SoakConfig::default()
+    };
+    let obs = Obs::new();
+    let report = run_soak_observed(&config, &obs).expect("soak runs");
+    assert!(report.config.ticks == 200);
+
+    let metrics = obs.snapshot_json();
+    assert_eq!(
+        last_fnv64(&metrics),
+        golden_digest(),
+        "metrics digest drifted from results/obs_golden_digest.txt — \
+         a determinism refactor changed observable behavior"
+    );
+}
+
+#[test]
+fn soak_report_is_byte_identical_across_runs() {
+    let config = SoakConfig {
+        seed: 7,
+        ticks: 50,
+        ..SoakConfig::default()
+    };
+    let a = run_soak_observed(&config, &Obs::new()).expect("soak runs");
+    let b = run_soak_observed(&config, &Obs::new()).expect("soak runs");
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.digest(), b.digest());
+}

@@ -203,7 +203,7 @@ pub fn collude_utrp(
             budget -= cost;
             syncs_used += cost;
             let global = subframe_start + e;
-            bs.set(global as usize, true).expect("global < frame");
+            bs.set(global as usize, true)?;
             if r1_replies_at_e {
                 r1.take_reply();
             }
@@ -215,7 +215,7 @@ pub fn collude_utrp(
                 break;
             }
             subframe_start = global + 1;
-            let f_sub = FrameSize::new(remaining).expect("remaining > 0");
+            let f_sub = FrameSize::new(remaining)?;
             let r = cursor.next_nonce()?;
             r1.announce(r, f_sub);
             r2.announce(r, f_sub);
@@ -225,14 +225,14 @@ pub fn collude_utrp(
                 break;
             };
             let global = subframe_start + rel;
-            bs.set(global as usize, true).expect("global < frame");
+            bs.set(global as usize, true)?;
             r1.take_reply();
             let remaining = total - (global + 1);
             if remaining == 0 {
                 break;
             }
             subframe_start = global + 1;
-            let f_sub = FrameSize::new(remaining).expect("remaining > 0");
+            let f_sub = FrameSize::new(remaining)?;
             r1.announce(cursor.next_nonce()?, f_sub);
         }
     }
@@ -319,7 +319,7 @@ pub fn collude_utrp_reference(
         if !occupied {
             continue;
         }
-        bs.set(global as usize, true).expect("global < frame");
+        bs.set(global as usize, true)?;
         if r1_reply {
             r1.mark_replied(rel);
         }
@@ -329,7 +329,7 @@ pub fn collude_utrp_reference(
         let remaining = total - (global + 1);
         if remaining > 0 {
             subframe_start = global + 1;
-            let f_sub = FrameSize::new(remaining).expect("remaining > 0");
+            let f_sub = FrameSize::new(remaining)?;
             let r = cursor.next_nonce()?;
             r1.announce(r, f_sub);
             if synced {

@@ -7,7 +7,7 @@
 //! the server issues a new `(f, r)` every time, and a recorded `bs` is
 //! only valid for the `(f, r)` it was captured under.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tagwatch_sim::{FrameSize, Nonce};
 
@@ -19,9 +19,9 @@ use tagwatch_core::Bitstring;
 #[derive(Debug, Clone, Default)]
 pub struct ReplayAttacker {
     // Keyed by the exact (f, r) the recording was captured under.
-    exact: HashMap<(u64, Nonce), Bitstring>,
+    exact: BTreeMap<(u64, Nonce), Bitstring>,
     // Most recent recording per frame size, for the fallback replay.
-    by_frame: HashMap<u64, Bitstring>,
+    by_frame: BTreeMap<u64, Bitstring>,
 }
 
 impl ReplayAttacker {
@@ -61,7 +61,7 @@ impl ReplayAttacker {
         if let Some(bs) = self.by_frame.get(&f) {
             return bs.clone();
         }
-        Bitstring::zeros(usize::try_from(f).expect("frame fits usize"))
+        Bitstring::zeros(challenge.frame_size().as_usize())
     }
 
     /// Whether the attacker holds an exact recording for this challenge.

@@ -57,7 +57,7 @@ pub fn counterless_round(
         }
         let Some(rel) = min_rel else { break };
         let global = subframe_start + rel;
-        bs.set(global as usize, true).expect("global < frame");
+        bs.set(global as usize, true)?;
         remaining.retain(|&id| slot_for(id, r, f_sub) != rel);
 
         let left = total - (global + 1);
@@ -65,7 +65,7 @@ pub fn counterless_round(
             break;
         }
         subframe_start = global + 1;
-        f_sub = FrameSize::new(left).expect("left > 0");
+        f_sub = FrameSize::new(left)?;
         r = cursor.next_nonce()?;
     }
     Ok(bs)

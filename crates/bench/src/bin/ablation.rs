@@ -8,6 +8,8 @@
 //!   detection degrade if the real colluders afford more syncs than the
 //!   deadline model assumed?
 
+#![forbid(unsafe_code)]
+
 use tagwatch_analytics::{budget_sweep, pad_ablation, Table};
 use tagwatch_bench::{banner, sweep_from_args, OutputMode};
 
@@ -21,8 +23,8 @@ fn main() {
         &config,
     );
 
-    let pad_rows = pad_ablation(&config);
-    let budget_rows = budget_sweep(&config);
+    let pad_rows = pad_ablation(&config).expect("sweep grid rejected by core");
+    let budget_rows = budget_sweep(&config).expect("sweep grid rejected by core");
 
     if mode == OutputMode::Csv {
         let mut t = Table::new(["experiment", "knob", "n", "frame", "rate"]);

@@ -3,6 +3,8 @@
 //! Paper shape: both curves grow linearly in `n`; TRP sits below
 //! collect-all everywhere, and the gap widens with `n` and with `m`.
 
+#![forbid(unsafe_code)]
+
 use tagwatch_analytics::{fig4, fig4_time, sparkline, Table};
 use tagwatch_bench::{banner, sweep_from_args, OutputMode};
 
@@ -18,7 +20,7 @@ fn main() {
             "air time, collect-all vs TRP",
             &config,
         );
-        let rows = fig4_time(&config);
+        let rows = fig4_time(&config).expect("sweep grid rejected by core");
         for &m in &config.m_values {
             println!("--- tolerate m = {m} missing tags ---");
             let mut table = Table::new(["n", "collect all (ms)", "TRP (ms)", "TRP/collect"]);
@@ -37,7 +39,7 @@ fn main() {
     }
 
     banner("Fig. 4", "number of slots, collect-all vs TRP", &config);
-    let rows = fig4(&config);
+    let rows = fig4(&config).expect("sweep grid rejected by core");
 
     if mode == OutputMode::Csv {
         let mut table = Table::new(["m", "n", "collect_all_slots", "trp_slots"]);

@@ -5,6 +5,8 @@
 //! frame is the *minimal* one satisfying the constraint, so there is no
 //! headroom to waste).
 
+#![forbid(unsafe_code)]
+
 use tagwatch_analytics::{fig5, sparkline, Table};
 use tagwatch_bench::{banner, sweep_from_args, OutputMode};
 
@@ -15,7 +17,7 @@ fn main() {
         "TRP detection probability, adversary steals m+1 tags",
         &config,
     );
-    let rows = fig5(&config);
+    let rows = fig5(&config).expect("sweep grid rejected by core");
 
     if mode == OutputMode::Csv {
         let mut table = Table::new(["m", "n", "frame", "detected", "trials", "rate"]);

@@ -3,13 +3,15 @@
 //! Paper shape: UTRP needs somewhat more slots than TRP, but the
 //! overhead is small — collusion resistance is cheap in slots.
 
+#![forbid(unsafe_code)]
+
 use tagwatch_analytics::{fig6, sparkline, Table};
 use tagwatch_bench::{banner, sweep_from_args, OutputMode};
 
 fn main() {
     let (config, mode) = sweep_from_args(std::env::args().skip(1));
     banner("Fig. 6", "frame sizes, TRP vs UTRP (c = 20)", &config);
-    let rows = fig6(&config);
+    let rows = fig6(&config).expect("sweep grid rejected by core");
 
     if mode == OutputMode::Csv {
         let mut table = Table::new(["m", "n", "trp_slots", "utrp_slots"]);

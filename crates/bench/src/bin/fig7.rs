@@ -4,6 +4,8 @@
 //! Paper shape: detection probability stays above the `α = 0.95` line
 //! on every panel.
 
+#![forbid(unsafe_code)]
+
 use tagwatch_analytics::{fig7, sparkline, Table};
 use tagwatch_bench::{banner, sweep_from_args, OutputMode};
 
@@ -14,7 +16,7 @@ fn main() {
         "UTRP detection probability vs colluding readers",
         &config,
     );
-    let rows = fig7(&config);
+    let rows = fig7(&config).expect("sweep grid rejected by core");
 
     if mode == OutputMode::Csv {
         let mut table = Table::new(["m", "n", "frame", "detected", "trials", "rate"]);

@@ -37,6 +37,8 @@
 //! `--check` exits non-zero if any shared check key regressed by more
 //! than the tolerance (default 0.30) against the baseline file.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -175,6 +177,7 @@ fn legacy_round(parts: &mut [UtrpParticipant], ch: &UtrpChallenge) -> u64 {
 fn fmt_engine(out: &mut String, name: &str, s: &EngineStats, f: u64) {
     let _ = write!(
         out,
+        // lint:allow(d2-float-format): timing floats are machine-varying; the perf baseline is compared numerically with tolerance, and {:.3} truncates jitter
         "        \"{name}\": {{\n          \"rounds\": {},\n          \"elapsed_ms\": {:.3},\n          \"rounds_per_sec\": {:.3},\n          \"slots_per_sec\": {:.1},\n          \"ns_per_announcement\": {:.2}\n        }}",
         s.rounds,
         s.elapsed_secs * 1e3,
@@ -267,6 +270,7 @@ fn main() {
             entry.push_str(",\n");
             fmt_engine(&mut entry, "legacy", l, f_raw);
             let speedup = soa.rounds_per_sec() / l.rounds_per_sec();
+            // lint:allow(d2-float-format): timing floats are machine-varying; the perf baseline is compared numerically with tolerance, not byte-wise
             let _ = write!(entry, ",\n        \"soa_speedup\": {speedup:.2}");
             eprintln!("utrp n={n}: soa/legacy speedup = {speedup:.1}x");
         }
@@ -286,6 +290,7 @@ fn main() {
         let mut entry = String::new();
         let _ = write!(
             entry,
+            // lint:allow(d2-float-format): timing floats are machine-varying; the perf baseline is compared numerically with tolerance, and {:.3} truncates jitter
             "    {{\n      \"n\": {n},\n      \"frame\": {f_raw},\n      \"rounds\": {},\n      \"elapsed_ms\": {:.3},\n      \"rounds_per_sec\": {:.3},\n      \"slots_per_sec\": {:.1}\n    }}",
             trp.rounds,
             trp.elapsed_secs * 1e3,
@@ -401,22 +406,26 @@ fn main() {
     json.push_str("\n  ],\n");
     let _ = write!(
         json,
+        // lint:allow(d2-float-format): timing floats are machine-varying; the perf baseline is compared numerically with tolerance, and {:.3} truncates jitter
         "  \"soak_tick\": {{\n    \"n\": {soak_n},\n    \"ticks\": {soak_ticks},\n    \"elapsed_ms\": {:.3},\n    \"ticks_per_sec\": {ticks_per_sec:.3}\n  }},\n",
         soak_elapsed * 1e3
     );
     let _ = write!(
         json,
+        // lint:allow(d2-float-format): timing floats are machine-varying; the perf baseline is compared numerically with tolerance, not byte-wise
         "  \"telemetry_overhead\": {{\n    \"n\": {overhead_n},\n    \"plain_rounds_per_sec\": {plain_best:.3},\n    \"disabled_obs_rounds_per_sec\": {observed_best:.3},\n    \"overhead_fraction\": {overhead_frac:.5}\n  }},\n"
     );
     if let Some((n, f, announcements, occupied, ms)) = million {
         let _ = write!(
             json,
+            // lint:allow(d2-float-format): timing floats are machine-varying; the perf baseline is compared numerically with tolerance, not byte-wise
             "  \"million_tag_round\": {{\n    \"n\": {n},\n    \"frame\": {f},\n    \"announcements\": {announcements},\n    \"occupied_slots\": {occupied},\n    \"elapsed_ms\": {ms:.1}\n  }},\n"
         );
     }
     json.push_str("  \"checks\": {\n");
     let check_lines: Vec<String> = checks
         .iter()
+        // lint:allow(d2-float-format): timing floats are machine-varying; the perf baseline is compared numerically with tolerance, not byte-wise
         .map(|(k, v)| format!("    \"{k}\": {v:.3}"))
         .collect();
     json.push_str(&check_lines.join(",\n"));

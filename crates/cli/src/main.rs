@@ -1,5 +1,7 @@
 //! The `tagwatch-cli` binary: parse args, dispatch, print.
 
+#![forbid(unsafe_code)]
+
 use std::io::Read;
 use std::process::ExitCode;
 

@@ -201,6 +201,38 @@ impl ScanJob<'_> {
                 }
             }
         }
+        // The pre-filter may only skip probes that land strictly above
+        // the running best: an unfiltered re-scan must agree on both
+        // the minimum slot and the full replier set.
+        #[cfg(debug_assertions)]
+        {
+            let slot_of = |j: usize| -> u64 {
+                let fv = self.folded[lo + j];
+                match self.uniform_key {
+                    Some(key) => frame.rem(mix64(fv ^ key)),
+                    None => {
+                        let ct = mix64(self.bases[lo + j].wrapping_add(self.advance));
+                        frame.rem(mix64(fv ^ self.nonce ^ ct))
+                    }
+                }
+            };
+            let brute = (0..hi - lo).map(slot_of).min();
+            debug_assert_eq!(
+                brute,
+                if members.is_empty() { None } else { Some(best) },
+                "candidate pre-filter must preserve the exact minimum"
+            );
+            if let Some(min) = brute {
+                let full: Vec<u32> = (0..hi - lo)
+                    .filter(|&j| slot_of(j) == min)
+                    .map(|j| (lo + j) as u32)
+                    .collect();
+                debug_assert_eq!(
+                    &full, members,
+                    "candidate pre-filter must preserve the replier set"
+                );
+            }
+        }
         if members.is_empty() {
             None
         } else {
@@ -474,6 +506,15 @@ impl RoundScratch {
         let mut subframe_start = 0u64;
         let mut frame = FastMod::new(f);
 
+        // Zero-alloc contract: the active arrays only shrink during a
+        // round (swap_remove), so their capacity must never move.
+        #[cfg(debug_assertions)]
+        let caps = (
+            self.folded.capacity(),
+            self.bases.capacity(),
+            self.orig.capacity(),
+        );
+
         loop {
             let r = cursor.next_nonce()?.as_u64();
             self.announcements += 1;
@@ -497,9 +538,7 @@ impl RoundScratch {
 
             let global = subframe_start + rel;
             debug_assert!(global < total);
-            self.bitstring
-                .set(global as usize, true)
-                .expect("global < frame");
+            self.bitstring.set(global as usize, true)?;
 
             // Attribution wants original load indices ascending; the
             // member buffer holds active indices (ascending by scanner
@@ -512,12 +551,26 @@ impl RoundScratch {
 
             // Retire the repliers: swap-remove in descending index
             // order keeps earlier indices valid.
+            debug_assert!(
+                self.members.windows(2).all(|w| w[0] < w[1]),
+                "scanner contract: member indices strictly ascending"
+            );
+            debug_assert!(
+                self.members
+                    .last()
+                    .is_none_or(|&mi| (mi as usize) < self.folded.len()),
+                "scanner contract: member indices within the active arrays"
+            );
             for &mi in self.members.iter().rev() {
                 let i = mi as usize;
                 self.folded.swap_remove(i);
                 self.bases.swap_remove(i);
                 self.orig.swap_remove(i);
             }
+            debug_assert!(
+                self.folded.len() == self.bases.len() && self.folded.len() == self.orig.len(),
+                "active arrays must retire in lockstep"
+            );
 
             let remaining = total - (global + 1);
             if remaining == 0 {
@@ -526,6 +579,16 @@ impl RoundScratch {
             subframe_start = global + 1;
             frame = FastMod::from_divisor(remaining);
         }
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            caps,
+            (
+                self.folded.capacity(),
+                self.bases.capacity(),
+                self.orig.capacity(),
+            ),
+            "a round must not reallocate the active arrays"
+        );
         Ok(self.announcements)
     }
 }

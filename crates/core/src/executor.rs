@@ -149,7 +149,7 @@ impl RoundExecutor {
                 self.channel.resolve_slot(transmissions, rng).is_occupied()
             };
             if occupied {
-                bs.set(i, true).expect("i < frame");
+                bs.set(i, true)?;
             }
             if plan.crash_slot().is_some_and(|s| i as u64 >= s) {
                 // Reader dies; the rest of the frame reads empty.

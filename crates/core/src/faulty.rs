@@ -150,7 +150,7 @@ pub fn simulate_round_with<R: Rng + ?Sized>(
         };
 
         if occupied {
-            bs.set(global as usize, true).expect("global < frame");
+            bs.set(global as usize, true)?;
         }
         if injector.crashed_after(global) {
             // Reader dies: no further announcements or listening. Bits
@@ -163,7 +163,7 @@ pub fn simulate_round_with<R: Rng + ?Sized>(
                 break;
             }
             subframe_start = global + 1;
-            let f_sub = FrameSize::new(remaining).expect("remaining > 0");
+            let f_sub = FrameSize::new(remaining)?;
             announce(
                 participants,
                 &replied,
@@ -277,14 +277,14 @@ pub fn run_device_round_with<R: Rng + ?Sized>(
     let mut cursor = challenge.nonces().cursor();
     let mut bs = Bitstring::zeros(f.as_usize());
     let mut injector = FaultInjector::new(plan);
-    let mut replied: std::collections::HashSet<TagId> = std::collections::HashSet::new();
+    let mut replied: std::collections::BTreeSet<TagId> = std::collections::BTreeSet::new();
     // Subframe start at each tag's last heard announcement: its pending
     // slot is relative to this base.
-    let mut base: std::collections::HashMap<TagId, u64> = std::collections::HashMap::new();
+    let mut base: std::collections::BTreeMap<TagId, u64> = std::collections::BTreeMap::new();
 
     let mut announce = |population: &mut TagPopulation,
                         injector: &mut FaultInjector<'_>,
-                        base: &mut std::collections::HashMap<TagId, u64>,
+                        base: &mut std::collections::BTreeMap<TagId, u64>,
                         f_sub: FrameSize,
                         subframe_start: u64,
                         rng: &mut R|
@@ -331,7 +331,7 @@ pub fn run_device_round_with<R: Rng + ?Sized>(
         };
 
         if occupied {
-            bs.set(global as usize, true).expect("global < frame");
+            bs.set(global as usize, true)?;
         }
         if injector.crashed_after(global) {
             break;
@@ -342,7 +342,7 @@ pub fn run_device_round_with<R: Rng + ?Sized>(
                 break;
             }
             subframe_start = global + 1;
-            let f_sub = FrameSize::new(remaining).expect("remaining > 0");
+            let f_sub = FrameSize::new(remaining)?;
             announce(
                 population,
                 &mut injector,

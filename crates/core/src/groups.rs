@@ -248,7 +248,9 @@ impl GroupedMonitor {
             let server = self
                 .groups
                 .get_mut(&name)
-                .expect("audit groups come from this monitor");
+                .ok_or_else(|| CoreError::InvalidParams {
+                    reason: format!("audit group `{name}` does not belong to this monitor"),
+                })?;
             match responses.get(&name) {
                 Some(bs) => {
                     let report = server.verify_trp(challenge, bs)?;

@@ -36,8 +36,10 @@ impl EmptySlotModel {
         debug_assert!(f >= 1);
         match self {
             EmptySlotModel::Poisson => (-(present as f64) / f as f64).exp(),
-            EmptySlotModel::Exact => (1.0 - 1.0 / f as f64)
-                .powi(i32::try_from(present.min(i32::MAX as u64)).expect("clamped")),
+            // Lossless: the value is clamped to i32::MAX before the cast.
+            EmptySlotModel::Exact => {
+                (1.0 - 1.0 / f as f64).powi(present.min(i32::MAX as u64) as i32)
+            }
         }
     }
 }

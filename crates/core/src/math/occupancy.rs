@@ -77,7 +77,8 @@ pub fn expected_collided_slots(n: u64, f: u64) -> f64 {
 }
 
 fn clamp_i32(n: u64) -> i32 {
-    i32::try_from(n.min(i32::MAX as u64)).expect("clamped")
+    // Lossless: the value is clamped to i32::MAX before the cast.
+    n.min(i32::MAX as u64) as i32
 }
 
 #[cfg(test)]

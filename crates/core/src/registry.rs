@@ -74,7 +74,7 @@ impl RegistrySnapshot {
         let mut alpha: Option<f64> = None;
         let mut synced: Option<bool> = None;
         let mut entries: Vec<(TagId, Counter)> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
 
         for (idx, raw) in lines {
             let ln = idx + 1;

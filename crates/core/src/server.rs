@@ -601,6 +601,7 @@ impl MonitorServer {
             *server
                 .registry
                 .get_mut(&id)
+                // lint:allow(s2-panic): every id was inserted into the registry by the with_config call directly above; the two loops iterate the same snapshot entries
                 .expect("ids inserted just above") = ct;
         }
         server.counters_synced = snapshot.counters_synced;

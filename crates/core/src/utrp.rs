@@ -359,8 +359,7 @@ pub fn simulate_round_reference(
         if buckets[rel].is_empty() {
             continue;
         }
-        bs.set(global as usize, true)
-            .expect("global < frame length");
+        bs.set(global as usize, true)?;
         for &i in &buckets[rel] {
             replied[i] = true;
         }
@@ -369,7 +368,7 @@ pub fn simulate_round_reference(
         let remaining = total - (global + 1);
         if remaining > 0 {
             subframe_start = global + 1;
-            let f_sub = FrameSize::new(remaining).expect("remaining > 0");
+            let f_sub = FrameSize::new(remaining)?;
             buckets = announce(participants, &replied, f_sub, &mut announcements)?;
         }
     }
@@ -515,7 +514,7 @@ pub fn run_device_round(
     let mut cursor = challenge.nonces().cursor();
     let mut bs = Bitstring::zeros(f.as_usize());
     let mut announcements = 0u64;
-    let mut replied: std::collections::HashSet<TagId> = std::collections::HashSet::new();
+    let mut replied: std::collections::BTreeSet<TagId> = std::collections::BTreeSet::new();
 
     // Broadcast (f_sub, r): every in-range tag hears it (counter++ via
     // Tag::on_frame); tags that already replied stay silent regardless.
@@ -550,13 +549,13 @@ pub fn run_device_round(
             }
         }
         if any_reply {
-            bs.set(global as usize, true).expect("global < frame");
+            bs.set(global as usize, true)?;
             let remaining = total - (global + 1);
             if remaining == 0 {
                 break;
             }
             subframe_start = global + 1;
-            f_sub = FrameSize::new(remaining).expect("remaining > 0");
+            f_sub = FrameSize::new(remaining)?;
             announce(population, f_sub, &mut announcements)?;
         }
         global += 1;

@@ -1,0 +1,72 @@
+//! # tagwatch-lint
+//!
+//! The workspace's determinism-and-soundness analyzer.
+//!
+//! The whole reproduction rests on a promise the type system cannot
+//! state: that the server can **byte-exactly** precompute what honest
+//! tags emit, and that every exported artifact (soak reports, perf
+//! baselines, metrics snapshots) is a pure function of its seed. One
+//! stray `Instant::now()`, one `HashMap` iteration reaching an
+//! exporter, one `{:.3}` float formatted outside the shared JSON
+//! serializer — and the golden digests CI pins start flaking for
+//! reasons no test names.
+//!
+//! This crate makes those project rules machine-checked at the source
+//! level, with a deliberately small footprint:
+//!
+//! * [`lexer`] — a hand-rolled, comment/string/raw-string-aware Rust
+//!   lexer (no `syn`; the build is offline and the analyzer must stay
+//!   auditable).
+//! * [`rules`] — the rule catalog (`d1-nondeterminism`,
+//!   `d2-float-format`, `s1-unsafe`, `s2-panic`, `s3-doc`) plus the
+//!   `lint:allow(rule): reason` escape hatch.
+//! * [`workspace`] — convention-based file discovery (vendored code
+//!   and rule fixtures excluded), sorted for determinism.
+//! * [`report`] — rustc-style diagnostics and the FNV-digested JSON
+//!   findings report, built with the same export helpers as
+//!   `tagwatch-obs`.
+//!
+//! See `docs/LINTING.md` for the rule catalog, rationale, and how to
+//! add a rule. The `tagwatch-lint` binary wires this into CI:
+//! `cargo run -p tagwatch-lint --release -- --deny`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use std::io;
+use std::path::Path;
+
+pub use report::Analysis;
+pub use rules::{analyze_source, AllowRecord, FileMeta, FileRole, Finding, RuleId};
+pub use workspace::{discover, find_root, SourceFile};
+
+/// Analyzes every non-vendored source file under `root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from file discovery or reading.
+pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
+    let files = discover(root)?;
+    let mut analysis = Analysis {
+        files_scanned: files.len(),
+        ..Analysis::default()
+    };
+    for file in &files {
+        let src = std::fs::read_to_string(&file.path)?;
+        let (findings, allows) = analyze_source(&file.meta, &file.rel, &src);
+        analysis.findings.extend(findings);
+        analysis.allows.extend(allows);
+    }
+    // Per-file output is already ordered; files arrive sorted, so the
+    // global order is (file, line, col, rule) without a re-sort. Keep
+    // the sort anyway as a guard against future per-file changes.
+    analysis.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule.name()).cmp(&(&b.file, b.line, b.col, b.rule.name()))
+    });
+    Ok(analysis)
+}

@@ -1,0 +1,108 @@
+//! The `tagwatch-lint` binary: analyze the workspace, print rustc-style
+//! diagnostics, optionally archive the digested findings report, and
+//! gate CI with `--deny`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tagwatch_lint::{analyze_workspace, find_root, RuleId};
+
+const USAGE: &str = "\
+tagwatch-lint: workspace determinism-and-soundness analyzer
+
+USAGE:
+    tagwatch-lint [OPTIONS]
+
+OPTIONS:
+    --deny            Exit non-zero when any finding remains
+    --report <PATH>   Write the FNV-digested JSON findings report
+    --root <PATH>     Workspace root (default: walk up to [workspace])
+    --list-rules      Print the rule catalog and exit
+    --help            Show this help
+";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut report_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(PathBuf::from(p)),
+                None => return usage_error("--report needs a path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--list-rules" => {
+                for rule in RuleId::ALL {
+                    println!("{:<18} {}", rule.name(), rule.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no [workspace] Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", analysis.human());
+    println!("{}", analysis.summary());
+
+    if let Some(path) = report_path {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, analysis.to_json()) {
+            eprintln!("error: cannot write report {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("report written to {}", path.display());
+    }
+
+    if deny && !analysis.is_clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

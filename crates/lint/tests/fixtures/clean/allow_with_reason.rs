@@ -1,0 +1,16 @@
+//! Clean fixture: a scoped `lint:allow(rule): reason` escape with a
+//! non-empty reason suppresses the finding on its line and the next.
+
+use std::collections::HashMap; // lint:allow(d1-nondeterminism): lookup-only map, never iterated
+
+/// Index lookups do not depend on iteration order.
+// lint:allow(d1-nondeterminism): parameter type only; the body does point lookups
+pub fn lookup(map: &HashMap<u64, u64>, key: u64) -> Option<u64> {
+    map.get(&key).copied()
+}
+
+/// An invariant-backed expect under a justified allow.
+pub fn first(xs: &[u64]) -> u64 {
+    // lint:allow(s2-panic): callers guarantee xs is non-empty
+    *xs.first().expect("non-empty by contract")
+}

@@ -1,0 +1,23 @@
+//! Clean fixture: panicking assertions are idiomatic inside
+//! `#[cfg(test)]` scopes and must not fire `s2-panic`.
+
+/// Library-side code stays clean.
+pub fn double(x: u64) -> u64 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::double;
+
+    #[test]
+    fn doubles() {
+        let v: Option<u64> = Some(2);
+        assert_eq!(double(v.unwrap()), 4);
+        let w: Result<u64, ()> = Ok(3);
+        assert_eq!(double(w.expect("ok")), 6);
+        if false {
+            panic!("unreachable in tests is fine");
+        }
+    }
+}

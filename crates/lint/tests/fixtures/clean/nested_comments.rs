@@ -1,0 +1,16 @@
+//! Clean fixture: comments — including nested block comments — never
+//! contribute code tokens.
+
+/* outer comment
+   /* nested: unsafe { core::mem::transmute(0u64) } */
+   still inside the outer comment: x.unwrap(), panic!("no"),
+   Instant::now(), HashMap::new()
+*/
+
+// line comment with SystemTime::now() and thread_rng()
+
+/// Lifetime syntax must not be confused with an unterminated char
+/// literal by the lexer.
+pub fn lifetimes<'a>(x: &'a u64) -> &'a u64 {
+    x
+}

@@ -1,0 +1,18 @@
+//! Clean fixture: rule-trigger tokens are inert inside string and raw
+//! string literals.
+
+/// Returns documentation text that merely *mentions* forbidden idioms.
+pub fn scary_strings() -> Vec<String> {
+    vec![
+        "call .unwrap( at your peril".to_string(),
+        "HashMap iteration order".to_string(),
+        r#"Instant::now() and thread_rng() in a raw string"#.to_string(),
+        r##"nested fence: r#"panic!("boom")"# stays text"##.to_string(),
+        "escaped quote \" then SystemTime".to_string(),
+    ]
+}
+
+/// A byte string and a char cannot smuggle tokens either.
+pub fn more_literals() -> (&'static [u8], char) {
+    (br"todo!() as bytes", '"')
+}

@@ -1,0 +1,15 @@
+//! Violation fixture: `lint:allow` escapes must carry a non-empty
+//! reason and name a known rule; malformed ones suppress nothing.
+
+/// The allow below has no reason, so the unwrap still fires and the
+/// malformed escape is itself reported.
+pub fn bad_allow(x: Option<u64>) -> u64 {
+    // lint:allow(s2-panic):
+    x.unwrap()
+}
+
+/// Unknown rule names are reported too.
+pub fn unknown_rule(y: Option<u64>) -> u64 {
+    // lint:allow(s9-imaginary): not a real rule
+    y.unwrap()
+}

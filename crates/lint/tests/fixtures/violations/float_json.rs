@@ -1,0 +1,7 @@
+//! Violation fixture: ad-hoc float precision inside a JSON-building
+//! format string (must go through `tagwatch_obs::json_f64`).
+
+/// Hand-rolls a JSON object with `{:.3}` floats.
+pub fn to_json(rate: f64) -> String {
+    format!("{{\"rate\": {rate:.3}}}")
+}

@@ -1,0 +1,6 @@
+//! Violation fixture: a crate root without `#![forbid(unsafe_code)]`.
+
+/// Nothing else is wrong with this file.
+pub fn fine() -> u64 {
+    42
+}

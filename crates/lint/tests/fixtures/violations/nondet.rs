@@ -1,0 +1,16 @@
+//! Violation fixture: nondeterminism sources reachable from exports.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Wall-clock reads poison digest reproducibility.
+pub fn stamp() -> u128 {
+    let t = Instant::now();
+    let _ = std::time::SystemTime::now();
+    t.elapsed().as_nanos()
+}
+
+/// Unordered iteration poisons export ordering.
+pub fn sum(map: &HashMap<u64, u64>) -> u64 {
+    map.values().sum()
+}

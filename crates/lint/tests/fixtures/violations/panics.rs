@@ -1,0 +1,11 @@
+//! Violation fixture: every `s2-panic` trigger in library position.
+
+/// Four distinct panic paths.
+pub fn all_the_panics(x: Option<u64>, y: Result<u64, ()>) -> u64 {
+    let a = x.unwrap();
+    let b = y.expect("nope");
+    if a > b {
+        panic!("a > b");
+    }
+    todo!()
+}

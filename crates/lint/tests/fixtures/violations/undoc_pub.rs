@@ -1,0 +1,14 @@
+//! Violation fixture: public items in `core`/`protocols` must be
+//! doc-commented.
+
+/// A documented item separating the module docs from the offenders.
+pub const SEVEN: u64 = 7;
+
+pub fn undocumented() -> u64 {
+    SEVEN
+}
+
+pub struct AlsoUndocumented {
+    /// Field docs do not rescue the type itself.
+    pub field: u64,
+}

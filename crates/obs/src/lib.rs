@@ -25,6 +25,8 @@
 //! The crate is std-only and sits below every other workspace crate;
 //! any layer can record into it without dependency cycles.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod export;
 pub mod histogram;

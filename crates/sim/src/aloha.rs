@@ -39,6 +39,7 @@ impl SlotIndex {
     /// The index as `usize` for vector addressing.
     #[must_use]
     pub fn as_usize(self) -> usize {
+        // lint:allow(s2-panic): slot indices are residues mod a frame size, and frames are capped at FrameSize::MAX = 2^24, which fits usize on every supported platform
         usize::try_from(self.0).expect("slot index fits usize")
     }
 }

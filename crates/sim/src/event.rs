@@ -182,7 +182,10 @@ impl<E> EventQueue<E> {
     pub fn drain_until(&mut self, until: SimTime) -> Vec<Scheduled<E>> {
         let mut out = Vec::new();
         while matches!(self.peek_time(), Some(t) if t <= until) {
-            out.push(self.pop().expect("peeked"));
+            match self.pop() {
+                Some(ev) => out.push(ev),
+                None => break,
+            }
         }
         self.now = self.now.max(until);
         out

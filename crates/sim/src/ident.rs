@@ -155,14 +155,12 @@ impl FrameSize {
     /// Returns [`SimError::EmptyFrame`] if `slots == 0`, or
     /// [`SimError::FrameTooLarge`] if `slots > FrameSize::MAX`.
     pub fn new(slots: u64) -> Result<Self, SimError> {
-        if slots == 0 {
-            return Err(SimError::EmptyFrame);
-        }
         if slots > Self::MAX {
             return Err(SimError::FrameTooLarge { requested: slots });
         }
-        // Just checked non-zero.
-        Ok(FrameSize(NonZeroU64::new(slots).expect("non-zero")))
+        NonZeroU64::new(slots)
+            .map(FrameSize)
+            .ok_or(SimError::EmptyFrame)
     }
 
     /// The number of slots in the frame.
@@ -177,7 +175,9 @@ impl FrameSize {
     /// supported platforms (64-bit and 32-bit).
     #[must_use]
     pub fn as_usize(self) -> usize {
-        usize::try_from(self.0.get()).expect("frame size bounded by MAX fits usize")
+        // Lossless: construction caps the value at MAX = 2^24, which
+        // fits usize on every supported (32/64-bit) platform.
+        self.0.get() as usize
     }
 
     /// Shrinks the frame by `used` slots (the UTRP re-seed rule: the new

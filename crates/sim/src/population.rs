@@ -7,7 +7,7 @@
 //! tag devices and supports random removal, random splitting, and
 //! failure injection, all through explicit RNGs for reproducibility.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -32,7 +32,7 @@ use crate::tag::{Counter, Tag};
 #[derive(Debug, Clone, Default)]
 pub struct TagPopulation {
     tags: Vec<Tag>,
-    index: HashMap<TagId, usize>,
+    index: BTreeMap<TagId, usize>,
 }
 
 impl TagPopulation {
@@ -168,6 +168,7 @@ impl TagPopulation {
         let victims: Vec<TagId> = self.ids().choose_multiple(rng, count).copied().collect();
         Ok(victims
             .into_iter()
+            // lint:allow(s2-panic): victims were just drawn from self.ids(), so every removal hits a present tag
             .map(|id| self.remove(id).expect("chosen from present ids"))
             .collect())
     }
@@ -186,6 +187,7 @@ impl TagPopulation {
         let removed = self.remove_random(count, rng)?;
         let mut other = TagPopulation::new();
         for tag in removed {
+            // lint:allow(s2-panic): tags removed from one population keep their unique ids, and `other` starts empty
             other.insert(tag).expect("ids unique by construction");
         }
         Ok(other)
@@ -211,6 +213,7 @@ impl TagPopulation {
         let victims: Vec<TagId> = self.ids().choose_multiple(rng, count).copied().collect();
         for id in &victims {
             self.get_mut(*id)
+                // lint:allow(s2-panic): victims were just drawn from self.ids(), so every lookup hits a present tag
                 .expect("chosen from present ids")
                 .set_detuned(true);
         }
@@ -227,7 +230,7 @@ impl TagPopulation {
     /// Snapshot of every tag's counter, keyed by ID — what the server
     /// persists so it can keep predicting UTRP slots.
     #[must_use]
-    pub fn counters(&self) -> HashMap<TagId, Counter> {
+    pub fn counters(&self) -> BTreeMap<TagId, Counter> {
         self.tags.iter().map(|t| (t.id(), t.counter())).collect()
     }
 }
