@@ -19,11 +19,16 @@
 //!   against a Markov-evolving channel with scripted incident bursts,
 //!   invariant checks after every tick, and a deterministic JSON
 //!   report for CI regression tracking.
+//! * [`durable`] — crash-safe soak twins: every tick journaled to a
+//!   `tagwatch-store` write-ahead log with periodic checkpoints, so a
+//!   run killed at any tick resumes to a byte-identical report, and
+//!   corrupted WAL tails are excised with an attributable trace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod durable;
 pub mod experiments;
 pub mod histogram;
 pub mod montecarlo;
@@ -34,6 +39,10 @@ pub mod session;
 pub mod soak;
 pub mod stats;
 
+pub use durable::{
+    resume_soak_durable, resume_soak_durable_observed, run_soak_durable, run_soak_durable_observed,
+    DurableConfig, DurableError, DurableOutcome, ResumeOutcome,
+};
 pub use experiments::{
     budget_sweep, fig4, fig4_time, fig5, fig6, fig7, pad_ablation, BudgetSweepRow, Fig4Row,
     Fig4TimeRow, Fig5Row, Fig6Row, Fig7Row, PadAblationRow, SweepConfig,
@@ -50,8 +59,8 @@ pub use scan::{
     run_round_parallel,
 };
 pub use session::{
-    MonitoringSession, SessionBuilder, SessionEvent, SessionPolicy, SessionPolicyBuilder,
-    TickProtocol,
+    MonitoringSession, SessionBuilder, SessionEvent, SessionLadderState, SessionPolicy,
+    SessionPolicyBuilder, TickProtocol,
 };
 pub use soak::{run_soak, run_soak_observed, SoakConfig, SoakCounts, SoakReport};
 pub use stats::{Proportion, Summary};

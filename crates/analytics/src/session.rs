@@ -276,6 +276,21 @@ impl SessionEvent {
     }
 }
 
+/// The escalation-ladder state a [`MonitoringSession`] must carry
+/// across a restart: everything beyond the server itself that
+/// influences future ticks. Collections are in ascending tag order, so
+/// captures of behaviorally identical sessions are identical values —
+/// the property checkpoint digests rely on.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SessionLadderState {
+    /// Alarming ticks since the last intact tick or escalation.
+    pub consecutive_alarms: u32,
+    /// Desync strikes per suspect tag, ascending by tag.
+    pub desync_strikes: Vec<(TagId, u32)>,
+    /// Tags quarantined for physical audit, ascending.
+    pub quarantined: Vec<TagId>,
+}
+
 /// A long-running monitoring loop over one tag set.
 #[derive(Debug)]
 pub struct MonitoringSession {
@@ -302,6 +317,47 @@ impl MonitoringSession {
             consecutive_alarms: 0,
             desync_strikes: BTreeMap::new(),
             quarantined: BTreeSet::new(),
+            log: Vec::new(),
+            scratch: RoundScratch::new(),
+        }
+    }
+
+    /// Captures the session's escalation-ladder state for a durable
+    /// checkpoint. The audit log is deliberately *not* captured:
+    /// drivers consume it through a cursor within a tick, so at a tick
+    /// boundary the retained prefix is purely diagnostic and a
+    /// restored session may start from an empty log.
+    #[must_use]
+    pub fn ladder_state(&self) -> SessionLadderState {
+        SessionLadderState {
+            consecutive_alarms: self.consecutive_alarms,
+            desync_strikes: self
+                .desync_strikes
+                .iter()
+                .map(|(&id, &strikes)| (id, strikes))
+                .collect(),
+            quarantined: self.quarantined.iter().copied().collect(),
+        }
+    }
+
+    /// Rebuilds a session from a restored server and a captured ladder
+    /// — the warm-restart twin of [`MonitoringSession::new`]. The
+    /// restored session starts with an empty audit log and fresh round
+    /// scratch; continuing from it is behaviorally indistinguishable
+    /// from the uninterrupted session (same verdicts, same RNG draws,
+    /// same events appended from here on).
+    #[must_use]
+    pub fn restore(
+        server: MonitorServer,
+        policy: SessionPolicy,
+        ladder: &SessionLadderState,
+    ) -> Self {
+        MonitoringSession {
+            server,
+            policy,
+            consecutive_alarms: ladder.consecutive_alarms,
+            desync_strikes: ladder.desync_strikes.iter().copied().collect(),
+            quarantined: ladder.quarantined.iter().copied().collect(),
             log: Vec::new(),
             scratch: RoundScratch::new(),
         }
@@ -1100,6 +1156,46 @@ mod tests {
         assert!(obs
             .flight_jsonl()
             .contains("\"type\":\"audit_completed\",\"released\":1,\"latency_ticks\":3"));
+    }
+
+    #[test]
+    fn ladder_capture_restore_is_a_warm_restart() {
+        use rand::Rng as _;
+        use tagwatch_core::{ServerConfig, StateCapture, StateRestore};
+
+        let policy = SessionPolicy {
+            protocol: TickProtocol::Utrp,
+            desyncs_to_quarantine: 1,
+            ..SessionPolicy::default()
+        };
+        let (mut original, mut floor_a) = session(80, 3, policy);
+        let mut rng_a = StdRng::seed_from_u64(21);
+        for _ in 0..3 {
+            original.tick(&mut floor_a, &mut rng_a).unwrap();
+        }
+
+        // Capture at a tick boundary, rebuild, and continue both.
+        let ladder = original.ladder_state();
+        let server = MonitorServer::restore_state(
+            original.server().capture_state(),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut restored = MonitoringSession::restore(server, policy, &ladder);
+        assert_eq!(restored.ladder_state(), ladder);
+        assert!(restored.log().is_empty(), "restored log starts empty");
+
+        let mut floor_b = floor_a.clone();
+        let mut rng_b = rng_a.clone();
+        let before = original.log().len();
+        for _ in 0..4 {
+            original.tick(&mut floor_a, &mut rng_a).unwrap();
+            restored.tick(&mut floor_b, &mut rng_b).unwrap();
+        }
+        assert_eq!(&original.log()[before..], restored.log());
+        assert_eq!(original.ladder_state(), restored.ladder_state());
+        assert_eq!(original.server().snapshot(), restored.server().snapshot());
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "RNG diverged");
     }
 
     #[test]

@@ -35,12 +35,19 @@
 use rand::rngs::StdRng;
 
 use tagwatch_core::utrp::attributed_round;
-use tagwatch_core::{CoreError, MonitorServer, RoundExecutor, ServerConfig, Verdict};
+use tagwatch_core::{
+    CoreError, MonitorServer, RegistrySnapshot, RoundExecutor, ServerConfig, StateCapture,
+    StateRestore, Verdict,
+};
 use tagwatch_obs::{fnv1a_lines, json_escape, json_f64, FlightDump, Obs, ObsEvent, VerdictKind};
 use tagwatch_sim::{Counter, FaultPlan, MarkovChannel, SeedSequence, Tag, TagId, TagPopulation};
+use tagwatch_store::checkpoint::CheckpointDoc;
+use tagwatch_store::StoreError;
 
 use crate::histogram::{percentile, Histogram};
-use crate::session::{MonitoringSession, SessionEvent, TickProtocol};
+use crate::session::{
+    MonitoringSession, SessionEvent, SessionLadderState, SessionPolicy, TickProtocol,
+};
 
 /// Parameters of one soak run. All randomness derives from `seed`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,7 +101,7 @@ impl Default for SoakConfig {
 }
 
 impl SoakConfig {
-    fn validate(&self) -> Result<(), CoreError> {
+    pub(crate) fn validate(&self) -> Result<(), CoreError> {
         if self.ticks == 0 {
             return Err(CoreError::InvalidParams {
                 reason: "soak needs at least one tick".into(),
@@ -350,8 +357,9 @@ impl OpenIncident {
 }
 
 /// The soak driver: the session under test, the world around it, and
-/// the operator's bookkeeping.
-struct SoakDriver<'a> {
+/// the operator's bookkeeping. `pub(crate)` so the durable twin
+/// (`crate::durable`) can drive it tick by tick around WAL appends.
+pub(crate) struct SoakDriver<'a> {
     config: SoakConfig,
     obs: &'a Obs,
     session: MonitoringSession,
@@ -381,7 +389,7 @@ struct SoakDriver<'a> {
 }
 
 impl<'a> SoakDriver<'a> {
-    fn new(config: &SoakConfig, obs: &'a Obs) -> Result<Self, CoreError> {
+    pub(crate) fn new(config: &SoakConfig, obs: &'a Obs) -> Result<Self, CoreError> {
         let seeds = SeedSequence::new(config.seed);
         let floor = TagPopulation::with_sequential_ids(config.n);
         let server_config = ServerConfig {
@@ -716,6 +724,17 @@ impl<'a> SoakDriver<'a> {
 
     fn run(mut self) -> Result<SoakReport, CoreError> {
         for t in 0..self.config.ticks {
+            self.step(t)?;
+        }
+        Ok(self.finish())
+    }
+
+    /// Runs exactly one soak tick: the loop body of [`run`](Self::run),
+    /// extracted verbatim so the durable twin can interleave WAL
+    /// appends (and scripted crashes) between ticks. Appends one line
+    /// to the log.
+    pub(crate) fn step(&mut self, t: u64) -> Result<(), CoreError> {
+        {
             // 1. The world moves: channel level for this tick.
             let level = self.markov.step(&mut self.markov_rng);
             let level_name = level.name.clone();
@@ -776,7 +795,13 @@ impl<'a> SoakDriver<'a> {
                 if trace.is_empty() { "-" } else { &trace }
             ));
         }
+        Ok(())
+    }
 
+    /// Post-loop wrap-up of [`run`](Self::run), extracted verbatim:
+    /// drains any final-tick quarantine, checks convergence, and
+    /// assembles the report.
+    pub(crate) fn finish(mut self) -> SoakReport {
         // Invariant 2 (convergence): the operator loop drains the
         // quarantine every tick, so only a quarantine on the *final*
         // tick (whose attribution was already checked above) can be
@@ -809,7 +834,7 @@ impl<'a> SoakDriver<'a> {
             .zip(&self.level_ticks)
             .map(|(level, &ticks)| (level.name.clone(), ticks))
             .collect();
-        Ok(SoakReport {
+        SoakReport {
             config: self.config,
             counts: self.counts,
             level_ticks,
@@ -818,8 +843,392 @@ impl<'a> SoakDriver<'a> {
             violations: self.violations,
             log: self.log,
             flight_dump: self.obs.dump(),
+        }
+    }
+
+    /// The log line [`step`](Self::step) appended last (empty before
+    /// the first tick) — what the durable twin records per tick.
+    pub(crate) fn last_log_line(&self) -> &str {
+        self.log.last().map_or("", String::as_str)
+    }
+
+    /// Replaces the log wholesale with lines recovered from a WAL's
+    /// tick records. Recovery calls this right after
+    /// [`from_checkpoint`](Self::from_checkpoint) so the report's log
+    /// covers tick 0 even though the driver restarted mid-run.
+    pub(crate) fn seed_log(&mut self, lines: Vec<String>) {
+        self.log = lines;
+    }
+
+    /// Serializes the driver's complete durable state — everything
+    /// that influences ticks `>= next_tick` — into a checkpoint
+    /// document. The per-tick log is deliberately absent: recovery
+    /// rebuilds it from the WAL's tick records via
+    /// [`seed_log`](Self::seed_log).
+    ///
+    /// # Errors
+    ///
+    /// Structurally infallible for a live driver (no section name or
+    /// line it emits violates the document grammar); any
+    /// [`StoreError`] surfacing here indicates a bug, propagated
+    /// rather than swallowed.
+    pub(crate) fn capture_checkpoint(&self, next_tick: u64) -> Result<CheckpointDoc, StoreError> {
+        let rng_line = |name: &str, state: [u64; 4]| {
+            format!(
+                "{name} {:016x} {:016x} {:016x} {:016x}",
+                state[0], state[1], state[2], state[3]
+            )
+        };
+        let mut doc = CheckpointDoc::new();
+        doc.push_section("meta", [format!("next_tick {next_tick}")])?;
+        doc.push_section(
+            "rng",
+            [
+                rng_line("tick", self.tick_rng.state()),
+                rng_line("markov", self.markov_rng.state()),
+                rng_line("sched", self.sched_rng.state()),
+            ],
+        )?;
+        doc.push_section("markov", [format!("state {}", self.markov.state())])?;
+        doc.push_section(
+            "registry",
+            self.session
+                .server()
+                .capture_state()
+                .to_text()
+                .lines()
+                .map(str::to_owned),
+        )?;
+        let ladder = self.session.ladder_state();
+        let mut ladder_lines = vec![format!("alarms {}", ladder.consecutive_alarms)];
+        for (id, strikes) in &ladder.desync_strikes {
+            ladder_lines.push(format!("strike {:024x} {strikes}", id.as_u128()));
+        }
+        for id in &ladder.quarantined {
+            ladder_lines.push(format!("quarantined {:024x}", id.as_u128()));
+        }
+        doc.push_section("ladder", ladder_lines)?;
+        doc.push_section("floor", self.floor.iter().map(tag_line))?;
+        doc.push_section("stolen", self.stolen.iter().map(tag_line))?;
+        doc.push_section(
+            "incidents",
+            [
+                format!("theft_start {}", opt_line(self.theft_start)),
+                format!(
+                    "open {}",
+                    match self.open_incident {
+                        None => "none".to_string(),
+                        Some(OpenIncident::Burst { start }) => format!("burst {start}"),
+                        Some(OpenIncident::Crash { start }) => format!("crash {start}"),
+                    }
+                ),
+                format!(
+                    "pending_desync_burst {}",
+                    u8::from(self.pending_desync_burst)
+                ),
+                format!("last_burst {}", opt_line(self.last_burst)),
+                format!("last_crash {}", opt_line(self.last_crash)),
+                format!("last_noncalm {}", opt_line(self.last_noncalm)),
+            ],
+        )?;
+        doc.push_section(
+            "ever_stolen",
+            self.ever_stolen
+                .iter()
+                .map(|id| format!("{:024x}", id.as_u128())),
+        )?;
+        doc.push_section(
+            "burst_victims",
+            self.burst_victims
+                .iter()
+                .map(|id| format!("{:024x}", id.as_u128())),
+        )?;
+        let k = &self.counts;
+        doc.push_section(
+            "counts",
+            [
+                format!("intact {}", k.intact),
+                format!("alarms {}", k.alarms),
+                format!("desynced {}", k.desynced),
+                format!("resyncs {}", k.resyncs),
+                format!("quarantines {}", k.quarantines),
+                format!("escalations {}", k.escalations),
+                format!("false_escalations {}", k.false_escalations),
+                format!("thefts {}", k.thefts),
+                format!("desync_bursts {}", k.desync_bursts),
+                format!("crashes {}", k.crashes),
+                format!("audits {}", k.audits),
+            ],
+        )?;
+        doc.push_section("level_ticks", self.level_ticks.iter().map(u64::to_string))?;
+        doc.push_section("latencies", self.latencies.iter().map(u64::to_string))?;
+        doc.push_section("audit_ticks", self.audit_ticks.iter().map(u64::to_string))?;
+        doc.push_section("violations", self.violations.iter().cloned())?;
+        Ok(doc)
+    }
+
+    /// Rebuilds a driver from a checkpoint captured by
+    /// [`capture_checkpoint`](Self::capture_checkpoint), such that
+    /// stepping it from the checkpoint's `next_tick` is byte-identical
+    /// to the uninterrupted run. `config` and `obs` are the run's
+    /// non-durable context (the config also rides in the WAL's own
+    /// config record; the caller decodes it before calling this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidSection`] for any section that is
+    /// missing or holds lines [`capture_checkpoint`]
+    /// (Self::capture_checkpoint) could not have written — recovery
+    /// feeds this checksummed bytes, so failures indicate version skew
+    /// rather than disk corruption.
+    pub(crate) fn from_checkpoint(
+        config: &SoakConfig,
+        obs: &'a Obs,
+        doc: &CheckpointDoc,
+    ) -> Result<Self, StoreError> {
+        let registry_text = section(doc, "registry")?.join("\n");
+        let snapshot = RegistrySnapshot::from_text(&registry_text)
+            .map_err(|e| invalid(format!("checkpoint registry: {e}")))?;
+        let server_config = ServerConfig {
+            desync_window: config.desync_window,
+            ..ServerConfig::default()
+        };
+        let server = MonitorServer::restore_state(snapshot, server_config)
+            .map_err(|e| invalid(format!("checkpoint registry rejected: {e}")))?;
+
+        let mut ladder = SessionLadderState::default();
+        for line in section(doc, "ladder")? {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("alarms") => {
+                    ladder.consecutive_alarms = parse_num(parts.next(), "ladder alarms")? as u32;
+                }
+                Some("strike") => {
+                    let id = parse_id(parts.next(), "ladder strike id")?;
+                    let strikes = parse_num(parts.next(), "ladder strike count")? as u32;
+                    ladder.desync_strikes.push((id, strikes));
+                }
+                Some("quarantined") => {
+                    ladder
+                        .quarantined
+                        .push(parse_id(parts.next(), "ladder quarantined id")?);
+                }
+                _ => return Err(invalid(format!("unknown ladder line `{line}`"))),
+            }
+        }
+        let policy = SessionPolicy::builder().protocol(config.protocol).build();
+        let session = MonitoringSession::restore(server, policy, &ladder);
+
+        let mut markov = MarkovChannel::presets();
+        let state_line = single_line(doc, "markov")?;
+        let state = parse_num(state_line.strip_prefix("state "), "markov state")? as usize;
+        markov
+            .restore_state(state)
+            .map_err(|e| invalid(format!("checkpoint markov state: {e}")))?;
+
+        let rng_lines = section(doc, "rng")?;
+        let rng_state = |idx: usize, name: &str| -> Result<StdRng, StoreError> {
+            let line = rng_lines
+                .get(idx)
+                .ok_or_else(|| invalid(format!("checkpoint rng missing `{name}` line")))?;
+            let rest = line
+                .strip_prefix(name)
+                .ok_or_else(|| invalid(format!("checkpoint rng line {idx} is not `{name}`")))?;
+            let mut state = [0u64; 4];
+            let mut words = rest.split_whitespace();
+            for slot in &mut state {
+                let word = words
+                    .next()
+                    .ok_or_else(|| invalid(format!("checkpoint rng `{name}` too short")))?;
+                *slot = u64::from_str_radix(word, 16)
+                    .map_err(|_| invalid(format!("checkpoint rng `{name}` bad word")))?;
+            }
+            Ok(StdRng::from_state(state))
+        };
+        let tick_rng = rng_state(0, "tick")?;
+        let markov_rng = rng_state(1, "markov")?;
+        let sched_rng = rng_state(2, "sched")?;
+
+        let mut floor = TagPopulation::new();
+        for line in section(doc, "floor")? {
+            floor
+                .insert(parse_tag(line)?)
+                .map_err(|e| invalid(format!("checkpoint floor: {e}")))?;
+        }
+        let stolen = section(doc, "stolen")?
+            .iter()
+            .map(|line| parse_tag(line))
+            .collect::<Result<Vec<Tag>, StoreError>>()?;
+
+        let incidents = section(doc, "incidents")?;
+        let keyed = |idx: usize, key: &str| -> Result<&str, StoreError> {
+            incidents
+                .get(idx)
+                .and_then(|line| line.strip_prefix(key).and_then(|r| r.strip_prefix(' ')))
+                .ok_or_else(|| invalid(format!("checkpoint incidents missing `{key}`")))
+        };
+        let theft_start = parse_opt(keyed(0, "theft_start")?, "theft_start")?;
+        let open_incident = match keyed(1, "open")?.split_whitespace().collect::<Vec<_>>()[..] {
+            ["none"] => None,
+            ["burst", start] => Some(OpenIncident::Burst {
+                start: parse_num(Some(start), "open burst start")?,
+            }),
+            ["crash", start] => Some(OpenIncident::Crash {
+                start: parse_num(Some(start), "open crash start")?,
+            }),
+            _ => return Err(invalid("checkpoint incidents bad `open` line".into())),
+        };
+        let pending_desync_burst =
+            parse_num(Some(keyed(2, "pending_desync_burst")?), "pending flag")? != 0;
+        let last_burst = parse_opt(keyed(3, "last_burst")?, "last_burst")?;
+        let last_crash = parse_opt(keyed(4, "last_crash")?, "last_crash")?;
+        let last_noncalm = parse_opt(keyed(5, "last_noncalm")?, "last_noncalm")?;
+
+        let ids = |name: &str| -> Result<Vec<TagId>, StoreError> {
+            section(doc, name)?
+                .iter()
+                .map(|line| parse_id(Some(line), name))
+                .collect()
+        };
+        let ever_stolen = ids("ever_stolen")?;
+        let burst_victims = ids("burst_victims")?;
+
+        let count_lines = section(doc, "counts")?;
+        let count = |idx: usize, key: &str| -> Result<u64, StoreError> {
+            let line = count_lines
+                .get(idx)
+                .ok_or_else(|| invalid(format!("checkpoint counts missing `{key}`")))?;
+            parse_num(line.strip_prefix(key).map(str::trim), key)
+        };
+        let counts = SoakCounts {
+            intact: count(0, "intact")?,
+            alarms: count(1, "alarms")?,
+            desynced: count(2, "desynced")?,
+            resyncs: count(3, "resyncs")?,
+            quarantines: count(4, "quarantines")?,
+            escalations: count(5, "escalations")?,
+            false_escalations: count(6, "false_escalations")?,
+            thefts: count(7, "thefts")?,
+            desync_bursts: count(8, "desync_bursts")?,
+            crashes: count(9, "crashes")?,
+            audits: count(10, "audits")?,
+        };
+
+        let nums = |name: &str| -> Result<Vec<u64>, StoreError> {
+            section(doc, name)?
+                .iter()
+                .map(|line| parse_num(Some(line), name))
+                .collect()
+        };
+        let level_ticks = nums("level_ticks")?;
+        if level_ticks.len() != markov.levels().len() {
+            return Err(invalid(format!(
+                "checkpoint level_ticks has {} entries, channel has {} levels",
+                level_ticks.len(),
+                markov.levels().len()
+            )));
+        }
+        let latencies = nums("latencies")?;
+        let audit_ticks = nums("audit_ticks")?;
+        let violations = section(doc, "violations")?.to_vec();
+
+        Ok(SoakDriver {
+            config: *config,
+            obs,
+            session,
+            floor,
+            markov,
+            tick_rng,
+            markov_rng,
+            sched_rng,
+            counts,
+            level_ticks,
+            latencies,
+            audit_ticks,
+            violations,
+            log: Vec::new(),
+            stolen,
+            theft_start,
+            ever_stolen,
+            burst_victims,
+            open_incident,
+            pending_desync_burst,
+            last_burst,
+            last_crash,
+            last_noncalm,
+            log_cursor: 0,
         })
     }
+}
+
+/// The checkpoint's `meta` cursor: the tick the restored driver must
+/// execute next (its capture preceded that tick's step).
+pub(crate) fn checkpoint_next_tick(doc: &CheckpointDoc) -> Result<u64, StoreError> {
+    let line = single_line(doc, "meta")?;
+    parse_num(line.strip_prefix("next_tick "), "meta next_tick")
+}
+
+fn invalid(message: String) -> StoreError {
+    StoreError::InvalidSection { message }
+}
+
+fn section<'d>(doc: &'d CheckpointDoc, name: &str) -> Result<&'d [String], StoreError> {
+    doc.section(name)
+        .ok_or_else(|| invalid(format!("checkpoint missing @section {name}")))
+}
+
+fn single_line<'d>(doc: &'d CheckpointDoc, name: &str) -> Result<&'d str, StoreError> {
+    let lines = section(doc, name)?;
+    match lines {
+        [line] => Ok(line),
+        _ => Err(invalid(format!(
+            "checkpoint @section {name} must hold exactly one line"
+        ))),
+    }
+}
+
+fn parse_num(field: Option<&str>, what: &str) -> Result<u64, StoreError> {
+    field
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .ok_or_else(|| invalid(format!("checkpoint bad {what}")))
+}
+
+fn parse_id(field: Option<&str>, what: &str) -> Result<TagId, StoreError> {
+    field
+        .and_then(|v| u128::from_str_radix(v.trim(), 16).ok())
+        .map(TagId::new)
+        .ok_or_else(|| invalid(format!("checkpoint bad {what}")))
+}
+
+fn parse_opt(value: &str, what: &str) -> Result<Option<u64>, StoreError> {
+    if value == "none" {
+        Ok(None)
+    } else {
+        parse_num(Some(value), what).map(Some)
+    }
+}
+
+fn tag_line(tag: &Tag) -> String {
+    format!(
+        "{:024x} {} {}",
+        tag.id().as_u128(),
+        tag.counter().get(),
+        u8::from(tag.is_detuned())
+    )
+}
+
+fn parse_tag(line: &str) -> Result<Tag, StoreError> {
+    let mut parts = line.split_whitespace();
+    let id = parse_id(parts.next(), "tag id")?;
+    let counter = parse_num(parts.next(), "tag counter")?;
+    let detuned = parse_num(parts.next(), "tag detuned flag")? != 0;
+    let mut tag = Tag::with_counter(id, Counter::new(counter));
+    tag.set_detuned(detuned);
+    Ok(tag)
+}
+
+fn opt_line(value: Option<u64>) -> String {
+    value.map_or_else(|| "none".to_string(), |v| v.to_string())
 }
 
 /// Runs one deterministic soak and returns its report. See the module

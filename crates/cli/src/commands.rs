@@ -162,7 +162,19 @@ pub fn run(command: Command) -> Result<String, CliError> {
             report,
             metrics_out,
             trace_out,
-        } => crate::soak::run_soak_command(seed, ticks, utrp, report, metrics_out, trace_out),
+            wal_out,
+            crash_at,
+        } => crate::soak::run_soak_command(
+            seed,
+            ticks,
+            utrp,
+            report,
+            metrics_out,
+            trace_out,
+            wal_out,
+            crash_at,
+        ),
+        Command::Recover { path, report } => crate::recover::run_recover_command(&path, report),
         Command::Inspect { path } => crate::inspect::run_inspect(&path),
         Command::RegistryNew { n, m, alpha } => {
             let ids: Vec<TagId> = (1..=n).map(TagId::from).collect();
@@ -219,10 +231,24 @@ USAGE:
                                                     desync / recovery rates)
   tagwatch-cli soak [--seed S] [--ticks T] [--protocol trp|utrp] [--report PATH]
                     [--metrics-out PATH] [--trace-out PATH]
+                    [--wal-out PATH] [--crash-at T]
                                                     long-horizon soak: Markov channel,
                                                     scripted incidents, invariant
                                                     checks, JSON latency report, and
-                                                    optional telemetry exports
+                                                    optional telemetry exports.
+                                                    --wal-out journals the run to a
+                                                    durable write-ahead log (flushed
+                                                    even on a violation exit);
+                                                    --crash-at kills the run before
+                                                    tick T, leaving a resumable WAL
+  tagwatch-cli recover <wal> [--report PATH]        warm-restart a soak from its WAL,
+                                                    re-verify every recorded tick, run
+                                                    to completion, print the verified
+                                                    digest. exit 0: recovered (damaged
+                                                    tails are excised and attributed);
+                                                    exit 1: unreadable WAL, malformed
+                                                    records, replay divergence, or
+                                                    invariant violations
   tagwatch-cli inspect <path>                       summarize an exported telemetry
                                                     artifact (metrics snapshot or
                                                     JSONL event trace, auto-detected)
@@ -234,6 +260,8 @@ EXAMPLES:
   tagwatch-cli size trp 1000 10 0.95
   tagwatch-cli simulate utrp 500 5 --budget 20 --trials 1000
   tagwatch-cli soak --ticks 500 --metrics-out results/soak_metrics.json
+  tagwatch-cli soak --ticks 200 --wal-out results/run.wal --crash-at 137
+  tagwatch-cli recover results/run.wal --report results/recovered.json
   tagwatch-cli inspect results/soak_metrics.json
 ";
 
@@ -251,9 +279,12 @@ mod tests {
             "simulate",
             "faults",
             "soak",
+            "recover",
             "inspect",
             "--metrics-out",
             "--trace-out",
+            "--wal-out",
+            "--crash-at",
             "registry",
         ] {
             assert!(text.contains(word), "help missing `{word}`");

@@ -15,6 +15,7 @@ pub mod commands;
 pub mod faults;
 pub mod inspect;
 pub mod parse;
+pub mod recover;
 pub mod soak;
 
 pub use commands::run;

@@ -102,6 +102,22 @@ pub enum Command {
         metrics_out: Option<String>,
         /// Where to write the flight-recorder JSONL trace, if anywhere.
         trace_out: Option<String>,
+        /// Where to persist the durable write-ahead log, if anywhere.
+        /// The WAL is flushed before any non-zero exit, so an
+        /// invariant violation still leaves a resumable artifact.
+        wal_out: Option<String>,
+        /// Scripted crash: stop just before this tick (requires
+        /// `--wal-out`, which is what makes the kill survivable).
+        crash_at: Option<u64>,
+    },
+    /// `recover <wal> [--report PATH]` — warm-restart a soak from its
+    /// WAL, re-verify every recorded tick, run it to completion, and
+    /// print the verified report digest.
+    Recover {
+        /// Path of the WAL to recover.
+        path: String,
+        /// Where to write the completed run's JSON report, if anywhere.
+        report: Option<String>,
     },
     /// `inspect <path>` — summarize an exported telemetry artifact (a
     /// metrics snapshot or a JSONL event trace, auto-detected).
@@ -164,6 +180,18 @@ fn flag(args: &[String], name: &str, default: u64) -> Result<u64, CliError> {
             .map_err(|_| err(format!("bad {name} value"))),
         None => Ok(default),
     }
+}
+
+fn opt_flag(args: &[String], name: &str) -> Result<Option<u64>, CliError> {
+    args.iter()
+        .position(|a| a == name)
+        .map(|i| {
+            args.get(i + 1)
+                .ok_or_else(|| err(format!("{name} needs a value")))?
+                .parse()
+                .map_err(|_| err(format!("bad {name} value")))
+        })
+        .transpose()
 }
 
 fn path_flag(args: &[String], name: &str) -> Result<Option<String>, CliError> {
@@ -249,6 +277,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 },
                 None => true,
             };
+            let wal_out = path_flag(args, "--wal-out")?;
+            let crash_at = opt_flag(args, "--crash-at")?;
+            if crash_at.is_some() && wal_out.is_none() {
+                return Err(err(
+                    "--crash-at needs --wal-out (the WAL is what survives the kill)",
+                ));
+            }
             Ok(Command::Soak {
                 seed: flag(args, "--seed", 1)?,
                 ticks: flag(args, "--ticks", 5000)?,
@@ -256,8 +291,18 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 report: path_flag(args, "--report")?,
                 metrics_out: path_flag(args, "--metrics-out")?,
                 trace_out: path_flag(args, "--trace-out")?,
+                wal_out,
+                crash_at,
             })
         }
+        "recover" => Ok(Command::Recover {
+            path: args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .cloned()
+                .ok_or_else(|| err("usage: recover <wal> [--report PATH]"))?,
+            report: path_flag(args, "--report")?,
+        }),
         "inspect" => Ok(Command::Inspect {
             path: args
                 .get(1)
@@ -436,6 +481,8 @@ mod tests {
                 report: Some("out.json".into()),
                 metrics_out: None,
                 trace_out: None,
+                wal_out: None,
+                crash_at: None,
             }
         );
         // Defaults: seed 1, 5000 UTRP ticks, derived report path.
@@ -448,6 +495,8 @@ mod tests {
                 report: None,
                 metrics_out: None,
                 trace_out: None,
+                wal_out: None,
+                crash_at: None,
             }
         );
         assert!(matches!(
@@ -461,6 +510,51 @@ mod tests {
         assert!(e.message.contains("--report"));
         let e = parse(&argv("soak --trace-out")).unwrap_err();
         assert!(e.message.contains("--trace-out"));
+    }
+
+    #[test]
+    fn parses_soak_durability_flags() {
+        assert!(matches!(
+            parse(&argv("soak --wal-out run.wal")).unwrap(),
+            Command::Soak { wal_out: Some(w), crash_at: None, .. } if w == "run.wal"
+        ));
+        assert!(matches!(
+            parse(&argv("soak --wal-out run.wal --crash-at 137")).unwrap(),
+            Command::Soak {
+                wal_out: Some(_),
+                crash_at: Some(137),
+                ..
+            }
+        ));
+        // A crash without a WAL destination would lose the run.
+        let e = parse(&argv("soak --crash-at 137")).unwrap_err();
+        assert!(e.message.contains("--wal-out"), "{e}");
+        let e = parse(&argv("soak --crash-at soon --wal-out w")).unwrap_err();
+        assert!(e.message.contains("--crash-at"));
+        let e = parse(&argv("soak --wal-out")).unwrap_err();
+        assert!(e.message.contains("--wal-out"));
+    }
+
+    #[test]
+    fn parses_recover() {
+        assert_eq!(
+            parse(&argv("recover results/run.wal")).unwrap(),
+            Command::Recover {
+                path: "results/run.wal".into(),
+                report: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv("recover run.wal --report out.json")).unwrap(),
+            Command::Recover {
+                path: "run.wal".into(),
+                report: Some("out.json".into()),
+            }
+        );
+        let e = parse(&argv("recover")).unwrap_err();
+        assert!(e.message.contains("recover <wal>"));
+        let e = parse(&argv("recover --report out.json")).unwrap_err();
+        assert!(e.message.contains("recover <wal>"));
     }
 
     #[test]

@@ -4,8 +4,9 @@
 use std::path::PathBuf;
 
 use tagwatch_analytics::soak::{run_soak_observed, SoakConfig};
-use tagwatch_analytics::TickProtocol;
+use tagwatch_analytics::{run_soak_durable_observed, DurableConfig, TickProtocol};
 use tagwatch_obs::Obs;
+use tagwatch_sim::StorageFaultPlan;
 
 use crate::parse::CliError;
 
@@ -37,10 +38,19 @@ pub(crate) fn write_artifact(path: &str, content: &str) -> Result<(), CliError> 
 /// in the seed. On a violation the artifacts are written *before* the
 /// error returns.
 ///
+/// With `--wal-out` the run goes through the durable engine (same tick
+/// sequence, same report, same telemetry) and persists its write-ahead
+/// log — flushed before everything else, so even a violation exit
+/// leaves a resumable artifact on disk. `--crash-at T` additionally
+/// kills the run just before tick `T`, leaving exactly the bytes a
+/// power cut at that instant would: the command then exits 0 (the kill
+/// was scripted, not a failure) and points at `tagwatch-cli recover`.
+///
 /// # Errors
 ///
 /// Returns a [`CliError`] for invalid configs, report I/O failures, or
 /// invariant violations.
+#[allow(clippy::too_many_arguments)]
 pub fn run_soak_command(
     seed: u64,
     ticks: u64,
@@ -48,6 +58,8 @@ pub fn run_soak_command(
     report_path: Option<String>,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    wal_out: Option<String>,
+    crash_at: Option<u64>,
 ) -> Result<String, CliError> {
     let config = SoakConfig {
         seed,
@@ -60,7 +72,35 @@ pub fn run_soak_command(
         ..SoakConfig::default()
     };
     let obs = Obs::new();
-    let report = run_soak_observed(&config, &obs).map_err(to_cli)?;
+    let report = if let Some(wal_path) = &wal_out {
+        let mut fault = StorageFaultPlan::new();
+        if let Some(t) = crash_at {
+            fault = fault.crash_at_tick(t);
+        }
+        let durable = DurableConfig {
+            soak: config,
+            fault,
+            ..DurableConfig::default()
+        };
+        let outcome = run_soak_durable_observed(&durable, &obs).map_err(to_cli)?;
+        // The WAL lands on disk first: a violation (or the scripted
+        // crash) must still leave a resumable artifact behind.
+        tagwatch_store::io::write_bytes(wal_path, &outcome.wal).map_err(to_cli)?;
+        match outcome.report {
+            Some(report) => report,
+            None => {
+                let tick = outcome.interrupted_at.unwrap_or(0);
+                return Ok(format!(
+                    "soak interrupted at tick {tick} (scripted crash)\n\
+                     WAL: {wal_path} ({} bytes)\n\
+                     resume with: tagwatch-cli recover {wal_path}\n",
+                    outcome.wal.len(),
+                ));
+            }
+        }
+    } else {
+        run_soak_observed(&config, &obs).map_err(to_cli)?
+    };
 
     let path: PathBuf = match report_path {
         Some(p) => PathBuf::from(p),
@@ -155,6 +195,8 @@ mod tests {
             Some(path.to_string_lossy().into_owned()),
             None,
             None,
+            None,
+            None,
         )
         .expect("soak should be clean");
         assert!(out.contains("all soak invariants held"), "{out}");
@@ -185,6 +227,8 @@ mod tests {
                 Some(report.to_string_lossy().into_owned()),
                 Some(metrics.to_string_lossy().into_owned()),
                 Some(trace.to_string_lossy().into_owned()),
+                None,
+                None,
             )
             .expect("soak should be clean");
             artifacts.push((
@@ -202,6 +246,61 @@ mod tests {
 
     #[test]
     fn soak_command_rejects_zero_ticks() {
-        assert!(run_soak_command(1, 0, true, Some("/tmp/unused.json".into()), None, None).is_err());
+        assert!(run_soak_command(
+            1,
+            0,
+            true,
+            Some("/tmp/unused.json".into()),
+            None,
+            None,
+            None,
+            None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn soak_command_persists_a_recoverable_wal() {
+        let dir = std::env::temp_dir().join("tagwatch-soak-cli-wal-test");
+        let report = dir.join("report.json");
+        let wal = dir.join("run.wal");
+        let out = run_soak_command(
+            3,
+            60,
+            true,
+            Some(report.to_string_lossy().into_owned()),
+            None,
+            None,
+            Some(wal.to_string_lossy().into_owned()),
+            None,
+        )
+        .expect("soak should be clean");
+        assert!(out.contains("all soak invariants held"), "{out}");
+        let bytes = std::fs::read(&wal).unwrap();
+        assert_eq!(&bytes[..4], b"TWAL");
+        let resumed = tagwatch_analytics::resume_soak_durable(&bytes).unwrap();
+        assert!(resumed.recovery.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crashed_soak_writes_wal_and_reports_interruption() {
+        let dir = std::env::temp_dir().join("tagwatch-soak-cli-crash-test");
+        let wal = dir.join("crashed.wal");
+        let out = run_soak_command(
+            3,
+            60,
+            true,
+            None,
+            None,
+            None,
+            Some(wal.to_string_lossy().into_owned()),
+            Some(33),
+        )
+        .expect("a scripted crash is not a command failure");
+        assert!(out.contains("interrupted at tick 33"), "{out}");
+        assert!(out.contains("tagwatch-cli recover"), "{out}");
+        assert!(wal.exists(), "the WAL must survive the kill");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -37,18 +37,22 @@ pub enum RuleId {
     S2Panic,
     /// S3: public items in `core`/`protocols` carry doc comments.
     S3Doc,
+    /// S4: filesystem access confined to `store/src/io.rs` and the
+    /// CLI/tooling layer.
+    S4Io,
     /// Meta-rule: malformed `lint:allow` escapes.
     AllowSyntax,
 }
 
 impl RuleId {
     /// Every rule, in catalog order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::D1Nondeterminism,
         RuleId::D2FloatFormat,
         RuleId::S1Unsafe,
         RuleId::S2Panic,
         RuleId::S3Doc,
+        RuleId::S4Io,
         RuleId::AllowSyntax,
     ];
 
@@ -61,6 +65,7 @@ impl RuleId {
             RuleId::S1Unsafe => "s1-unsafe",
             RuleId::S2Panic => "s2-panic",
             RuleId::S3Doc => "s3-doc",
+            RuleId::S4Io => "s4-io",
             RuleId::AllowSyntax => "allow-syntax",
         }
     }
@@ -90,6 +95,11 @@ impl RuleId {
                 "no unwrap()/expect()/panic!/todo! in library crates outside #[cfg(test)]"
             }
             RuleId::S3Doc => "public items in core/protocols carry doc comments",
+            RuleId::S4Io => {
+                "no std::fs / disk I/O in library crates: persistence goes through \
+                 tagwatch_store::io (the workspace's only filesystem touchpoint) or \
+                 the CLI layer"
+            }
             RuleId::AllowSyntax => "lint:allow escapes must name a known rule and give a reason",
         }
     }
@@ -151,13 +161,14 @@ pub struct FileMeta {
 /// Crates whose sources feed digested or exported artifacts: the
 /// round engines and everything between them and the byte-stable
 /// reports. D1 and S2 both scope to this set.
-const LIBRARY_CRATES: [&str; 7] = [
+const LIBRARY_CRATES: [&str; 8] = [
     "core",
     "protocols",
     "sim",
     "analytics",
     "attack",
     "obs",
+    "store",
     "tagwatch",
 ];
 
@@ -271,6 +282,11 @@ pub fn analyze_source(
         if in_library_crate(meta) {
             check_s2_panics(&code, &mut push, &in_test);
             check_d1_nondeterminism(&code, &mut push, &in_test);
+            // `store/src/io.rs` is the designated filesystem touchpoint;
+            // everywhere else in library code, disk access is a leak.
+            if !(meta.crate_name == "store" && rel_path.ends_with("src/io.rs")) {
+                check_s4_io(&code, &mut push, &in_test);
+            }
         }
         if EXPORT_CRATES.contains(&meta.crate_name.as_str()) {
             check_d2_float_format(&code, &mut push, &in_test);
@@ -329,6 +345,40 @@ where
                     ),
                 );
             }
+        }
+    }
+}
+
+/// S4: filesystem access outside the designated I/O module.
+///
+/// Matches the idioms the workspace actually uses for disk access:
+/// the `fs` path segment (`std::fs`, `fs::write`, `use std::fs`),
+/// `OpenOptions`, and `File::` calls. Keeping every other library
+/// module byte-buffer-only is what makes crash/corruption fault
+/// injection exact, so a new `std::fs` in, say, `analytics` is a
+/// durability hole, not a style nit.
+fn check_s4_io<F>(code: &Code<'_>, push: &mut F, in_test: &dyn Fn(usize) -> bool)
+where
+    F: FnMut(RuleId, &Token, String),
+{
+    let is_path_sep = |k: usize| code.is_punct(k, ':') && code.is_punct(k + 1, ':');
+    for k in 0..code.len() {
+        if in_test(k) {
+            continue;
+        }
+        let fs_segment = code.is_ident(k, "fs")
+            && (is_path_sep(k + 1)
+                || (k >= 3 && code.is_ident(k - 3, "std") && is_path_sep(k - 2)));
+        let file_call = code.is_ident(k, "File") && is_path_sep(k + 1);
+        if fs_segment || file_call || code.is_ident(k, "OpenOptions") {
+            push(
+                RuleId::S4Io,
+                code.tok(k),
+                "filesystem access in library code: route persistence through \
+                 `tagwatch_store::io` (the only module allowed to touch disk) or move \
+                 this to the CLI layer"
+                    .to_string(),
+            );
         }
     }
 }
@@ -846,6 +896,34 @@ mod tests {
     fn s3_skips_pub_use_pub_crate_and_fields() {
         let src = "pub use std::fmt;\npub(crate) fn h() {}\n/// S.\npub struct S {\n    pub field: u32,\n}\n";
         assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn s4_fires_on_fs_and_file_handles() {
+        let src = "use std::fs;\nfn f() { fs::write(\"x\", b\"y\").ok(); std::fs::File::create(\"x\").ok(); }\n";
+        let f = run(src);
+        let s4 = f.iter().filter(|f| f.rule == RuleId::S4Io).count();
+        assert_eq!(s4, 4, "use + fs::write + std::fs + File:: — {f:?}");
+    }
+
+    #[test]
+    fn s4_exempts_store_io_module_and_tests() {
+        let src = "use std::fs;\nfn f() { fs::write(\"x\", b\"y\").ok(); }\n";
+        let store = FileMeta {
+            crate_name: "store".to_string(),
+            role: FileRole::Src,
+            is_crate_root: false,
+        };
+        let (f, _) = analyze_source(&store, "crates/store/src/io.rs", src);
+        assert!(f.is_empty(), "io.rs is the designated touchpoint: {f:?}");
+        let (f, _) = analyze_source(&store, "crates/store/src/wal.rs", src);
+        assert!(
+            f.iter().any(|f| f.rule == RuleId::S4Io),
+            "other store modules are in scope: {f:?}"
+        );
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { std::fs::write(\"x\", b\"y\").ok(); }\n}\n";
+        assert!(run(test_src).is_empty(), "test code may touch temp files");
     }
 
     #[test]

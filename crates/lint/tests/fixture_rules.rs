@@ -150,6 +150,44 @@ fn malformed_allows_suppress_nothing_and_are_reported() {
 }
 
 #[test]
+fn s4_fires_on_every_disk_touch_in_library_code() {
+    let src = fixture("violations/disk_io.rs");
+    let (findings, _) = analyze_source(&meta("analytics", false), "violations/disk_io.rs", &src);
+    let s4 = rules_of(&findings)
+        .iter()
+        .filter(|&&r| r == RuleId::S4Io)
+        .count();
+    assert!(
+        s4 >= 7,
+        "use/fs::write/OpenOptions/std::fs::read/File:: all fire: {findings:?}"
+    );
+    assert!(
+        findings.iter().all(|f| f.rule == RuleId::S4Io),
+        "nothing else in the fixture trips: {findings:?}"
+    );
+}
+
+#[test]
+fn s4_is_out_of_scope_for_cli_and_exempts_store_io() {
+    let src = fixture("violations/disk_io.rs");
+    let (findings, _) = analyze_source(&meta("cli", false), "violations/disk_io.rs", &src);
+    assert!(
+        findings.is_empty(),
+        "the CLI layer owns user-facing file I/O: {findings:?}"
+    );
+    let (findings, _) = analyze_source(&meta("store", false), "crates/store/src/io.rs", &src);
+    assert!(
+        !rules_of(&findings).contains(&RuleId::S4Io),
+        "store/src/io.rs is the designated touchpoint: {findings:?}"
+    );
+    let (findings, _) = analyze_source(&meta("store", false), "crates/store/src/wal.rs", &src);
+    assert!(
+        rules_of(&findings).contains(&RuleId::S4Io),
+        "the rest of the store crate is in scope: {findings:?}"
+    );
+}
+
+#[test]
 fn s3_fires_on_undocumented_public_items() {
     let src = fixture("violations/undoc_pub.rs");
     let (findings, _) = analyze_source(&meta("core", false), "violations/undoc_pub.rs", &src);

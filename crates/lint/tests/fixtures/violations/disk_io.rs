@@ -1,0 +1,32 @@
+//! s4-io violation fixture: filesystem access sprinkled through what
+//! pretends to be library code. Every non-test disk touch here must
+//! fire; the `#[cfg(test)]` block at the bottom must not.
+
+use std::fs;
+use std::fs::OpenOptions;
+
+fn persist_report(json: &str) -> std::io::Result<()> {
+    fs::write("results/report.json", json)
+}
+
+fn append_log(line: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = OpenOptions::new().append(true).open("run.log")?;
+    f.write_all(line.as_bytes())
+}
+
+fn slurp() -> std::io::Result<Vec<u8>> {
+    std::fs::read("state.bin")
+}
+
+fn handle() -> std::io::Result<std::fs::File> {
+    std::fs::File::open("state.bin")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn temp_files_are_fine_in_tests() {
+        std::fs::write("/tmp/fixture-scratch", b"ok").ok();
+    }
+}

@@ -132,6 +132,19 @@ pub enum ObsEvent {
         /// Invariant number (1–3, matching `SoakReport` docs).
         invariant: u8,
     },
+    /// Durable-state recovery excised a damaged WAL tail (the
+    /// attributable trace of a crash or corruption — a recovered run
+    /// is never silently presented as an uninterrupted one).
+    StoreRecovered {
+        /// Corruption classification code (`tagwatch-store`'s
+        /// `CorruptionKind::code`).
+        kind: u8,
+        /// Byte offset where the damage began (= intact prefix
+        /// length).
+        offset: u64,
+        /// Trailing bytes dropped to restore a valid log.
+        dropped: u64,
+    },
 }
 
 impl ObsEvent {
@@ -195,6 +208,14 @@ impl ObsEvent {
                 out,
                 "{{\"seq\":{seq},\"type\":\"invariant_violated\",\"tick\":{tick},\"invariant\":{invariant}}}"
             ),
+            ObsEvent::StoreRecovered {
+                kind,
+                offset,
+                dropped,
+            } => write!(
+                out,
+                "{{\"seq\":{seq},\"type\":\"store_recovered\",\"kind\":{kind},\"offset\":{offset},\"dropped\":{dropped}}}"
+            ),
         };
     }
 }
@@ -243,6 +264,21 @@ mod tests {
         assert_eq!(
             out,
             "{\"seq\":3,\"type\":\"round_completed\",\"proto\":\"utrp\",\"frame\":64,\"occupied\":12,\"reseeds\":11,\"elapsed_us\":1500}"
+        );
+    }
+
+    #[test]
+    fn store_recovered_json_is_stable() {
+        let mut out = String::new();
+        ObsEvent::StoreRecovered {
+            kind: 3,
+            offset: 4096,
+            dropped: 17,
+        }
+        .write_json(9, &mut out);
+        assert_eq!(
+            out,
+            "{\"seq\":9,\"type\":\"store_recovered\",\"kind\":3,\"offset\":4096,\"dropped\":17}"
         );
     }
 

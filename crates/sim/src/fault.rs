@@ -178,6 +178,156 @@ impl FaultPlan {
     }
 }
 
+/// One scripted fault against a durable byte stream (a write-ahead
+/// log on its way to stable storage).
+///
+/// These model what a power cut or sector corruption does to the last
+/// write: the recovery machinery in `tagwatch-store` must *detect*
+/// every one of them and truncate to the longest intact prefix — a
+/// damaged tail may cost re-execution, never a silent false "intact".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The final `drop_bytes` bytes of the stream never reached disk
+    /// (a torn write: the process died mid-`write`).
+    TornWrite {
+        /// How many trailing bytes are lost.
+        drop_bytes: u64,
+    },
+    /// One bit flips in place (media corruption). `offset_from_end`
+    /// addresses the byte (`0` = last byte) and `bit` the bit within
+    /// it (`0` = least significant).
+    BitFlip {
+        /// Byte position measured backwards from the end of the stream.
+        offset_from_end: u64,
+        /// Bit index within the byte, `0..8`.
+        bit: u8,
+    },
+    /// The stream is cleanly cut short by `drop_bytes` bytes (a
+    /// truncated copy or an interrupted transfer).
+    TruncateTail {
+        /// How many trailing bytes are removed.
+        drop_bytes: u64,
+    },
+}
+
+impl StorageFault {
+    /// Applies the fault to `bytes` in place.
+    ///
+    /// Out-of-range faults degrade gracefully: dropping more bytes
+    /// than exist empties the stream, and a bit flip past the start
+    /// flips the first byte.
+    pub fn apply(&self, bytes: &mut Vec<u8>) {
+        match *self {
+            StorageFault::TornWrite { drop_bytes } | StorageFault::TruncateTail { drop_bytes } => {
+                let keep = bytes.len().saturating_sub(drop_bytes as usize);
+                bytes.truncate(keep);
+            }
+            StorageFault::BitFlip {
+                offset_from_end,
+                bit,
+            } => {
+                if bytes.is_empty() {
+                    return;
+                }
+                let idx = bytes
+                    .len()
+                    .saturating_sub(1)
+                    .saturating_sub(offset_from_end as usize);
+                bytes[idx] ^= 1 << (bit % 8);
+            }
+        }
+    }
+
+    /// Validates the fault's numeric knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProbability`] (name `storage_bit`) if
+    /// a bit-flip addresses a bit index outside `0..8`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if let StorageFault::BitFlip { bit, .. } = *self {
+            if bit >= 8 {
+                return Err(SimError::InvalidProbability {
+                    name: "storage_bit",
+                    value: f64::from(bit),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A scripted storage-failure schedule for one durable soak run: the
+/// process is killed just before executing tick `crash_at_tick`, and
+/// the bytes persisted so far optionally suffer a [`StorageFault`].
+///
+/// An empty (default) plan never crashes and damages nothing; durable
+/// runs under it must be byte-identical to their in-memory twins.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StorageFaultPlan {
+    crash_at_tick: Option<u64>,
+    damage: Option<StorageFault>,
+}
+
+impl StorageFaultPlan {
+    /// An empty plan (no crash, no damage).
+    #[must_use]
+    pub fn new() -> Self {
+        StorageFaultPlan::default()
+    }
+
+    /// Whether this plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == StorageFaultPlan::default()
+    }
+
+    /// Kills the process just before tick `tick` executes.
+    #[must_use]
+    pub fn crash_at_tick(mut self, tick: u64) -> Self {
+        self.crash_at_tick = Some(tick);
+        self
+    }
+
+    /// Damages the persisted bytes with `fault` when the crash fires.
+    #[must_use]
+    pub fn with_damage(mut self, fault: StorageFault) -> Self {
+        self.damage = Some(fault);
+        self
+    }
+
+    /// The scripted crash tick, if any.
+    #[must_use]
+    pub fn crash_tick(&self) -> Option<u64> {
+        self.crash_at_tick
+    }
+
+    /// The scripted storage damage, if any.
+    #[must_use]
+    pub fn damage(&self) -> Option<StorageFault> {
+        self.damage
+    }
+
+    /// Applies the scripted damage (if any) to `bytes` in place.
+    pub fn apply_damage(&self, bytes: &mut Vec<u8>) {
+        if let Some(fault) = self.damage {
+            fault.apply(bytes);
+        }
+    }
+
+    /// Validates the plan's knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StorageFault::validate`].
+    pub fn validate(&self) -> Result<(), SimError> {
+        match self.damage {
+            Some(fault) => fault.validate(),
+            None => Ok(()),
+        }
+    }
+}
+
 /// A per-round cursor over a [`FaultPlan`]: tracks the current
 /// announcement index so executors can query faults positionally.
 #[derive(Debug, Clone)]
@@ -304,6 +454,78 @@ mod tests {
         assert!(inj.hears(a0, TagId::new(9)));
         assert!(!inj.hears(a1, TagId::new(9)));
         assert!(inj.hears(a1, TagId::new(8)));
+    }
+
+    #[test]
+    fn storage_torn_write_and_truncate_drop_tail_bytes() {
+        for fault in [
+            StorageFault::TornWrite { drop_bytes: 3 },
+            StorageFault::TruncateTail { drop_bytes: 3 },
+        ] {
+            let mut bytes = vec![1u8, 2, 3, 4, 5];
+            fault.apply(&mut bytes);
+            assert_eq!(bytes, [1, 2]);
+        }
+        // Over-dropping empties the stream instead of panicking.
+        let mut bytes = vec![1u8, 2];
+        StorageFault::TornWrite { drop_bytes: 99 }.apply(&mut bytes);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn storage_bit_flip_targets_from_the_end() {
+        let mut bytes = vec![0u8, 0, 0, 0b0000_0100];
+        StorageFault::BitFlip {
+            offset_from_end: 0,
+            bit: 2,
+        }
+        .apply(&mut bytes);
+        assert_eq!(bytes, [0, 0, 0, 0]);
+        StorageFault::BitFlip {
+            offset_from_end: 3,
+            bit: 7,
+        }
+        .apply(&mut bytes);
+        assert_eq!(bytes, [0b1000_0000, 0, 0, 0]);
+        // Past-the-start flips clamp to the first byte; empty streams
+        // are left alone.
+        StorageFault::BitFlip {
+            offset_from_end: 99,
+            bit: 0,
+        }
+        .apply(&mut bytes);
+        assert_eq!(bytes[0], 0b1000_0001);
+        let mut empty: Vec<u8> = Vec::new();
+        StorageFault::BitFlip {
+            offset_from_end: 0,
+            bit: 0,
+        }
+        .apply(&mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn storage_plan_builders_and_validation() {
+        let plan = StorageFaultPlan::new()
+            .crash_at_tick(42)
+            .with_damage(StorageFault::TornWrite { drop_bytes: 5 });
+        assert!(!plan.is_empty());
+        assert_eq!(plan.crash_tick(), Some(42));
+        assert_eq!(
+            plan.damage(),
+            Some(StorageFault::TornWrite { drop_bytes: 5 })
+        );
+        plan.validate().unwrap();
+        let mut bytes = vec![0u8; 8];
+        plan.apply_damage(&mut bytes);
+        assert_eq!(bytes.len(), 3);
+
+        assert!(StorageFaultPlan::new().is_empty());
+        let bad = StorageFaultPlan::new().with_damage(StorageFault::BitFlip {
+            offset_from_end: 0,
+            bit: 8,
+        });
+        assert!(bad.validate().is_err());
     }
 
     #[test]

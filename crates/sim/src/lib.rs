@@ -77,7 +77,7 @@ pub use aloha::{FrameExecution, FramePlan, FrameStats, SlotIndex};
 pub use epc::{sgtin_batch, Sgtin96};
 pub use error::SimError;
 pub use event::{EventQueue, Scheduled};
-pub use fault::{FaultInjector, FaultPlan};
+pub use fault::{FaultInjector, FaultPlan, StorageFault, StorageFaultPlan};
 pub use hash::{slot_for, slot_for_counted, FastMod, SlotHasher};
 pub use ident::{FrameSize, Nonce, TagId};
 pub use markov::{ChannelLevel, MarkovChannel};
@@ -94,7 +94,7 @@ pub use trace::{Trace, TraceEvent};
 pub mod prelude {
     pub use crate::aloha::{FrameExecution, FramePlan, FrameStats, SlotIndex};
     pub use crate::error::SimError;
-    pub use crate::fault::{FaultInjector, FaultPlan};
+    pub use crate::fault::{FaultInjector, FaultPlan, StorageFault, StorageFaultPlan};
     pub use crate::hash::{slot_for, slot_for_counted};
     pub use crate::ident::{FrameSize, Nonce, TagId};
     pub use crate::markov::{ChannelLevel, MarkovChannel};

@@ -186,6 +186,25 @@ impl MarkovChannel {
         Channel::with_config(self.level().config).expect("validated at construction")
     }
 
+    /// Restores the chain to a previously observed level index, for
+    /// warm restart from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProbability`] (name `markov_state`)
+    /// if `state` is not a valid level index, as read from a corrupted
+    /// checkpoint.
+    pub fn restore_state(&mut self, state: usize) -> Result<(), SimError> {
+        if state >= self.levels.len() {
+            return Err(SimError::InvalidProbability {
+                name: "markov_state",
+                value: state as f64,
+            });
+        }
+        self.state = state;
+        Ok(())
+    }
+
     /// Advances the chain one step and returns the new level.
     ///
     /// Always consumes exactly one `f64` draw from `rng`, regardless of
@@ -246,6 +265,21 @@ mod tests {
             },
         );
         assert!(MarkovChannel::new(vec![bad], vec![vec![1.0]], 0).is_err());
+    }
+
+    #[test]
+    fn restore_state_resumes_and_rejects_out_of_range() {
+        let mut chain = MarkovChannel::presets();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..37 {
+            chain.step(&mut rng);
+        }
+        let saved = chain.state();
+        let mut restored = MarkovChannel::presets();
+        restored.restore_state(saved).unwrap();
+        assert_eq!(restored.state(), saved);
+        assert_eq!(restored.level().name, chain.level().name);
+        assert!(restored.restore_state(3).is_err());
     }
 
     #[test]

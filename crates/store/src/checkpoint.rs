@@ -1,0 +1,267 @@
+//! Deterministic sectioned checkpoint documents.
+//!
+//! A checkpoint is a text document — one header line, then named
+//! sections whose payload lines the *caller* defines. The grammar:
+//!
+//! ```text
+//! tagwatch-checkpoint v1
+//! @section <name>
+//! <payload line>
+//! <payload line>
+//! @section <name>
+//! …
+//! ```
+//!
+//! This crate knows nothing about what the sections mean: the soak
+//! driver serializes its registry, RNG states, ladder counters and so
+//! on into lines, and parses them back on warm restart. Keeping the
+//! container generic (and textual) makes checkpoints diffable in test
+//! failures and keeps the store crate free of upward dependencies.
+//!
+//! Determinism contract: section order is preserved, serialization is
+//! the exact input lines, and `parse(doc.to_bytes()) == doc` for every
+//! valid document.
+
+use crate::error::StoreError;
+
+const HEADER: &str = "tagwatch-checkpoint v1";
+const SECTION_PREFIX: &str = "@section ";
+
+/// An ordered, named-section text document.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckpointDoc {
+    sections: Vec<(String, Vec<String>)>,
+}
+
+impl CheckpointDoc {
+    /// An empty document.
+    #[must_use]
+    pub fn new() -> Self {
+        CheckpointDoc::default()
+    }
+
+    /// Appends a named section.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidSection`] if the name is empty,
+    /// contains whitespace or `@`, or any payload line starts with
+    /// `@` (which would be ambiguous with a section marker);
+    /// [`StoreError::DuplicateSection`] if the name was already used.
+    pub fn push_section<I, S>(&mut self, name: &str, lines: I) -> Result<(), StoreError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        if name.is_empty() || name.contains(char::is_whitespace) || name.contains('@') {
+            return Err(StoreError::InvalidSection {
+                message: format!("bad section name `{name}`"),
+            });
+        }
+        if self.sections.iter().any(|(n, _)| n == name) {
+            return Err(StoreError::DuplicateSection {
+                name: name.to_string(),
+            });
+        }
+        let lines: Vec<String> = lines.into_iter().map(Into::into).collect();
+        for line in &lines {
+            if line.starts_with('@') {
+                return Err(StoreError::InvalidSection {
+                    message: format!("section `{name}` line starts with `@`: `{line}`"),
+                });
+            }
+            if line.contains('\n') {
+                return Err(StoreError::InvalidSection {
+                    message: format!("section `{name}` line embeds a newline"),
+                });
+            }
+        }
+        self.sections.push((name.to_string(), lines));
+        Ok(())
+    }
+
+    /// The payload lines of section `name`, if present.
+    #[must_use]
+    pub fn section(&self, name: &str) -> Option<&[String]> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, lines)| lines.as_slice())
+    }
+
+    /// All sections in document order.
+    pub fn sections(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.sections
+            .iter()
+            .map(|(n, lines)| (n.as_str(), lines.as_slice()))
+    }
+
+    /// Serializes to the canonical byte form.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = String::with_capacity(256);
+        out.push_str(HEADER);
+        out.push('\n');
+        for (name, lines) in &self.sections {
+            out.push_str(SECTION_PREFIX);
+            out.push_str(name);
+            out.push('\n');
+            for line in lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out.into_bytes()
+    }
+
+    /// Parses the canonical byte form back into a document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::ParseCheckpoint`] on a missing/unknown
+    /// header, non-UTF-8 input, or a payload line outside any section;
+    /// [`StoreError::DuplicateSection`] on a repeated section name.
+    pub fn parse(bytes: &[u8]) -> Result<Self, StoreError> {
+        let text = std::str::from_utf8(bytes).map_err(|e| StoreError::ParseCheckpoint {
+            line: 0,
+            message: format!("not UTF-8: {e}"),
+        })?;
+        let mut doc = CheckpointDoc::new();
+        let mut current: Option<(String, Vec<String>)> = None;
+        for (idx, line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            if lineno == 1 {
+                if line != HEADER {
+                    return Err(StoreError::ParseCheckpoint {
+                        line: lineno,
+                        message: format!("expected `{HEADER}`, found `{line}`"),
+                    });
+                }
+                continue;
+            }
+            if let Some(name) = line.strip_prefix(SECTION_PREFIX) {
+                if let Some((done_name, lines)) = current.take() {
+                    doc.push_section_parsed(done_name, lines, lineno)?;
+                }
+                current = Some((name.to_string(), Vec::new()));
+                continue;
+            }
+            match current.as_mut() {
+                Some((_, lines)) => lines.push(line.to_string()),
+                None => {
+                    return Err(StoreError::ParseCheckpoint {
+                        line: lineno,
+                        message: format!("payload line outside any section: `{line}`"),
+                    })
+                }
+            }
+        }
+        if text.is_empty() {
+            return Err(StoreError::ParseCheckpoint {
+                line: 1,
+                message: "empty document".to_string(),
+            });
+        }
+        if let Some((done_name, lines)) = current.take() {
+            doc.push_section_parsed(done_name, lines, text.lines().count())?;
+        }
+        Ok(doc)
+    }
+
+    /// `push_section` with parse-context error mapping.
+    fn push_section_parsed(
+        &mut self,
+        name: String,
+        lines: Vec<String>,
+        lineno: usize,
+    ) -> Result<(), StoreError> {
+        self.push_section(&name, lines).map_err(|e| match e {
+            dup @ StoreError::DuplicateSection { .. } => dup,
+            other => StoreError::ParseCheckpoint {
+                line: lineno,
+                message: other.to_string(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckpointDoc {
+        let mut doc = CheckpointDoc::new();
+        doc.push_section("meta", ["next_tick 25"]).unwrap();
+        doc.push_section(
+            "rng",
+            ["tick 1 2 3 4".to_string(), "markov 5 6 7 8".to_string()],
+        )
+        .unwrap();
+        doc.push_section("empty", Vec::<String>::new()).unwrap();
+        doc
+    }
+
+    #[test]
+    fn roundtrips_byte_exactly() {
+        let doc = sample();
+        let bytes = doc.to_bytes();
+        let parsed = CheckpointDoc::parse(&bytes).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn section_lookup_and_order() {
+        let doc = sample();
+        assert_eq!(doc.section("meta").unwrap(), ["next_tick 25"]);
+        assert_eq!(doc.section("empty").unwrap(), Vec::<String>::new());
+        assert!(doc.section("missing").is_none());
+        let names: Vec<&str> = doc.sections().map(|(n, _)| n).collect();
+        assert_eq!(names, ["meta", "rng", "empty"]);
+    }
+
+    #[test]
+    fn rejects_bad_names_and_lines() {
+        let mut doc = CheckpointDoc::new();
+        assert!(doc.push_section("", ["x"]).is_err());
+        assert!(doc.push_section("has space", ["x"]).is_err());
+        assert!(doc.push_section("at@sign", ["x"]).is_err());
+        assert!(doc.push_section("ok", ["@section sneaky"]).is_err());
+        assert!(doc.push_section("ok", ["line\nbreak"]).is_err());
+        doc.push_section("ok", ["fine"]).unwrap();
+        assert!(matches!(
+            doc.push_section("ok", ["again"]),
+            Err(StoreError::DuplicateSection { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(CheckpointDoc::parse(b"").is_err());
+        assert!(CheckpointDoc::parse(b"wrong header\n").is_err());
+        assert!(CheckpointDoc::parse(b"tagwatch-checkpoint v1\norphan line\n").is_err());
+        assert!(CheckpointDoc::parse(&[0xff, 0xfe]).is_err());
+        let dup = b"tagwatch-checkpoint v1\n@section a\n@section a\n";
+        assert!(matches!(
+            CheckpointDoc::parse(dup),
+            Err(StoreError::DuplicateSection { .. })
+        ));
+    }
+
+    #[test]
+    fn header_only_document_is_valid_and_empty() {
+        let doc = CheckpointDoc::parse(b"tagwatch-checkpoint v1\n").unwrap();
+        assert_eq!(doc, CheckpointDoc::new());
+        // And a new document serializes to exactly that.
+        assert_eq!(CheckpointDoc::new().to_bytes(), b"tagwatch-checkpoint v1\n");
+    }
+
+    #[test]
+    fn preserves_lines_verbatim() {
+        let mut doc = CheckpointDoc::new();
+        let tricky = "policy m=2 alpha=0.95  # trailing   spaces ok ";
+        doc.push_section("registry", [tricky]).unwrap();
+        let parsed = CheckpointDoc::parse(&doc.to_bytes()).unwrap();
+        assert_eq!(parsed.section("registry").unwrap(), [tricky]);
+    }
+}

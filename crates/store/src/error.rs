@@ -1,0 +1,116 @@
+//! Error type for durable-state operations.
+
+use std::fmt;
+
+/// Everything that can go wrong writing, reading, or parsing durable
+/// state.
+///
+/// Tail *corruption* of a WAL is deliberately **not** an error: the
+/// recovery scanner reports it as a
+/// [`RecoveryNote`](crate::recovery::RecoveryNote) alongside the
+/// intact prefix. Errors are reserved for states recovery cannot work
+/// with at all (an unrecognizable header, an unparsable checkpoint, a
+/// failed file operation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The byte stream does not start with a recognizable WAL header.
+    BadHeader {
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// A checkpoint document failed to parse.
+    ParseCheckpoint {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A checkpoint section name was used twice.
+    DuplicateSection {
+        /// The repeated name.
+        name: String,
+    },
+    /// A section name or payload line violates the checkpoint grammar.
+    InvalidSection {
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The stringified OS error.
+        message: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BadHeader { reason } => {
+                write!(f, "unrecognizable WAL header: {reason}")
+            }
+            StoreError::ParseCheckpoint { line, message } => {
+                write!(f, "checkpoint parse error at line {line}: {message}")
+            }
+            StoreError::DuplicateSection { name } => {
+                write!(f, "duplicate checkpoint section `{name}`")
+            }
+            StoreError::InvalidSection { message } => {
+                write!(f, "invalid checkpoint section: {message}")
+            }
+            StoreError::Io { path, message } => {
+                write!(f, "i/o error on `{path}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let errors: Vec<(StoreError, &str)> = vec![
+            (
+                StoreError::BadHeader {
+                    reason: "too short",
+                },
+                "too short",
+            ),
+            (
+                StoreError::ParseCheckpoint {
+                    line: 7,
+                    message: "bad counter".to_string(),
+                },
+                "line 7",
+            ),
+            (
+                StoreError::DuplicateSection {
+                    name: "rng".to_string(),
+                },
+                "`rng`",
+            ),
+            (
+                StoreError::InvalidSection {
+                    message: "empty name".to_string(),
+                },
+                "empty name",
+            ),
+            (
+                StoreError::Io {
+                    path: "a/b.wal".to_string(),
+                    message: "denied".to_string(),
+                },
+                "a/b.wal",
+            ),
+        ];
+        for (err, needle) in errors {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text} missing {needle}");
+        }
+    }
+}
