@@ -36,6 +36,7 @@ use tagwatch_store::recovery::recover;
 use tagwatch_store::wal::{RecordKind, WalWriter};
 use tagwatch_store::StoreError;
 
+use crate::policy::Policy;
 use crate::session::TickProtocol;
 use crate::soak::{checkpoint_next_tick, SoakConfig, SoakDriver, SoakReport};
 
@@ -43,7 +44,7 @@ use crate::soak::{checkpoint_next_tick, SoakConfig, SoakDriver, SoakReport};
 const CONFIG_HEADER: &str = "tagwatch-soak-config v1";
 
 /// Parameters of one durable soak run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DurableConfig {
     /// The soak to run (identical semantics to [`crate::soak`]).
     pub soak: SoakConfig,
@@ -54,6 +55,10 @@ pub struct DurableConfig {
     /// Scripted crash/corruption schedule (empty = run to completion
     /// with undamaged bytes).
     pub fault: StorageFaultPlan,
+    /// The declarative policy the session interprets; `None` runs the
+    /// config-derived legacy defaults. Persisted in the WAL's config
+    /// record so `recover` replays under exactly this policy.
+    pub policy: Option<Policy>,
 }
 
 impl Default for DurableConfig {
@@ -63,6 +68,7 @@ impl Default for DurableConfig {
             soak: SoakConfig::default(),
             checkpoint_every: 25,
             fault: StorageFaultPlan::new(),
+            policy: None,
         }
     }
 }
@@ -77,8 +83,21 @@ impl DurableConfig {
         self.fault.validate().map_err(|e| DurableError::Config {
             reason: format!("storage fault plan: {e}"),
         })?;
+        if let Some(policy) = &self.policy {
+            policy.validate().map_err(|e| DurableError::Config {
+                reason: format!("policy rejected: {e}"),
+            })?;
+        }
         self.soak.validate()?;
         Ok(())
+    }
+
+    /// The policy this run's session interprets: the explicit one, or
+    /// the config-derived legacy defaults.
+    fn effective_policy(&self) -> Policy {
+        self.policy
+            .clone()
+            .unwrap_or_else(|| SoakDriver::derive_policy(&self.soak))
     }
 }
 
@@ -112,6 +131,10 @@ pub struct ResumeOutcome {
     pub replayed_ticks: u64,
     /// The repaired and completed WAL bytes.
     pub wal: Vec<u8>,
+    /// The policy the resumed run finished under — carried by the WAL
+    /// (config record and checkpoints), never re-derived from ambient
+    /// defaults.
+    pub policy: Policy,
 }
 
 /// Failures of the durable layer.
@@ -185,14 +208,16 @@ fn malformed(reason: String) -> DurableError {
 }
 
 /// Serializes the run parameters into the WAL's first record, so a WAL
-/// is self-contained: resume needs nothing but the bytes.
+/// is self-contained: resume needs nothing but the bytes. An explicit
+/// policy rides along as `policy.<key>` lines (absent for legacy
+/// default runs, keeping their WAL bytes unchanged).
 fn encode_config(config: &DurableConfig) -> String {
     let c = &config.soak;
     let protocol = match c.protocol {
         TickProtocol::Trp => "trp",
         TickProtocol::Utrp => "utrp",
     };
-    format!(
+    let mut out = format!(
         "{CONFIG_HEADER}\nseed {}\nticks {}\nn {}\nm {}\nalpha {}\nprotocol {protocol}\n\
          burst_period {}\ntheft_period {}\ntheft_size {}\ndetection_deadline {}\n\
          desync_window {}\nattribution_window {}\ncheckpoint_every {}\n",
@@ -208,7 +233,15 @@ fn encode_config(config: &DurableConfig) -> String {
         c.desync_window,
         c.attribution_window,
         config.checkpoint_every,
-    )
+    );
+    if let Some(policy) = &config.policy {
+        for line in policy.to_flat_lines() {
+            out.push_str("policy.");
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
 }
 
 /// Parses a config record back. The storage fault plan is a property
@@ -225,11 +258,16 @@ fn decode_config(payload: &[u8]) -> Result<DurableConfig, DurableError> {
     }
     let mut config = DurableConfig::default();
     let mut seen = 0u32;
+    let mut policy_lines: Vec<String> = Vec::new();
     for line in lines {
         let (key, value) = line
             .split_once(' ')
             .ok_or_else(|| malformed(format!("config line `{line}` has no value")))?;
         let bad = || malformed(format!("config `{key}` has bad value `{value}`"));
+        if let Some(policy_key) = key.strip_prefix("policy.") {
+            policy_lines.push(format!("{policy_key} {value}"));
+            continue;
+        }
         seen += 1;
         match key {
             "seed" => config.soak.seed = value.parse().map_err(|_| bad())?,
@@ -262,6 +300,11 @@ fn decode_config(payload: &[u8]) -> Result<DurableConfig, DurableError> {
         return Err(malformed(format!(
             "config record has {seen} fields, expected 13"
         )));
+    }
+    if !policy_lines.is_empty() {
+        let policy = Policy::from_flat_lines(&policy_lines)
+            .map_err(|e| malformed(format!("config policy: {e}")))?;
+        config.policy = Some(policy);
     }
     Ok(config)
 }
@@ -321,7 +364,7 @@ pub fn run_soak_durable_observed(
     config.validate()?;
     let mut wal = WalWriter::new();
     wal.append(RecordKind::Config, encode_config(config).as_bytes());
-    let mut driver = SoakDriver::new(&config.soak, obs)?;
+    let mut driver = SoakDriver::with_policy(&config.soak, config.effective_policy(), obs)?;
     for t in 0..config.soak.ticks {
         if config.fault.crash_tick() == Some(t) {
             let mut bytes = wal.into_bytes();
@@ -450,7 +493,10 @@ pub fn resume_soak_durable_observed(
             }
             (SoakDriver::from_checkpoint(&config.soak, obs, doc)?, next)
         }
-        None => (SoakDriver::new(&config.soak, obs)?, 0),
+        None => (
+            SoakDriver::with_policy(&config.soak, config.effective_policy(), obs)?,
+            0,
+        ),
     };
     driver.seed_log(
         ticks
@@ -501,12 +547,14 @@ pub fn resume_soak_durable_observed(
         wal.append(RecordKind::Tick, &tick_payload(t, driver.last_log_line()));
     }
 
+    let policy = driver.policy().clone();
     Ok(ResumeOutcome {
         report: driver.finish(),
         recovery,
         resumed_from,
         replayed_ticks,
         wal: wal.into_bytes(),
+        policy,
     })
 }
 
@@ -531,6 +579,7 @@ mod tests {
             soak: short(),
             checkpoint_every: 25,
             fault,
+            policy: None,
         }
     }
 
@@ -683,14 +732,92 @@ mod tests {
             },
             checkpoint_every: 7,
             fault: StorageFaultPlan::new().crash_at_tick(3),
+            policy: None,
         };
         let decoded = decode_config(encode_config(&config).as_bytes()).unwrap();
         assert_eq!(decoded.soak, config.soak);
         assert_eq!(decoded.checkpoint_every, config.checkpoint_every);
         assert!(decoded.fault.is_empty(), "fault plans are never persisted");
+        assert_eq!(decoded.policy, None, "legacy configs carry no policy");
 
         assert!(decode_config(b"not a config").is_err());
         assert!(decode_config("tagwatch-soak-config v1\nseed 1\n".as_bytes()).is_err());
         assert!(decode_config(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn config_record_carries_an_explicit_policy() {
+        let mut policy = SoakDriver::derive_policy(&short());
+        policy.site = "warehouse-7".to_string();
+        policy.alarms_to_escalate = 5;
+        let config = DurableConfig {
+            soak: short(),
+            policy: Some(policy.clone()),
+            ..DurableConfig::default()
+        };
+        let encoded = encode_config(&config);
+        assert!(encoded.contains("policy.site warehouse-7"));
+        let decoded = decode_config(encoded.as_bytes()).unwrap();
+        assert_eq!(decoded.policy, Some(policy));
+
+        let mangled = encoded.replace("policy.site warehouse-7", "policy.color blue");
+        assert!(decode_config(mangled.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn crashed_policy_run_resumes_under_the_same_policy() {
+        let mut policy = SoakDriver::derive_policy(&short());
+        policy.site = "aisle-3".to_string();
+        policy.alarms_to_escalate = 3;
+        let config = DurableConfig {
+            soak: short(),
+            checkpoint_every: 13,
+            fault: StorageFaultPlan::new().crash_at_tick(33),
+            policy: Some(policy.clone()),
+        };
+        let baseline = {
+            let complete = DurableConfig {
+                fault: StorageFaultPlan::new(),
+                ..config.clone()
+            };
+            run_soak_durable(&complete)
+                .unwrap()
+                .report
+                .expect("uninterrupted run completes")
+        };
+
+        let outcome = run_soak_durable(&config).unwrap();
+        assert_eq!(outcome.interrupted_at, Some(33));
+        let resumed = resume_soak_durable(&outcome.wal).unwrap();
+        assert_eq!(resumed.policy, policy, "WAL must carry the exact policy");
+        assert_eq!(resumed.report.log, baseline.log);
+        assert_eq!(resumed.report.digest(), baseline.digest());
+
+        // A crash before the first checkpoint cold-starts from the
+        // config record alone — the policy must survive that path too.
+        let early = DurableConfig {
+            fault: StorageFaultPlan::new().crash_at_tick(0),
+            ..config.clone()
+        };
+        let outcome = run_soak_durable(&early).unwrap();
+        let resumed = resume_soak_durable(&outcome.wal).unwrap();
+        assert_eq!(resumed.resumed_from, 0);
+        assert_eq!(resumed.policy, policy);
+        assert_eq!(resumed.report.digest(), baseline.digest());
+    }
+
+    #[test]
+    fn degenerate_policy_is_rejected_before_any_bytes_are_written() {
+        let mut policy = SoakDriver::derive_policy(&short());
+        policy.alarms_to_escalate = 0;
+        let config = DurableConfig {
+            soak: short(),
+            policy: Some(policy),
+            ..DurableConfig::default()
+        };
+        assert!(matches!(
+            run_soak_durable(&config),
+            Err(DurableError::Config { .. })
+        ));
     }
 }

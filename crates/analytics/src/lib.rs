@@ -13,8 +13,13 @@
 //! * [`stats`] — summaries and Wilson intervals for detection rates.
 //! * [`report`] — aligned tables, CSV, and spark-line rendering used by
 //!   the `fig4`…`fig7` binaries in `tagwatch-bench`.
+//! * [`policy`] — declarative per-site monitoring policy: the
+//!   versioned `tagwatch-policy v1` text document (thresholds, audit
+//!   budgets, desync windows, escalation actions) that the session
+//!   interprets.
 //! * [`session`] — the operational layer: continuous monitoring with
-//!   alarm-threshold escalation to missing-tag identification.
+//!   alarm-threshold escalation to missing-tag identification,
+//!   interpreting a [`Policy`].
 //! * [`soak`] — long-horizon soak runs: thousands of session ticks
 //!   against a Markov-evolving channel with scripted incident bursts,
 //!   invariant checks after every tick, and a deterministic JSON
@@ -33,6 +38,7 @@ pub mod experiments;
 pub mod histogram;
 pub mod montecarlo;
 pub mod parallel;
+pub mod policy;
 pub mod report;
 pub mod scan;
 pub mod session;
@@ -53,6 +59,7 @@ pub use montecarlo::{
     utrp_detection_trial,
 };
 pub use parallel::{parallel_count, parallel_map, worker_threads};
+pub use policy::{EscalateAction, Policy, PolicyAction, PolicyError, POLICY_HEADER};
 pub use report::{sparkline, Table};
 pub use scan::{
     chunked_min_scan, chunked_min_scan_counting, parallel_min_scan, run_round_chunked_observed,
@@ -62,5 +69,8 @@ pub use session::{
     MonitoringSession, SessionBuilder, SessionEvent, SessionLadderState, SessionPolicy,
     SessionPolicyBuilder, TickProtocol,
 };
-pub use soak::{run_soak, run_soak_observed, SoakConfig, SoakCounts, SoakReport};
+pub use soak::{
+    run_soak, run_soak_observed, run_soak_policy, run_soak_policy_observed, SoakConfig, SoakCounts,
+    SoakReport,
+};
 pub use stats::{Proportion, Summary};

@@ -31,6 +31,14 @@
 //!    audit that re-trusts the counter mirror) and
 //!    [`release_quarantined`](MonitoringSession::release_quarantined)
 //!    (returning audited tags to service).
+//!
+//! The ladder is a **policy interpreter**: every threshold it consults
+//! comes from a declarative [`Policy`] (see [`crate::policy`]), and
+//! each decision it takes — an in-tick resync retry, a quarantine, an
+//! escalation, an audited release — is recorded as a [`PolicyAction`]
+//! on the session's [policy trace](MonitoringSession::policy_trace)
+//! alongside the event log. [`SessionPolicy`] and its builders remain
+//! as thin compatibility shims that compile down to a `Policy`.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -43,6 +51,8 @@ use tagwatch_core::{CoreError, MonitorReport, MonitorServer, RoundExecutor, Roun
 use tagwatch_obs::{Obs, ObsEvent};
 use tagwatch_sim::{TagId, TagPopulation};
 
+use crate::policy::{EscalateAction, Policy, PolicyAction};
+
 /// Which protocol routine ticks use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TickProtocol {
@@ -52,8 +62,12 @@ pub enum TickProtocol {
     Utrp,
 }
 
-/// Session policy knobs. Build one with [`SessionPolicy::builder`] (or
-/// use [`SessionPolicy::default`] and struct update for tests).
+/// Legacy session policy knobs, kept as a thin shim: new code should
+/// build a declarative [`Policy`] (or parse a `tagwatch-policy v1`
+/// document) instead. A `SessionPolicy` compiles down to a `Policy`
+/// via `From`, with the fields it never carried at their documented
+/// defaults. Build one with [`SessionPolicy::builder`] (or use
+/// [`SessionPolicy::default`] and struct update for tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SessionPolicy {
     /// Protocol for routine ticks.
@@ -97,48 +111,61 @@ impl SessionPolicy {
     }
 }
 
-/// Fluent builder for [`SessionPolicy`]. Every knob starts at the
-/// documented default; set only what differs.
+/// Expands the policy knob methods onto a builder. Each knob is
+/// declared exactly once here; both [`SessionPolicyBuilder`] (which
+/// mutates its policy directly) and [`SessionBuilder`] (which forwards
+/// to its inner policy builder) get the same surface by providing a
+/// private `apply(self, impl FnOnce(&mut SessionPolicy)) -> Self`.
+macro_rules! policy_knobs {
+    () => {
+        /// Protocol for routine ticks (default [`TickProtocol::Trp`]).
+        #[must_use]
+        pub fn protocol(self, protocol: TickProtocol) -> Self {
+            self.apply(|p| p.protocol = protocol)
+        }
+
+        /// Consecutive alarming ticks before escalation (default 2).
+        #[must_use]
+        pub fn alarms_to_escalate(self, count: u32) -> Self {
+            self.apply(|p| p.alarms_to_escalate = count)
+        }
+
+        /// In-tick desync re-challenge budget (default 3).
+        #[must_use]
+        pub fn max_desync_retries(self, count: u32) -> Self {
+            self.apply(|p| p.max_desync_retries = count)
+        }
+
+        /// Desync strikes before quarantine (default 2).
+        #[must_use]
+        pub fn desyncs_to_quarantine(self, count: u32) -> Self {
+            self.apply(|p| p.desyncs_to_quarantine = count)
+        }
+
+        /// Identification configuration for escalations.
+        #[must_use]
+        pub fn identify(self, config: IdentifyConfig) -> Self {
+            self.apply(|p| p.identify = config)
+        }
+    };
+}
+
+/// Fluent builder for [`SessionPolicy`] (legacy shim — see
+/// [`SessionPolicy`]). Every knob starts at the documented default;
+/// set only what differs.
 #[derive(Debug, Clone, Copy)]
 pub struct SessionPolicyBuilder {
     policy: SessionPolicy,
 }
 
 impl SessionPolicyBuilder {
-    /// Protocol for routine ticks (default [`TickProtocol::Trp`]).
-    #[must_use]
-    pub fn protocol(mut self, protocol: TickProtocol) -> Self {
-        self.policy.protocol = protocol;
+    /// Applies one knob mutation.
+    fn apply(mut self, f: impl FnOnce(&mut SessionPolicy)) -> Self {
+        f(&mut self.policy);
         self
     }
 
-    /// Consecutive alarming ticks before escalation (default 2).
-    #[must_use]
-    pub fn alarms_to_escalate(mut self, count: u32) -> Self {
-        self.policy.alarms_to_escalate = count;
-        self
-    }
-
-    /// In-tick desync re-challenge budget (default 3).
-    #[must_use]
-    pub fn max_desync_retries(mut self, count: u32) -> Self {
-        self.policy.max_desync_retries = count;
-        self
-    }
-
-    /// Desync strikes before quarantine (default 2).
-    #[must_use]
-    pub fn desyncs_to_quarantine(mut self, count: u32) -> Self {
-        self.policy.desyncs_to_quarantine = count;
-        self
-    }
-
-    /// Identification configuration for escalations.
-    #[must_use]
-    pub fn identify(mut self, config: IdentifyConfig) -> Self {
-        self.policy.identify = config;
-        self
-    }
+    policy_knobs!();
 
     /// Finalizes the policy.
     #[must_use]
@@ -148,7 +175,8 @@ impl SessionPolicyBuilder {
 }
 
 /// Fluent builder for [`MonitoringSession`]: wraps a server and a
-/// [`SessionPolicyBuilder`], so policy knobs chain directly.
+/// [`SessionPolicyBuilder`], so policy knobs chain directly (the knob
+/// methods themselves are defined once, on the `policy_knobs!` macro).
 #[derive(Debug)]
 pub struct SessionBuilder {
     server: MonitorServer,
@@ -156,6 +184,12 @@ pub struct SessionBuilder {
 }
 
 impl SessionBuilder {
+    /// Forwards one knob mutation to the inner policy builder.
+    fn apply(mut self, f: impl FnOnce(&mut SessionPolicy)) -> Self {
+        self.policy = self.policy.apply(f);
+        self
+    }
+
     /// Replaces the whole policy at once (e.g. a saved profile).
     #[must_use]
     pub fn policy(mut self, policy: SessionPolicy) -> Self {
@@ -163,40 +197,7 @@ impl SessionBuilder {
         self
     }
 
-    /// See [`SessionPolicyBuilder::protocol`].
-    #[must_use]
-    pub fn protocol(mut self, protocol: TickProtocol) -> Self {
-        self.policy = self.policy.protocol(protocol);
-        self
-    }
-
-    /// See [`SessionPolicyBuilder::alarms_to_escalate`].
-    #[must_use]
-    pub fn alarms_to_escalate(mut self, count: u32) -> Self {
-        self.policy = self.policy.alarms_to_escalate(count);
-        self
-    }
-
-    /// See [`SessionPolicyBuilder::max_desync_retries`].
-    #[must_use]
-    pub fn max_desync_retries(mut self, count: u32) -> Self {
-        self.policy = self.policy.max_desync_retries(count);
-        self
-    }
-
-    /// See [`SessionPolicyBuilder::desyncs_to_quarantine`].
-    #[must_use]
-    pub fn desyncs_to_quarantine(mut self, count: u32) -> Self {
-        self.policy = self.policy.desyncs_to_quarantine(count);
-        self
-    }
-
-    /// See [`SessionPolicyBuilder::identify`].
-    #[must_use]
-    pub fn identify(mut self, config: IdentifyConfig) -> Self {
-        self.policy = self.policy.identify(config);
-        self
-    }
+    policy_knobs!();
 
     /// Finalizes the session.
     #[must_use]
@@ -291,15 +292,19 @@ pub struct SessionLadderState {
     pub quarantined: Vec<TagId>,
 }
 
-/// A long-running monitoring loop over one tag set.
+/// A long-running monitoring loop over one tag set, interpreting a
+/// declarative [`Policy`].
 #[derive(Debug)]
 pub struct MonitoringSession {
     server: MonitorServer,
-    policy: SessionPolicy,
+    policy: Policy,
     consecutive_alarms: u32,
     desync_strikes: BTreeMap<TagId, u32>,
     quarantined: BTreeSet<TagId>,
     log: Vec<SessionEvent>,
+    // The interpreter's decision record: one PolicyAction per ladder
+    // decision, parallel to (and as unbounded as) the event log.
+    policy_trace: Vec<PolicyAction>,
     // Reusable field-round state: every tick runs its UTRP round in
     // this scratch, so a long-lived session allocates round buffers
     // once instead of once per tick.
@@ -307,17 +312,20 @@ pub struct MonitoringSession {
 }
 
 impl MonitoringSession {
-    /// Starts a session. Prefer [`MonitoringSession::builder`] in new
-    /// code; this remains the primitive the builder finalizes into.
+    /// Starts a session under `policy` — a [`Policy`] or anything that
+    /// compiles down to one (e.g. a legacy [`SessionPolicy`]). Prefer
+    /// [`MonitoringSession::builder`] or a parsed policy document in
+    /// new code; this remains the primitive they finalize into.
     #[must_use]
-    pub fn new(server: MonitorServer, policy: SessionPolicy) -> Self {
+    pub fn new(server: MonitorServer, policy: impl Into<Policy>) -> Self {
         MonitoringSession {
             server,
-            policy,
+            policy: policy.into(),
             consecutive_alarms: 0,
             desync_strikes: BTreeMap::new(),
             quarantined: BTreeSet::new(),
             log: Vec::new(),
+            policy_trace: Vec::new(),
             scratch: RoundScratch::new(),
         }
     }
@@ -349,16 +357,17 @@ impl MonitoringSession {
     #[must_use]
     pub fn restore(
         server: MonitorServer,
-        policy: SessionPolicy,
+        policy: impl Into<Policy>,
         ladder: &SessionLadderState,
     ) -> Self {
         MonitoringSession {
             server,
-            policy,
+            policy: policy.into(),
             consecutive_alarms: ladder.consecutive_alarms,
             desync_strikes: ladder.desync_strikes.iter().copied().collect(),
             quarantined: ladder.quarantined.iter().copied().collect(),
             log: Vec::new(),
+            policy_trace: Vec::new(),
             scratch: RoundScratch::new(),
         }
     }
@@ -379,9 +388,9 @@ impl MonitoringSession {
         &self.server
     }
 
-    /// The session's policy.
+    /// The session's effective declarative policy.
     #[must_use]
-    pub fn policy(&self) -> &SessionPolicy {
+    pub fn policy(&self) -> &Policy {
         &self.policy
     }
 
@@ -389,6 +398,15 @@ impl MonitoringSession {
     #[must_use]
     pub fn log(&self) -> &[SessionEvent] {
         &self.log
+    }
+
+    /// The declarative decisions the policy interpreter has taken,
+    /// oldest first — one [`PolicyAction`] per ladder decision (resync
+    /// retry, quarantine, escalation, audited release), parallel to
+    /// the event log.
+    #[must_use]
+    pub fn policy_trace(&self) -> &[PolicyAction] {
+        &self.policy_trace
     }
 
     /// Alarming ticks since the last intact tick or escalation.
@@ -429,7 +447,28 @@ impl MonitoringSession {
     /// from quarantine and clears their desync strikes. Returns the
     /// tags that were actually quarantined (unknown/unquarantined IDs
     /// are ignored).
+    ///
+    /// [`release_quarantined_with`] under no observer and zero
+    /// recorded latency.
+    ///
+    /// [`release_quarantined_with`]: MonitoringSession::release_quarantined_with
     pub fn release_quarantined<I: IntoIterator<Item = TagId>>(&mut self, tags: I) -> Vec<TagId> {
+        self.release_quarantined_with(tags, 0, None)
+    }
+
+    /// [`release_quarantined`], optionally instrumented: when an
+    /// observer is supplied the audit is counted and the time the
+    /// released tags spent quarantined (`latency_ticks`, tracked by
+    /// the driver) is recorded. A non-empty release is logged on the
+    /// policy trace as [`PolicyAction::ReleaseAudited`] either way.
+    ///
+    /// [`release_quarantined`]: MonitoringSession::release_quarantined
+    pub fn release_quarantined_with<I: IntoIterator<Item = TagId>>(
+        &mut self,
+        tags: I,
+        latency_ticks: u64,
+        obs: Option<&Obs>,
+    ) -> Vec<TagId> {
         let mut released = Vec::new();
         for tag in tags {
             if self.quarantined.remove(&tag) {
@@ -437,27 +476,45 @@ impl MonitoringSession {
                 released.push(tag);
             }
         }
+        if !released.is_empty() {
+            self.policy_trace.push(PolicyAction::ReleaseAudited {
+                released: released.len(),
+            });
+            if let Some(obs) = obs {
+                obs.inc(obs.m.audits_total);
+                obs.observe(obs.m.audit_latency_ticks, latency_ticks as f64);
+                obs.set_gauge(obs.m.quarantine_occupancy, self.quarantined.len() as u64);
+                obs.emit(ObsEvent::AuditCompleted {
+                    released: released.len() as u64,
+                    latency_ticks,
+                });
+            }
+        }
         released
     }
 
     /// Records one desync strike per suspect and returns the tags that
-    /// just crossed the quarantine threshold.
+    /// just crossed the policy's quarantine threshold (always empty
+    /// when the policy disables quarantine — strikes still accumulate
+    /// for diagnostics).
     fn strike(&mut self, suspects: &[TagId]) -> Vec<TagId> {
         let mut newly = Vec::new();
         for &tag in suspects {
             let strikes = self.desync_strikes.entry(tag).or_insert(0);
             *strikes += 1;
-            if *strikes >= self.policy.desyncs_to_quarantine.max(1) && self.quarantined.insert(tag)
-            {
+            let Some(threshold) = self.policy.desyncs_to_quarantine else {
+                continue;
+            };
+            if *strikes >= threshold.max(1) && self.quarantined.insert(tag) {
                 newly.push(tag);
             }
         }
         newly
     }
 
-    /// Runs one scheduled check over the ideal channel with no faults:
-    /// [`tick_with`](MonitoringSession::tick_with) under
-    /// [`RoundExecutor::ideal`], byte-identically.
+    /// Runs one scheduled check over the ideal channel with no faults
+    /// and no observer: [`tick_with`](MonitoringSession::tick_with)
+    /// under [`RoundExecutor::ideal`], byte-identically.
     ///
     /// # Errors
     ///
@@ -467,23 +524,36 @@ impl MonitoringSession {
         floor: &mut TagPopulation,
         rng: &mut R,
     ) -> Result<&SessionEvent, CoreError> {
-        self.tick_with(floor, &RoundExecutor::ideal(), rng)
+        self.tick_with(floor, &RoundExecutor::ideal(), rng, None)
     }
 
     /// Runs one scheduled check against the physical floor through
-    /// `executor`, escalating to identification when the alarm
-    /// threshold is reached. Returns the event appended to the log.
+    /// `executor`, interpreting the session's [`Policy`]: escalation
+    /// when the alarm threshold is reached, in-tick desync recovery,
+    /// strike-driven quarantine. Returns the event appended to the
+    /// log. With `obs: Some(..)`, round and verdict telemetry flows
+    /// through the observed protocol paths and every ladder decision
+    /// is recorded into the observer as it climbs; with `None` (or a
+    /// disabled [`Obs`]) the tick is behaviorally identical — same
+    /// log, same RNG stream — so drivers thread one code path and pay
+    /// for telemetry only when it is on.
     ///
     /// A UTRP check that comes back [`Verdict::Desynced`] is recovered
     /// in-tick: the diagnosed hypothesis is applied to the counter
     /// mirror and the check reruns with a *fresh* challenge, up to
-    /// [`SessionPolicy::max_desync_retries`] times. Each recovery logs a
-    /// [`SessionEvent::Resynced`] and strikes the suspects; a desync
-    /// that outlives the budget counts as an alarming tick.
+    /// [`Policy::max_desync_retries`] times. Each recovery logs a
+    /// [`SessionEvent::Resynced`] (and a [`PolicyAction::RetryResync`]
+    /// on the policy trace) and strikes the suspects; a desync that
+    /// outlives the budget counts as an alarming tick. An observed
+    /// quarantine transition is a postmortem trigger: it latches the
+    /// flight-recorder dump (first trigger wins).
     ///
-    /// Escalation's identification re-scan always runs over the ideal
-    /// channel: it models a deliberate, controlled re-inventory rather
-    /// than the routine round's radio conditions.
+    /// Escalation runs the policy's [`EscalateAction`]:
+    /// [`Identify`](EscalateAction::Identify) re-scans over the ideal
+    /// channel (a deliberate, controlled re-inventory rather than the
+    /// routine round's radio conditions);
+    /// [`Report`](EscalateAction::Report) records the escalation with
+    /// empty verdicts and spends no identification rounds.
     ///
     /// [`Verdict::Desynced`]: tagwatch_core::Verdict::Desynced
     ///
@@ -497,16 +567,40 @@ impl MonitoringSession {
         floor: &mut TagPopulation,
         executor: &RoundExecutor,
         rng: &mut R,
+        obs: Option<&Obs>,
     ) -> Result<&SessionEvent, CoreError> {
         let report = match self.policy.protocol {
-            TickProtocol::Trp => {
-                Trp.run_round(&mut self.server, floor, executor, &mut self.scratch, rng)?
-            }
+            TickProtocol::Trp => match obs {
+                Some(obs) => Trp.run_round_observed(
+                    &mut self.server,
+                    floor,
+                    executor,
+                    &mut self.scratch,
+                    rng,
+                    obs,
+                )?,
+                None => Trp.run_round(&mut self.server, floor, executor, &mut self.scratch, rng)?,
+            },
             TickProtocol::Utrp => {
                 let mut attempt = 0u32;
-                loop {
-                    let report =
-                        Utrp.run_round(&mut self.server, floor, executor, &mut self.scratch, rng)?;
+                let report = loop {
+                    let report = match obs {
+                        Some(obs) => Utrp.run_round_observed(
+                            &mut self.server,
+                            floor,
+                            executor,
+                            &mut self.scratch,
+                            rng,
+                            obs,
+                        )?,
+                        None => Utrp.run_round(
+                            &mut self.server,
+                            floor,
+                            executor,
+                            &mut self.scratch,
+                            rng,
+                        )?,
+                    };
                     if !report.verdict.is_desynced() {
                         break report;
                     }
@@ -516,18 +610,56 @@ impl MonitoringSession {
                     // budget lasts.
                     let suspects = self.server.resync_from_hypothesis()?;
                     attempt += 1;
+                    self.policy_trace.push(PolicyAction::RetryResync {
+                        attempt,
+                        suspects: suspects.len(),
+                    });
+                    if let Some(obs) = obs {
+                        obs.inc(obs.m.resync_attempts);
+                        obs.emit(ObsEvent::Resynced {
+                            attempt: u64::from(attempt),
+                            suspects: suspects.len() as u64,
+                        });
+                    }
                     self.log.push(SessionEvent::Resynced {
                         attempt,
                         suspects: suspects.clone(),
                     });
                     let newly = self.strike(&suspects);
                     if !newly.is_empty() {
+                        if let Some(threshold) = self.policy.desyncs_to_quarantine {
+                            self.policy_trace.push(PolicyAction::Quarantine {
+                                tags: newly.len(),
+                                threshold,
+                            });
+                        }
+                        if let Some(obs) = obs {
+                            obs.inc(obs.m.quarantine_events);
+                            obs.set_gauge(
+                                obs.m.quarantine_occupancy,
+                                self.quarantined.len() as u64,
+                            );
+                            obs.emit(ObsEvent::Quarantined {
+                                tags: newly.len() as u64,
+                                occupancy: self.quarantined.len() as u64,
+                            });
+                            obs.capture_dump("quarantine");
+                        }
                         self.log.push(SessionEvent::Quarantined { tags: newly });
                     }
                     if attempt > self.policy.max_desync_retries {
                         break report;
                     }
+                };
+                if let Some(obs) = obs {
+                    if attempt > 0 {
+                        obs.observe(obs.m.resync_depth, f64::from(attempt));
+                        if !report.verdict.is_desynced() {
+                            obs.inc(obs.m.resync_successes);
+                        }
+                    }
                 }
+                report
             }
         };
 
@@ -540,21 +672,41 @@ impl MonitoringSession {
         }
 
         if self.consecutive_alarms >= self.policy.alarms_to_escalate {
+            let after_alarms = self.consecutive_alarms;
             self.consecutive_alarms = 0;
-            let registry = self.server.registered_ids();
-            let audible: Vec<TagId> = floor
-                .iter()
-                .filter(|t| !t.is_detuned())
-                .map(|t| t.id())
-                .collect();
-            let outcome = identify_missing(&registry, self.policy.identify, rng, |challenge| {
-                Ok(observed_bitstring(&audible, challenge))
-            })?;
+            self.policy_trace.push(PolicyAction::Escalate {
+                action: self.policy.escalate_action,
+                after_alarms,
+            });
+            let (missing, unresolved, slots_used) = match self.policy.escalate_action {
+                EscalateAction::Identify => {
+                    let registry = self.server.registered_ids();
+                    let audible: Vec<TagId> = floor
+                        .iter()
+                        .filter(|t| !t.is_detuned())
+                        .map(|t| t.id())
+                        .collect();
+                    let outcome =
+                        identify_missing(&registry, self.policy.identify, rng, |challenge| {
+                            Ok(observed_bitstring(&audible, challenge))
+                        })?;
+                    (outcome.missing, outcome.unresolved, outcome.slots_used)
+                }
+                EscalateAction::Report => (Vec::new(), Vec::new(), 0),
+            };
+            if let Some(obs) = obs {
+                obs.inc(obs.m.escalations);
+                obs.emit(ObsEvent::Escalated {
+                    missing: missing.len() as u64,
+                    unresolved: unresolved.len() as u64,
+                    slots_used,
+                });
+            }
             self.log.push(SessionEvent::Checked(report));
             self.log.push(SessionEvent::Escalated {
-                missing: outcome.missing,
-                unresolved: outcome.unresolved,
-                slots_used: outcome.slots_used,
+                missing,
+                unresolved,
+                slots_used,
             });
         } else {
             self.log.push(SessionEvent::Checked(report));
@@ -563,21 +715,18 @@ impl MonitoringSession {
         Ok(self.log.last().expect("just pushed"))
     }
 
-    /// [`tick_with`](MonitoringSession::tick_with), instrumented: round
-    /// and verdict telemetry flows through the observed protocol paths,
-    /// and the session's own ladder (resyncs, quarantines, escalations)
-    /// is recorded into `obs` as it climbs. With a disabled [`Obs`]
-    /// this is behaviorally identical to `tick_with` — same log, same
-    /// RNG stream — so drivers can thread one code path and pay for
-    /// telemetry only when it is on.
+    /// Deprecated twin of [`tick_with`] with a mandatory observer —
+    /// call `tick_with(floor, executor, rng, Some(obs))` instead. Kept
+    /// as a thin wrapper so pre-policy drivers keep compiling; the
+    /// pattern (one method taking `Option<&Obs>`, `_observed` name as
+    /// a shim) is the template for every future observed twin.
     ///
-    /// A quarantine transition is a postmortem trigger: it latches the
-    /// flight-recorder dump (first trigger wins) so the events leading
-    /// up to the offending desyncs survive for inspection.
+    /// [`tick_with`]: MonitoringSession::tick_with
     ///
     /// # Errors
     ///
     /// See [`tick_with`](MonitoringSession::tick_with).
+    #[deprecated(note = "use tick_with(floor, executor, rng, Some(obs))")]
     pub fn tick_observed<R: Rng + ?Sized>(
         &mut self,
         floor: &mut TagPopulation,
@@ -585,123 +734,23 @@ impl MonitoringSession {
         rng: &mut R,
         obs: &Obs,
     ) -> Result<&SessionEvent, CoreError> {
-        let report = match self.policy.protocol {
-            TickProtocol::Trp => Trp.run_round_observed(
-                &mut self.server,
-                floor,
-                executor,
-                &mut self.scratch,
-                rng,
-                obs,
-            )?,
-            TickProtocol::Utrp => {
-                let mut attempt = 0u32;
-                let report = loop {
-                    let report = Utrp.run_round_observed(
-                        &mut self.server,
-                        floor,
-                        executor,
-                        &mut self.scratch,
-                        rng,
-                        obs,
-                    )?;
-                    if !report.verdict.is_desynced() {
-                        break report;
-                    }
-                    let suspects = self.server.resync_from_hypothesis()?;
-                    attempt += 1;
-                    obs.inc(obs.m.resync_attempts);
-                    obs.emit(ObsEvent::Resynced {
-                        attempt: u64::from(attempt),
-                        suspects: suspects.len() as u64,
-                    });
-                    self.log.push(SessionEvent::Resynced {
-                        attempt,
-                        suspects: suspects.clone(),
-                    });
-                    let newly = self.strike(&suspects);
-                    if !newly.is_empty() {
-                        obs.inc(obs.m.quarantine_events);
-                        obs.set_gauge(obs.m.quarantine_occupancy, self.quarantined.len() as u64);
-                        obs.emit(ObsEvent::Quarantined {
-                            tags: newly.len() as u64,
-                            occupancy: self.quarantined.len() as u64,
-                        });
-                        obs.capture_dump("quarantine");
-                        self.log.push(SessionEvent::Quarantined { tags: newly });
-                    }
-                    if attempt > self.policy.max_desync_retries {
-                        break report;
-                    }
-                };
-                if attempt > 0 {
-                    obs.observe(obs.m.resync_depth, f64::from(attempt));
-                    if !report.verdict.is_desynced() {
-                        obs.inc(obs.m.resync_successes);
-                    }
-                }
-                report
-            }
-        };
-
-        if report.is_alarm() || report.verdict.is_desynced() {
-            self.consecutive_alarms += 1;
-        } else {
-            self.consecutive_alarms = 0;
-        }
-
-        if self.consecutive_alarms >= self.policy.alarms_to_escalate {
-            self.consecutive_alarms = 0;
-            let registry = self.server.registered_ids();
-            let audible: Vec<TagId> = floor
-                .iter()
-                .filter(|t| !t.is_detuned())
-                .map(|t| t.id())
-                .collect();
-            let outcome = identify_missing(&registry, self.policy.identify, rng, |challenge| {
-                Ok(observed_bitstring(&audible, challenge))
-            })?;
-            obs.inc(obs.m.escalations);
-            obs.emit(ObsEvent::Escalated {
-                missing: outcome.missing.len() as u64,
-                unresolved: outcome.unresolved.len() as u64,
-                slots_used: outcome.slots_used,
-            });
-            self.log.push(SessionEvent::Checked(report));
-            self.log.push(SessionEvent::Escalated {
-                missing: outcome.missing,
-                unresolved: outcome.unresolved,
-                slots_used: outcome.slots_used,
-            });
-        } else {
-            self.log.push(SessionEvent::Checked(report));
-        }
-        // lint:allow(s2-panic): a SessionEvent was pushed on every branch directly above
-        Ok(self.log.last().expect("just pushed"))
+        self.tick_with(floor, executor, rng, Some(obs))
     }
 
-    /// Instrumented [`release_quarantined`]: additionally counts the
-    /// audit and records how long the released tags sat quarantined
-    /// (`latency_ticks`, supplied by the driver that tracks tick time).
+    /// Deprecated twin of [`release_quarantined_with`] with a
+    /// mandatory observer — call
+    /// `release_quarantined_with(tags, latency_ticks, Some(obs))`
+    /// instead.
     ///
-    /// [`release_quarantined`]: MonitoringSession::release_quarantined
+    /// [`release_quarantined_with`]: MonitoringSession::release_quarantined_with
+    #[deprecated(note = "use release_quarantined_with(tags, latency_ticks, Some(obs))")]
     pub fn release_quarantined_observed<I: IntoIterator<Item = TagId>>(
         &mut self,
         tags: I,
         latency_ticks: u64,
         obs: &Obs,
     ) -> Vec<TagId> {
-        let released = self.release_quarantined(tags);
-        if !released.is_empty() {
-            obs.inc(obs.m.audits_total);
-            obs.observe(obs.m.audit_latency_ticks, latency_ticks as f64);
-            obs.set_gauge(obs.m.quarantine_occupancy, self.quarantined.len() as u64);
-            obs.emit(ObsEvent::AuditCompleted {
-                released: released.len() as u64,
-                latency_ticks,
-            });
-        }
-        released
+        self.release_quarantined_with(tags, latency_ticks, Some(obs))
     }
 }
 
@@ -911,12 +960,29 @@ mod tests {
         )));
         assert_eq!(session.quarantined(), vec![victim]);
         assert_eq!(session.desync_strikes(victim), 1);
+        // The interpreter recorded its decisions declaratively.
+        assert!(session
+            .policy_trace()
+            .contains(&PolicyAction::RetryResync {
+                attempt: 1,
+                suspects: 1
+            }));
+        assert!(session
+            .policy_trace()
+            .contains(&PolicyAction::Quarantine {
+                tags: 1,
+                threshold: 1
+            }));
 
         // The operator audits the tag and returns it to service.
         let released = session.release_quarantined([victim, TagId::new(999)]);
         assert_eq!(released, vec![victim]);
         assert!(session.quarantined().is_empty());
         assert_eq!(session.desync_strikes(victim), 0);
+        assert_eq!(
+            session.policy_trace().last(),
+            Some(&PolicyAction::ReleaseAudited { released: 1 })
+        );
     }
 
     #[test]
@@ -994,7 +1060,8 @@ mod tests {
         let floor = TagPopulation::with_sequential_ids(20);
         let server = MonitorServer::new(floor.ids(), 1, 0.9).unwrap();
         let session = MonitoringSession::builder(server).policy(custom).build();
-        assert_eq!(*session.policy(), custom);
+        // The legacy knobs compile down to the declarative policy.
+        assert_eq!(*session.policy(), Policy::from(custom));
     }
 
     #[test]
@@ -1015,7 +1082,7 @@ mod tests {
             let ideal = RoundExecutor::ideal();
             for _ in 0..4 {
                 a.tick(&mut floor_a, &mut rng_a).unwrap();
-                b.tick_with(&mut floor_b, &ideal, &mut rng_b).unwrap();
+                b.tick_with(&mut floor_b, &ideal, &mut rng_b, None).unwrap();
             }
             assert_eq!(a.log(), b.log(), "{protocol:?}");
             assert_eq!(a.server().history(), b.server().history());
@@ -1044,8 +1111,8 @@ mod tests {
             let ideal = RoundExecutor::ideal();
             let obs = if enabled { Obs::new() } else { Obs::disabled() };
             for _ in 0..4 {
-                a.tick_with(&mut floor_a, &ideal, &mut rng_a).unwrap();
-                b.tick_observed(&mut floor_b, &ideal, &mut rng_b, &obs)
+                a.tick_with(&mut floor_a, &ideal, &mut rng_a, None).unwrap();
+                b.tick_with(&mut floor_b, &ideal, &mut rng_b, Some(&obs))
                     .unwrap();
             }
             assert_eq!(a.log(), b.log(), "{protocol:?} enabled={enabled}");
@@ -1079,7 +1146,7 @@ mod tests {
         let obs = Obs::new();
         let ideal = RoundExecutor::ideal();
         let event = session
-            .tick_observed(&mut floor, &ideal, &mut rng, &obs)
+            .tick_with(&mut floor, &ideal, &mut rng, Some(&obs))
             .unwrap();
         assert!(matches!(event, SessionEvent::Checked(r) if r.verdict.is_intact()));
         assert_eq!(obs.counter(obs.m.resync_attempts), 1);
@@ -1140,7 +1207,7 @@ mod tests {
         let obs = Obs::new();
         let ideal = RoundExecutor::ideal();
         session
-            .tick_observed(&mut floor, &ideal, &mut rng, &obs)
+            .tick_with(&mut floor, &ideal, &mut rng, Some(&obs))
             .unwrap();
         assert_eq!(session.quarantined(), vec![victim]);
         assert_eq!(obs.counter(obs.m.quarantine_events), 1);
@@ -1149,7 +1216,7 @@ mod tests {
         // it; the quarantine trigger is a no-op afterwards.
         assert!(obs.dump().is_some());
 
-        let released = session.release_quarantined_observed([victim], 3, &obs);
+        let released = session.release_quarantined_with([victim], 3, Some(&obs));
         assert_eq!(released, vec![victim]);
         assert_eq!(obs.counter(obs.m.audits_total), 1);
         assert_eq!(obs.gauge(obs.m.quarantine_occupancy), 0);
@@ -1221,7 +1288,7 @@ mod tests {
             Some(FaultPlan::new().truncate_response(8)),
         );
         let event = session
-            .tick_with(&mut floor, &truncating, &mut rng)
+            .tick_with(&mut floor, &truncating, &mut rng, None)
             .unwrap();
         assert!(event.is_alarm());
 
@@ -1237,5 +1304,87 @@ mod tests {
         session.audit_resync(&floor).unwrap();
         assert!(session.server().counters_synced());
         assert!(!session.tick(&mut floor, &mut rng).unwrap().is_alarm());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_observed_shims_forward_byte_identically() {
+        use rand::Rng as _;
+        use tagwatch_obs::Obs;
+        let policy = SessionPolicy {
+            protocol: TickProtocol::Utrp,
+            ..SessionPolicy::default()
+        };
+        let (mut a, mut floor_a) = session(120, 3, policy);
+        let (mut b, mut floor_b) = session(120, 3, policy);
+        let mut rng_a = StdRng::seed_from_u64(31);
+        let mut rng_b = StdRng::seed_from_u64(31);
+        let ideal = RoundExecutor::ideal();
+        let obs_a = Obs::new();
+        let obs_b = Obs::new();
+        for _ in 0..4 {
+            a.tick_with(&mut floor_a, &ideal, &mut rng_a, Some(&obs_a))
+                .unwrap();
+            b.tick_observed(&mut floor_b, &ideal, &mut rng_b, &obs_b)
+                .unwrap();
+        }
+        assert_eq!(a.log(), b.log());
+        assert_eq!(a.policy_trace(), b.policy_trace());
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "RNG diverged");
+        assert_eq!(
+            obs_a.counter(obs_a.m.rounds_total),
+            obs_b.counter(obs_b.m.rounds_total)
+        );
+        assert_eq!(
+            a.release_quarantined_with([TagId::new(0)], 1, Some(&obs_a)),
+            b.release_quarantined_observed([TagId::new(0)], 1, &obs_b)
+        );
+    }
+
+    #[test]
+    fn report_escalation_spends_no_identification_rounds() {
+        let policy = Policy {
+            alarms_to_escalate: 1,
+            escalate_action: EscalateAction::Report,
+            ..Policy::default()
+        };
+        let floor = TagPopulation::with_sequential_ids(150);
+        let server = MonitorServer::new(floor.ids(), 2, 0.95).unwrap();
+        let mut session = MonitoringSession::new(server, policy);
+        let mut floor = floor;
+        let mut rng = StdRng::seed_from_u64(5);
+        floor.remove_random(5, &mut rng).unwrap();
+        session.tick(&mut floor, &mut rng).unwrap();
+        // The ladder topped out, but the policy prescribes a log-only
+        // escalation: no identification ran, no tags were named.
+        assert!(matches!(
+            session.log().last(),
+            Some(SessionEvent::Escalated {
+                missing,
+                unresolved,
+                slots_used: 0
+            }) if missing.is_empty() && unresolved.is_empty()
+        ));
+        assert!(session.policy_trace().contains(&PolicyAction::Escalate {
+            action: EscalateAction::Report,
+            after_alarms: 1
+        }));
+    }
+
+    #[test]
+    fn quarantine_off_accumulates_strikes_without_quarantining() {
+        let policy = Policy {
+            desyncs_to_quarantine: None,
+            ..Policy::default()
+        };
+        let floor = TagPopulation::with_sequential_ids(10);
+        let server = MonitorServer::new(floor.ids(), 2, 0.95).unwrap();
+        let mut session = MonitoringSession::new(server, policy);
+        let tag = floor.ids()[0];
+        for _ in 0..5 {
+            assert!(session.strike(&[tag]).is_empty());
+        }
+        assert_eq!(session.desync_strikes(tag), 5);
+        assert!(session.quarantined().is_empty());
     }
 }

@@ -45,6 +45,7 @@ use tagwatch_store::checkpoint::CheckpointDoc;
 use tagwatch_store::StoreError;
 
 use crate::histogram::{percentile, Histogram};
+use crate::policy::Policy;
 use crate::session::{
     MonitoringSession, SessionEvent, SessionLadderState, SessionPolicy, TickProtocol,
 };
@@ -386,25 +387,62 @@ pub(crate) struct SoakDriver<'a> {
     last_crash: Option<u64>,
     last_noncalm: Option<u64>,
     log_cursor: usize,
+    /// Transient per-tick flag: this tick's audits breached the
+    /// policy's audit budget (reset at the top of every step, rendered
+    /// into the tick's log line — never checkpointed, since captures
+    /// happen at tick boundaries).
+    audit_alert: bool,
 }
 
 impl<'a> SoakDriver<'a> {
     pub(crate) fn new(config: &SoakConfig, obs: &'a Obs) -> Result<Self, CoreError> {
+        Self::with_policy(config, Self::derive_policy(config), obs)
+    }
+
+    /// The policy a config-only soak runs under: the legacy defaults
+    /// carrying the config's protocol and desync window — exactly the
+    /// ladder the pre-policy driver hardcoded, so config-driven runs
+    /// keep their digests byte-for-byte.
+    pub(crate) fn derive_policy(config: &SoakConfig) -> Policy {
+        let mut policy = Policy::from(
+            SessionPolicy::builder()
+                .protocol(config.protocol)
+                .build(),
+        );
+        policy.desync_window = config.desync_window;
+        policy
+    }
+
+    /// The policy the session is interpreting.
+    pub(crate) fn policy(&self) -> &Policy {
+        self.session.policy()
+    }
+
+    /// [`new`](Self::new) under an explicit declarative [`Policy`].
+    /// The stored config copy is normalized to the policy's protocol
+    /// and desync window, so incident scheduling and the report's
+    /// config JSON agree with what the session actually interprets.
+    pub(crate) fn with_policy(
+        config: &SoakConfig,
+        policy: Policy,
+        obs: &'a Obs,
+    ) -> Result<Self, CoreError> {
+        let mut config = *config;
+        config.protocol = policy.protocol;
+        config.desync_window = policy.desync_window;
         let seeds = SeedSequence::new(config.seed);
         let floor = TagPopulation::with_sequential_ids(config.n);
         let server_config = ServerConfig {
-            desync_window: config.desync_window,
+            desync_window: policy.desync_window,
             ..ServerConfig::default()
         };
         let server =
             MonitorServer::with_config(floor.ids(), config.m, config.alpha, server_config)?;
-        let session = MonitoringSession::builder(server)
-            .protocol(config.protocol)
-            .build();
+        let session = MonitoringSession::new(server, policy);
         let markov = MarkovChannel::presets();
         let levels = markov.levels().len();
         Ok(SoakDriver {
-            config: *config,
+            config,
             obs,
             session,
             floor,
@@ -428,6 +466,7 @@ impl<'a> SoakDriver<'a> {
             last_crash: None,
             last_noncalm: None,
             log_cursor: 0,
+            audit_alert: false,
         })
     }
 
@@ -468,6 +507,24 @@ impl<'a> SoakDriver<'a> {
             released,
             latency_ticks,
         });
+        if let Some(budget) = self.session.policy().audit_budget {
+            let window = self.session.policy().audit_window;
+            let floor = t.saturating_sub(window.saturating_sub(1));
+            let in_window = self
+                .audit_ticks
+                .iter()
+                .filter(|&&tick| tick >= floor)
+                .count() as u64;
+            if in_window > u64::from(budget) {
+                self.obs.emit(ObsEvent::PolicyAlert {
+                    tick: t,
+                    audits: in_window,
+                    budget: u64::from(budget),
+                    window,
+                });
+                self.audit_alert = true;
+            }
+        }
         if !self.audit_attributable(t) {
             let message = format!(
                 "I3 violated at tick {t}: {what} audit with no incident or channel noise \
@@ -735,6 +792,8 @@ impl<'a> SoakDriver<'a> {
     /// to the log.
     pub(crate) fn step(&mut self, t: u64) -> Result<(), CoreError> {
         {
+            self.audit_alert = false;
+
             // 1. The world moves: channel level for this tick.
             let level = self.markov.step(&mut self.markov_rng);
             let level_name = level.name.clone();
@@ -754,7 +813,7 @@ impl<'a> SoakDriver<'a> {
             // 4. One monitoring tick through the channel + fault plan.
             let executor = RoundExecutor::new(self.markov.channel(), plan);
             self.session
-                .tick_observed(&mut self.floor, &executor, &mut self.tick_rng, self.obs)?;
+                .tick_with(&mut self.floor, &executor, &mut self.tick_rng, Some(self.obs))?;
 
             // 5. Digest the tick's events; enforce invariants.
             let (verdict, trace) = self.scan_events(t)?;
@@ -791,8 +850,9 @@ impl<'a> SoakDriver<'a> {
             }
 
             self.log.push(format!(
-                "t={t:05} level={level_name} events={} verdict={verdict}",
-                if trace.is_empty() { "-" } else { &trace }
+                "t={t:05} level={level_name} events={} verdict={verdict}{}",
+                if trace.is_empty() { "-" } else { &trace },
+                if self.audit_alert { " alert=audit-budget" } else { "" }
             ));
         }
         Ok(())
@@ -908,6 +968,7 @@ impl<'a> SoakDriver<'a> {
             ladder_lines.push(format!("quarantined {:024x}", id.as_u128()));
         }
         doc.push_section("ladder", ladder_lines)?;
+        doc.push_section("policy", self.session.policy().to_flat_lines())?;
         doc.push_section("floor", self.floor.iter().map(tag_line))?;
         doc.push_section("stolen", self.stolen.iter().map(tag_line))?;
         doc.push_section(
@@ -986,11 +1047,24 @@ impl<'a> SoakDriver<'a> {
         obs: &'a Obs,
         doc: &CheckpointDoc,
     ) -> Result<Self, StoreError> {
+        // The policy rides in the checkpoint so recovery replays under
+        // exactly the ladder the run started with; checkpoints written
+        // before the policy engine fall back to the config-derived
+        // legacy defaults (which is what those runs executed under).
+        let policy = match doc.section("policy") {
+            Some(lines) => Policy::from_flat_lines(lines)
+                .map_err(|e| invalid(format!("checkpoint policy: {e}")))?,
+            None => Self::derive_policy(config),
+        };
+        let mut config = *config;
+        config.protocol = policy.protocol;
+        config.desync_window = policy.desync_window;
+
         let registry_text = section(doc, "registry")?.join("\n");
         let snapshot = RegistrySnapshot::from_text(&registry_text)
             .map_err(|e| invalid(format!("checkpoint registry: {e}")))?;
         let server_config = ServerConfig {
-            desync_window: config.desync_window,
+            desync_window: policy.desync_window,
             ..ServerConfig::default()
         };
         let server = MonitorServer::restore_state(snapshot, server_config)
@@ -1016,7 +1090,6 @@ impl<'a> SoakDriver<'a> {
                 _ => return Err(invalid(format!("unknown ladder line `{line}`"))),
             }
         }
-        let policy = SessionPolicy::builder().protocol(config.protocol).build();
         let session = MonitoringSession::restore(server, policy, &ladder);
 
         let mut markov = MarkovChannel::presets();
@@ -1133,7 +1206,7 @@ impl<'a> SoakDriver<'a> {
         let violations = section(doc, "violations")?.to_vec();
 
         Ok(SoakDriver {
-            config: *config,
+            config,
             obs,
             session,
             floor,
@@ -1157,6 +1230,7 @@ impl<'a> SoakDriver<'a> {
             last_crash,
             last_noncalm,
             log_cursor: 0,
+            audit_alert: false,
         })
     }
 }
@@ -1258,6 +1332,40 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, CoreError> {
 pub fn run_soak_observed(config: &SoakConfig, obs: &Obs) -> Result<SoakReport, CoreError> {
     config.validate()?;
     SoakDriver::new(config, obs)?.run()
+}
+
+/// [`run_soak`] under an explicit declarative [`Policy`] instead of the
+/// config-derived legacy defaults. The policy's protocol and desync
+/// window override the config's (the config still supplies the fleet
+/// shape and incident schedule), so the report's config JSON reflects
+/// what actually ran. Running under
+/// `SoakDriver`'s derived default policy is byte-identical to
+/// [`run_soak`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParams`] for inconsistent configs or a
+/// policy that fails [`Policy::validate`], and propagates protocol
+/// errors as [`run_soak`] does.
+pub fn run_soak_policy(config: &SoakConfig, policy: &Policy) -> Result<SoakReport, CoreError> {
+    run_soak_policy_observed(config, policy, &Obs::disabled())
+}
+
+/// [`run_soak_policy`] with telemetry, mirroring [`run_soak_observed`].
+///
+/// # Errors
+///
+/// See [`run_soak_policy`].
+pub fn run_soak_policy_observed(
+    config: &SoakConfig,
+    policy: &Policy,
+    obs: &Obs,
+) -> Result<SoakReport, CoreError> {
+    config.validate()?;
+    policy.validate().map_err(|e| CoreError::InvalidParams {
+        reason: format!("policy rejected: {e}"),
+    })?;
+    SoakDriver::with_policy(config, policy.clone(), obs)?.run()
 }
 
 #[cfg(test)]
@@ -1411,6 +1519,81 @@ mod tests {
             ..SoakConfig::default()
         };
         assert!(run_soak(&zero_ticks).is_err());
+    }
+
+    #[test]
+    fn derived_default_policy_is_byte_identical_to_config_run() {
+        let config = short(TickProtocol::Utrp);
+        let legacy = run_soak(&config).unwrap();
+        let policy = SoakDriver::derive_policy(&config);
+        let declared = run_soak_policy(&config, &policy).unwrap();
+        assert_eq!(legacy.log, declared.log);
+        assert_eq!(legacy.digest(), declared.digest());
+        assert_eq!(legacy.to_json(), declared.to_json());
+    }
+
+    #[test]
+    fn non_default_policy_changes_the_run() {
+        let config = short(TickProtocol::Utrp);
+        let legacy = run_soak(&config).unwrap();
+        let mut policy = SoakDriver::derive_policy(&config);
+        policy.alarms_to_escalate = 4;
+        let declared = run_soak_policy(&config, &policy).unwrap();
+        assert_ne!(
+            legacy.digest(),
+            declared.digest(),
+            "raising the escalation threshold must change the tick log"
+        );
+    }
+
+    #[test]
+    fn policy_protocol_overrides_config_protocol() {
+        let config = short(TickProtocol::Utrp);
+        let mut policy = SoakDriver::derive_policy(&config);
+        policy.protocol = TickProtocol::Trp;
+        let report = run_soak_policy(&config, &policy).unwrap();
+        assert_eq!(
+            report.counts.desync_bursts, 0,
+            "TRP has no counters, so no bursts can be scripted"
+        );
+        assert!(report.to_json().contains("\"protocol\": \"trp\""));
+    }
+
+    #[test]
+    fn degenerate_policy_is_rejected_by_the_soak_entry_point() {
+        let config = short(TickProtocol::Utrp);
+        let mut policy = SoakDriver::derive_policy(&config);
+        policy.alarms_to_escalate = 0;
+        let err = run_soak_policy(&config, &policy).unwrap_err();
+        assert!(
+            format!("{err}").contains("policy rejected"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn audit_budget_breach_marks_the_log_and_emits_policy_alert() {
+        let config = short(TickProtocol::Utrp);
+        let mut policy = SoakDriver::derive_policy(&config);
+        policy.audit_budget = Some(0);
+        policy.desyncs_to_quarantine = None; // budget 0 + quarantine is degenerate
+        let obs = Obs::new();
+        let report = run_soak_policy_observed(&config, &policy, &obs).unwrap();
+        assert!(
+            report.counts.audits > 0,
+            "the scripted incidents must force audits"
+        );
+        assert!(
+            report.log.iter().any(|l| l.ends_with(" alert=audit-budget")),
+            "a zero budget must flag every auditing tick: {:?}",
+            report.log
+        );
+        // The first-wins dump latches at the first desync, before any
+        // audit; the breach events land in the ring's retained window.
+        assert!(
+            obs.flight_jsonl().contains("\"type\":\"policy_alert\""),
+            "breach events must reach the flight recorder"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn durable(soak: SoakConfig, fault: StorageFaultPlan) -> DurableConfig {
         soak,
         checkpoint_every: 13,
         fault,
+        policy: None,
     }
 }
 

@@ -154,7 +154,8 @@ pub fn run(command: Command) -> Result<String, CliError> {
             trials,
             seed,
             metrics_out,
-        } => crate::faults::run_faults(quick, trials, seed, metrics_out),
+            policy,
+        } => crate::faults::run_faults(quick, trials, seed, metrics_out, policy),
         Command::Soak {
             seed,
             ticks,
@@ -164,6 +165,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
             trace_out,
             wal_out,
             crash_at,
+            policy,
         } => crate::soak::run_soak_command(
             seed,
             ticks,
@@ -173,6 +175,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
             trace_out,
             wal_out,
             crash_at,
+            policy,
         ),
         Command::Recover { path, report } => crate::recover::run_recover_command(&path, report),
         Command::Inspect { path } => crate::inspect::run_inspect(&path),
@@ -227,11 +230,12 @@ USAGE:
   tagwatch-cli simulate utrp <n> <m> [--budget C] [--trials T] [--seed S]
   tagwatch-cli identify <n> [--steal K] [--seed S]  run missing-tag identification
   tagwatch-cli faults [--quick] [--trials T] [--seed S] [--metrics-out PATH]
+                      [--policy FILE]
                                                     fault-scenario matrix (alarm /
                                                     desync / recovery rates)
   tagwatch-cli soak [--seed S] [--ticks T] [--protocol trp|utrp] [--report PATH]
                     [--metrics-out PATH] [--trace-out PATH]
-                    [--wal-out PATH] [--crash-at T]
+                    [--wal-out PATH] [--crash-at T] [--policy FILE]
                                                     long-horizon soak: Markov channel,
                                                     scripted incidents, invariant
                                                     checks, JSON latency report, and
@@ -240,7 +244,11 @@ USAGE:
                                                     durable write-ahead log (flushed
                                                     even on a violation exit);
                                                     --crash-at kills the run before
-                                                    tick T, leaving a resumable WAL
+                                                    tick T, leaving a resumable WAL;
+                                                    --policy runs the session under a
+                                                    tagwatch-policy v1 document (the
+                                                    WAL carries it, so recover replays
+                                                    under the same policy)
   tagwatch-cli recover <wal> [--report PATH]        warm-restart a soak from its WAL,
                                                     re-verify every recorded tick, run
                                                     to completion, print the verified
@@ -249,9 +257,10 @@ USAGE:
                                                     exit 1: unreadable WAL, malformed
                                                     records, replay divergence, or
                                                     invariant violations
-  tagwatch-cli inspect <path>                       summarize an exported telemetry
-                                                    artifact (metrics snapshot or
-                                                    JSONL event trace, auto-detected)
+  tagwatch-cli inspect <path>                       summarize an exported artifact
+                                                    (metrics snapshot, JSONL event
+                                                    trace, or tagwatch-policy v1
+                                                    document, auto-detected)
   tagwatch-cli registry new <n> <m> <alpha>         print a fresh registry snapshot
   tagwatch-cli registry info < snapshot.txt         summarize a snapshot from stdin
   tagwatch-cli help
@@ -285,6 +294,7 @@ mod tests {
             "--trace-out",
             "--wal-out",
             "--crash-at",
+            "--policy",
             "registry",
         ] {
             assert!(text.contains(word), "help missing `{word}`");

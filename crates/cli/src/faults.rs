@@ -122,23 +122,33 @@ struct Tally {
 /// Runs the full scenario matrix and renders the report. With
 /// `--metrics-out`, every round's verdict and recovery action also
 /// streams into a telemetry registry whose deterministic snapshot is
-/// written to the given path.
+/// written to the given path. With `--policy`, the policy document's
+/// desync window replaces the matrix's built-in one (the scenarios
+/// drive the server layer directly, so the window is the knob a policy
+/// owns here).
 ///
 /// # Errors
 ///
-/// Returns a [`CliError`] only for internal protocol errors (a bug, not
-/// bad user input — the parser validates the flags).
+/// Returns a [`CliError`] for an unreadable or invalid policy file, or
+/// for internal protocol errors (a bug, not bad user input — the
+/// parser validates the flags).
 pub fn run_faults(
     quick: bool,
     trials: u64,
     seed: u64,
     metrics_out: Option<String>,
+    policy_path: Option<String>,
 ) -> Result<String, CliError> {
     if trials == 0 {
         return Err(CliError {
             message: "--trials must be at least 1".to_owned(),
         });
     }
+    let policy = policy_path
+        .as_deref()
+        .map(crate::soak::load_policy)
+        .transpose()?;
+    let desync_window = policy.as_ref().map_or(DESYNC_WINDOW, |p| p.desync_window);
     let trials = if quick { trials.min(20) } else { trials };
     let obs = if metrics_out.is_some() {
         Obs::new()
@@ -153,6 +163,12 @@ pub fn run_faults(
          (fault-only scenarios hold an intact floor: alarms there are FALSE alarms,\n\
           the fail-safe cost of never reporting a faulty round as intact)\n\n"
     ));
+    if let (Some(policy), Some(path)) = (&policy, &policy_path) {
+        out.push_str(&format!(
+            "policy: site `{}` from {path} (desync window {desync_window})\n\n",
+            policy.site
+        ));
+    }
     out.push_str(&format!(
         "{:<16} {:>8} {:>8} {:>8} {:>10}\n",
         "scenario", "alarm", "desync", "audit", "recovered"
@@ -161,9 +177,10 @@ pub fn run_faults(
         let mut tally = Tally::default();
         for t in 0..trials {
             let trial_seed = seeds.seed_for((i as u64) << 32 | t);
-            let result = run_trial(*scenario, trial_seed, &obs).map_err(|e| CliError {
-                message: format!("{} trial {t}: {e}", scenario.name()),
-            })?;
+            let result =
+                run_trial(*scenario, trial_seed, desync_window, &obs).map_err(|e| CliError {
+                    message: format!("{} trial {t}: {e}", scenario.name()),
+                })?;
             tally.alarms += u64::from(result.alarmed);
             tally.desyncs += u64::from(result.desynced);
             tally.audits += u64::from(result.audited);
@@ -203,11 +220,16 @@ struct TrialResult {
     recovered: bool,
 }
 
-fn run_trial(scenario: Scenario, seed: u64, obs: &Obs) -> Result<TrialResult, CoreError> {
+fn run_trial(
+    scenario: Scenario,
+    seed: u64,
+    desync_window: u64,
+    obs: &Obs,
+) -> Result<TrialResult, CoreError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut floor = TagPopulation::with_sequential_ids(N);
     let config = ServerConfig {
-        desync_window: DESYNC_WINDOW,
+        desync_window,
         ..ServerConfig::default()
     };
     let mut server = MonitorServer::with_config(floor.ids(), M, ALPHA, config)?;
@@ -333,7 +355,7 @@ mod tests {
 
     #[test]
     fn matrix_runs_and_reports_every_scenario() {
-        let report = run_faults(true, 5, 1, None).unwrap();
+        let report = run_faults(true, 5, 1, None, None).unwrap();
         for scenario in SCENARIOS {
             assert!(
                 report.lines().any(|l| l.starts_with(scenario.name())),
@@ -345,7 +367,7 @@ mod tests {
 
     #[test]
     fn baseline_is_quiet_and_theft_detects() {
-        let report = run_faults(true, 10, 2, None).unwrap();
+        let report = run_faults(true, 10, 2, None, None).unwrap();
         let baseline = rates(scenario_line(&report, "baseline"));
         assert_eq!(baseline, vec![0.0, 0.0, 0.0, 1.0], "{report}");
         let theft = rates(scenario_line(&report, "theft(m+1)"));
@@ -354,7 +376,7 @@ mod tests {
 
     #[test]
     fn desync_recovery_is_diagnosed_without_audits() {
-        let report = run_faults(true, 10, 3, None).unwrap();
+        let report = run_faults(true, 10, 3, None, None).unwrap();
         let row = rates(scenario_line(&report, "desync-recovery"));
         let (alarm, desync, audit, recovered) = (row[0], row[1], row[2], row[3]);
         assert_eq!(alarm, 0.0, "{report}");
@@ -365,7 +387,7 @@ mod tests {
 
     #[test]
     fn crash_truncation_and_skew_alarm_but_recover() {
-        let report = run_faults(true, 8, 4, None).unwrap();
+        let report = run_faults(true, 8, 4, None, None).unwrap();
         for name in ["reader-crash", "truncation", "clock-skew"] {
             let row = rates(scenario_line(&report, name));
             assert_eq!(row[0], 1.0, "{name} must alarm: {report}");
@@ -375,8 +397,8 @@ mod tests {
 
     #[test]
     fn matrix_is_deterministic_per_seed() {
-        let a = run_faults(true, 5, 7, None).unwrap();
-        let b = run_faults(true, 5, 7, None).unwrap();
+        let a = run_faults(true, 5, 7, None, None).unwrap();
+        let b = run_faults(true, 5, 7, None, None).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -1,7 +1,7 @@
 //! The `inspect` subcommand: a human-oriented summary of the
-//! telemetry artifacts the other commands export.
+//! artifacts the other commands export or consume.
 //!
-//! Two artifact kinds exist, and the file content disambiguates them:
+//! Three artifact kinds exist, and the file content disambiguates them:
 //!
 //! * a **metrics snapshot** (`--metrics-out`) carries the
 //!   `tagwatch-obs-metrics-v1` schema marker — summarized as its
@@ -9,15 +9,21 @@
 //!   state, and embedded digest;
 //! * a **flight-recorder trace** (`--trace-out`) is JSONL, one event
 //!   object per line — summarized as per-type counts plus the head and
-//!   tail of the retained window.
+//!   tail of the retained window;
+//! * a **policy document** (`--policy`) opens with the
+//!   `tagwatch-policy v1` header — validated and echoed back in
+//!   canonical form, so `inspect` shows the effective policy exactly
+//!   as a session would interpret it.
 //!
-//! Both formats are hand-rolled with fixed field order (the workspace
-//! has no serde), so the summaries here parse them with plain string
-//! operations rather than a JSON parser — intentionally: anything the
-//! simple scan cannot read would also break the byte-stability
-//! contract the exporters promise.
+//! The telemetry formats are hand-rolled with fixed field order (the
+//! workspace has no serde), so the summaries here parse them with
+//! plain string operations rather than a JSON parser — intentionally:
+//! anything the simple scan cannot read would also break the
+//! byte-stability contract the exporters promise.
 
 use std::collections::BTreeMap;
+
+use tagwatch_analytics::{Policy, POLICY_HEADER};
 
 use crate::parse::CliError;
 
@@ -34,18 +40,47 @@ pub fn run_inspect(path: &str) -> Result<String, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| CliError {
         message: format!("cannot read `{path}`: {e}"),
     })?;
-    if text.contains(METRICS_SCHEMA) {
+    if looks_like_policy(&text) {
+        summarize_policy(path, &text)
+    } else if text.contains(METRICS_SCHEMA) {
         Ok(summarize_metrics(path, &text))
     } else if looks_like_trace(&text) {
         Ok(summarize_trace(path, &text))
     } else {
         Err(CliError {
             message: format!(
-                "`{path}` is neither a metrics snapshot (no `{METRICS_SCHEMA}` marker) \
-                 nor a JSONL event trace"
+                "`{path}` is neither a metrics snapshot (no `{METRICS_SCHEMA}` marker), \
+                 nor a JSONL event trace, nor a `{POLICY_HEADER}` document"
             ),
         })
     }
+}
+
+/// A policy document's first significant line (comments and blanks
+/// are insignificant, exactly as the parser treats them) is the
+/// `tagwatch-policy v1` header.
+fn looks_like_policy(text: &str) -> bool {
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        == Some(POLICY_HEADER)
+}
+
+/// Validates a policy document and prints its canonical form — the
+/// effective policy, independent of comments or section ordering in
+/// the source file.
+fn summarize_policy(path: &str, text: &str) -> Result<String, CliError> {
+    let policy = Policy::parse_named(text, path).map_err(|e| CliError {
+        message: e.to_string(),
+    })?;
+    let mut out = format!(
+        "{path}: policy document (site `{}`, valid)\neffective policy:\n",
+        policy.site
+    );
+    for line in policy.to_text().lines() {
+        out.push_str(&format!("  {line}\n"));
+    }
+    Ok(out)
 }
 
 /// A trace is JSONL of event objects: every non-empty line starts an
@@ -218,6 +253,28 @@ mod tests {
         assert!(out.contains("event trace, 2 event(s)"), "{out}");
         assert!(out.contains("round_completed"), "{out}");
         assert!(out.contains("verified"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inspects_a_policy_document() {
+        let dir = std::env::temp_dir().join("tagwatch-inspect-policy-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("site.twp");
+        std::fs::write(&path, Policy::default().to_text()).unwrap();
+        let out = run_inspect(&path.to_string_lossy()).unwrap();
+        assert!(out.contains("policy document"), "{out}");
+        assert!(out.contains("valid"), "{out}");
+        assert!(out.contains("effective policy:"), "{out}");
+        assert!(out.contains("tagwatch-policy v1"), "{out}");
+
+        // A malformed document is detected as a policy and rejected
+        // with the parser's diagnostic, not the generic "neither" error.
+        let bad = dir.join("bad.twp");
+        std::fs::write(&bad, "tagwatch-policy v1\n@section thresholds\nalarms_to_escalate nope\n")
+            .unwrap();
+        let e = run_inspect(&bad.to_string_lossy()).unwrap_err();
+        assert!(!e.message.contains("neither"), "{e}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

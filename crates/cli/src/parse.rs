@@ -73,9 +73,9 @@ pub enum Command {
         /// Root seed.
         seed: u64,
     },
-    /// `faults [--quick] [--trials T] [--seed S] [--metrics-out PATH]`
-    /// — run the named fault-scenario matrix and print per-scenario
-    /// alarm / desync / recovery rates.
+    /// `faults [--quick] [--trials T] [--seed S] [--metrics-out PATH]
+    /// [--policy FILE]` — run the named fault-scenario matrix and print
+    /// per-scenario alarm / desync / recovery rates.
     Faults {
         /// Cap trials at a smoke-test size (CI).
         quick: bool,
@@ -85,6 +85,9 @@ pub enum Command {
         seed: u64,
         /// Where to write the telemetry metrics snapshot, if anywhere.
         metrics_out: Option<String>,
+        /// Path of a `tagwatch-policy v1` document the scenario
+        /// sessions run under (default: legacy session defaults).
+        policy: Option<String>,
     },
     /// `soak [--seed S] [--ticks T] [--protocol trp|utrp]
     /// [--report PATH] [--metrics-out PATH] [--trace-out PATH]` — run
@@ -109,6 +112,10 @@ pub enum Command {
         /// Scripted crash: stop just before this tick (requires
         /// `--wal-out`, which is what makes the kill survivable).
         crash_at: Option<u64>,
+        /// Path of a `tagwatch-policy v1` document to run under. The
+        /// policy owns the protocol choice, so it conflicts with
+        /// `--protocol`.
+        policy: Option<String>,
     },
     /// `recover <wal> [--report PATH]` — warm-restart a soak from its
     /// WAL, re-verify every recorded tick, run it to completion, and
@@ -267,6 +274,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             trials: flag(args, "--trials", 100)?,
             seed: flag(args, "--seed", 1)?,
             metrics_out: path_flag(args, "--metrics-out")?,
+            policy: path_flag(args, "--policy")?,
         }),
         "soak" => {
             let utrp = match args.iter().position(|a| a == "--protocol") {
@@ -284,6 +292,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--crash-at needs --wal-out (the WAL is what survives the kill)",
                 ));
             }
+            let policy = path_flag(args, "--policy")?;
+            if policy.is_some() && args.iter().any(|a| a == "--protocol") {
+                return Err(err(
+                    "--policy conflicts with --protocol (the policy document declares the protocol)",
+                ));
+            }
             Ok(Command::Soak {
                 seed: flag(args, "--seed", 1)?,
                 ticks: flag(args, "--ticks", 5000)?,
@@ -293,6 +307,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 trace_out: path_flag(args, "--trace-out")?,
                 wal_out,
                 crash_at,
+                policy,
             })
         }
         "recover" => Ok(Command::Recover {
@@ -447,6 +462,7 @@ mod tests {
                 trials: 10,
                 seed: 3,
                 metrics_out: None,
+                policy: None,
             }
         );
         // Defaults.
@@ -457,6 +473,7 @@ mod tests {
                 trials: 100,
                 seed: 1,
                 metrics_out: None,
+                policy: None,
             }
         );
         assert!(matches!(
@@ -483,6 +500,7 @@ mod tests {
                 trace_out: None,
                 wal_out: None,
                 crash_at: None,
+                policy: None,
             }
         );
         // Defaults: seed 1, 5000 UTRP ticks, derived report path.
@@ -497,6 +515,7 @@ mod tests {
                 trace_out: None,
                 wal_out: None,
                 crash_at: None,
+                policy: None,
             }
         );
         assert!(matches!(
@@ -533,6 +552,23 @@ mod tests {
         assert!(e.message.contains("--crash-at"));
         let e = parse(&argv("soak --wal-out")).unwrap_err();
         assert!(e.message.contains("--wal-out"));
+    }
+
+    #[test]
+    fn parses_policy_flags() {
+        assert!(matches!(
+            parse(&argv("soak --policy site.twp")).unwrap(),
+            Command::Soak { policy: Some(p), .. } if p == "site.twp"
+        ));
+        assert!(matches!(
+            parse(&argv("faults --quick --policy site.twp")).unwrap(),
+            Command::Faults { policy: Some(p), .. } if p == "site.twp"
+        ));
+        // The policy document owns the protocol choice.
+        let e = parse(&argv("soak --policy site.twp --protocol trp")).unwrap_err();
+        assert!(e.message.contains("conflicts"), "{e}");
+        let e = parse(&argv("soak --policy")).unwrap_err();
+        assert!(e.message.contains("--policy"));
     }
 
     #[test]

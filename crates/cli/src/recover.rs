@@ -45,9 +45,14 @@ pub fn run_recover_command(path: &str, report_out: Option<String>) -> Result<Str
         resumed_from,
         replayed_ticks,
         wal,
+        policy,
     } = outcome;
 
     let mut out = format!("recover: {path} ({} bytes read)\n", bytes.len());
+    out.push_str(&format!(
+        "policy: site `{}` (carried by the WAL)\n",
+        policy.site
+    ));
     if recovery.is_empty() {
         out.push_str("WAL tail intact: no corruption found\n");
     }
@@ -103,6 +108,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         )
         .unwrap();
         let digest_line = full
@@ -120,6 +126,7 @@ mod tests {
             None,
             Some(wal_str.clone()),
             Some(29),
+            None,
         )
         .unwrap();
         let report_path = dir.join("recovered.json");
@@ -147,6 +154,7 @@ mod tests {
             None,
             Some(wal_str.clone()),
             Some(40),
+            None,
         )
         .unwrap();
         // Chop the tail the way a truncated flush would.
@@ -158,6 +166,59 @@ mod tests {
         assert!(out.contains("recovery: "), "{out}");
         assert!(!out.contains("WAL tail intact"), "{out}");
         assert!(out.contains("digest: fnv1a:"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_resumes_a_crashed_policy_run_under_the_same_policy() {
+        let dir = temp_dir("policy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let policy = tagwatch_analytics::Policy {
+            site: "dock-9".into(),
+            alarms_to_escalate: 4,
+            ..Default::default()
+        };
+        let policy_path = dir.join("dock9.twp");
+        std::fs::write(&policy_path, policy.to_text()).unwrap();
+        let policy_str = policy_path.to_string_lossy().into_owned();
+
+        // Baseline: the same policy run uninterrupted.
+        let full = run_soak_command(
+            7,
+            60,
+            false,
+            Some(dir.join("full.json").to_string_lossy().into_owned()),
+            None,
+            None,
+            None,
+            None,
+            Some(policy_str.clone()),
+        )
+        .unwrap();
+        let digest_line = full
+            .lines()
+            .find(|l| l.starts_with("digest:"))
+            .unwrap()
+            .to_owned();
+
+        let wal = dir.join("run.wal");
+        let wal_str = wal.to_string_lossy().into_owned();
+        run_soak_command(
+            7,
+            60,
+            false,
+            None,
+            None,
+            None,
+            Some(wal_str.clone()),
+            Some(31),
+            Some(policy_str),
+        )
+        .unwrap();
+        let out = run_recover_command(&wal_str, None).expect("crashed policy run must recover");
+        assert!(out.contains("policy: site `dock-9`"), "{out}");
+        assert!(out.contains(&digest_line), "{out}\nvs {digest_line}");
+        assert!(out.contains("all soak invariants held"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -3,8 +3,8 @@
 
 use std::path::PathBuf;
 
-use tagwatch_analytics::soak::{run_soak_observed, SoakConfig};
-use tagwatch_analytics::{run_soak_durable_observed, DurableConfig, TickProtocol};
+use tagwatch_analytics::soak::{run_soak_observed, run_soak_policy_observed, SoakConfig};
+use tagwatch_analytics::{run_soak_durable_observed, DurableConfig, Policy, TickProtocol};
 use tagwatch_obs::Obs;
 use tagwatch_sim::StorageFaultPlan;
 
@@ -14,6 +14,15 @@ fn to_cli<E: std::fmt::Display>(e: E) -> CliError {
     CliError {
         message: e.to_string(),
     }
+}
+
+/// Reads and validates a `tagwatch-policy v1` document from disk,
+/// pointing diagnostics at the file path.
+pub(crate) fn load_policy(path: &str) -> Result<Policy, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError {
+        message: format!("cannot read policy file `{path}`: {e}"),
+    })?;
+    Policy::parse_named(&text, path).map_err(to_cli)
 }
 
 /// Writes `content` to `path`, creating parent directories.
@@ -60,14 +69,16 @@ pub fn run_soak_command(
     trace_out: Option<String>,
     wal_out: Option<String>,
     crash_at: Option<u64>,
+    policy_path: Option<String>,
 ) -> Result<String, CliError> {
+    let policy = policy_path.as_deref().map(load_policy).transpose()?;
     let config = SoakConfig {
         seed,
         ticks,
-        protocol: if utrp {
-            TickProtocol::Utrp
-        } else {
-            TickProtocol::Trp
+        protocol: match &policy {
+            Some(p) => p.protocol,
+            None if utrp => TickProtocol::Utrp,
+            None => TickProtocol::Trp,
         },
         ..SoakConfig::default()
     };
@@ -80,6 +91,7 @@ pub fn run_soak_command(
         let durable = DurableConfig {
             soak: config,
             fault,
+            policy: policy.clone(),
             ..DurableConfig::default()
         };
         let outcome = run_soak_durable_observed(&durable, &obs).map_err(to_cli)?;
@@ -98,6 +110,8 @@ pub fn run_soak_command(
                 ));
             }
         }
+    } else if let Some(policy) = &policy {
+        run_soak_policy_observed(&config, policy, &obs).map_err(to_cli)?
     } else {
         run_soak_observed(&config, &obs).map_err(to_cli)?
     };
@@ -133,7 +147,10 @@ pub fn run_soak_command(
          audits: {} ({:.2} per 1000 ticks, max {} in any 100 ticks)\n\
          recovery latency: {} samples, p50 {}, p90 {}, p99 {}\n\
          digest: fnv1a:{:016x}\n",
-        if utrp { "UTRP" } else { "TRP" },
+        match config.protocol {
+            TickProtocol::Utrp => "UTRP",
+            TickProtocol::Trp => "TRP",
+        },
         ticks,
         seed,
         path.display(),
@@ -156,6 +173,9 @@ pub fn run_soak_command(
         pct(0.99),
         report.digest(),
     );
+    if let (Some(policy), Some(path)) = (&policy, &policy_path) {
+        out.push_str(&format!("policy: site `{}` from {path}\n", policy.site));
+    }
     out.push_str(&format!(
         "telemetry: {} violations, {} quarantine events, metrics digest fnv64:{:016x}\n",
         obs.counter(obs.m.soak_violations),
@@ -197,6 +217,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         )
         .expect("soak should be clean");
         assert!(out.contains("all soak invariants held"), "{out}");
@@ -229,6 +250,7 @@ mod tests {
                 Some(trace.to_string_lossy().into_owned()),
                 None,
                 None,
+                None,
             )
             .expect("soak should be clean");
             artifacts.push((
@@ -254,6 +276,7 @@ mod tests {
             None,
             None,
             None,
+            None,
             None
         )
         .is_err());
@@ -272,6 +295,7 @@ mod tests {
             None,
             None,
             Some(wal.to_string_lossy().into_owned()),
+            None,
             None,
         )
         .expect("soak should be clean");
@@ -296,6 +320,7 @@ mod tests {
             None,
             Some(wal.to_string_lossy().into_owned()),
             Some(33),
+            None,
         )
         .expect("a scripted crash is not a command failure");
         assert!(out.contains("interrupted at tick 33"), "{out}");

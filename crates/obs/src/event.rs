@@ -132,6 +132,19 @@ pub enum ObsEvent {
         /// Invariant number (1–3, matching `SoakReport` docs).
         invariant: u8,
     },
+    /// A declarative policy limit was breached (e.g. the audit budget
+    /// for the trailing window was exhausted). Advisory: the session
+    /// keeps running, but the breach is on the record.
+    PolicyAlert {
+        /// Tick at which the breach was detected.
+        tick: u64,
+        /// Audits observed inside the trailing window.
+        audits: u64,
+        /// The policy's budget for that window.
+        budget: u64,
+        /// Window length in ticks.
+        window: u64,
+    },
     /// Durable-state recovery excised a damaged WAL tail (the
     /// attributable trace of a crash or corruption — a recovered run
     /// is never silently presented as an uninterrupted one).
@@ -208,6 +221,15 @@ impl ObsEvent {
                 out,
                 "{{\"seq\":{seq},\"type\":\"invariant_violated\",\"tick\":{tick},\"invariant\":{invariant}}}"
             ),
+            ObsEvent::PolicyAlert {
+                tick,
+                audits,
+                budget,
+                window,
+            } => write!(
+                out,
+                "{{\"seq\":{seq},\"type\":\"policy_alert\",\"tick\":{tick},\"audits\":{audits},\"budget\":{budget},\"window\":{window}}}"
+            ),
             ObsEvent::StoreRecovered {
                 kind,
                 offset,
@@ -279,6 +301,22 @@ mod tests {
         assert_eq!(
             out,
             "{\"seq\":9,\"type\":\"store_recovered\",\"kind\":3,\"offset\":4096,\"dropped\":17}"
+        );
+    }
+
+    #[test]
+    fn policy_alert_json_is_stable() {
+        let mut out = String::new();
+        ObsEvent::PolicyAlert {
+            tick: 42,
+            audits: 6,
+            budget: 5,
+            window: 100,
+        }
+        .write_json(11, &mut out);
+        assert_eq!(
+            out,
+            "{\"seq\":11,\"type\":\"policy_alert\",\"tick\":42,\"audits\":6,\"budget\":5,\"window\":100}"
         );
     }
 
