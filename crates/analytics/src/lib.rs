@@ -10,6 +10,9 @@
 //!   paper's `n`/`m` grid, with per-trial seed derivation so results
 //!   are independent of thread count and machine.
 //! * [`parallel`] — deterministic multi-core fan-out.
+//! * [`pool`] — the persistent sharded round engine: worker-owned
+//!   active-array shards behind parked threads, bit-identical to the
+//!   scalar engine at every thread count.
 //! * [`stats`] — summaries and Wilson intervals for detection rates.
 //! * [`report`] — aligned tables, CSV, and spark-line rendering used by
 //!   the `fig4`…`fig7` binaries in `tagwatch-bench`.
@@ -39,6 +42,7 @@ pub mod histogram;
 pub mod montecarlo;
 pub mod parallel;
 pub mod policy;
+pub mod pool;
 pub mod report;
 pub mod scan;
 pub mod session;
@@ -60,17 +64,18 @@ pub use montecarlo::{
 };
 pub use parallel::{parallel_count, parallel_map, worker_threads};
 pub use policy::{EscalateAction, Policy, PolicyAction, PolicyError, POLICY_HEADER};
+pub use pool::{PooledEngine, POOL_THRESHOLD};
 pub use report::{sparkline, Table};
 pub use scan::{
     chunked_min_scan, chunked_min_scan_counting, parallel_min_scan, run_round_chunked_observed,
-    run_round_parallel,
+    run_round_parallel, run_round_parallel_observed,
 };
 pub use session::{
     MonitoringSession, SessionBuilder, SessionEvent, SessionLadderState, SessionPolicy,
     SessionPolicyBuilder, TickProtocol,
 };
 pub use soak::{
-    run_soak, run_soak_observed, run_soak_policy, run_soak_policy_observed, SoakConfig, SoakCounts,
-    SoakReport,
+    run_soak, run_soak_observed, run_soak_observed_threads, run_soak_policy,
+    run_soak_policy_observed, run_soak_policy_observed_threads, SoakConfig, SoakCounts, SoakReport,
 };
 pub use stats::{Proportion, Summary};

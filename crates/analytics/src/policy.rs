@@ -400,7 +400,10 @@ fn parse_entries(text: &str, origin: &str) -> Result<Vec<Entry>, PolicyError> {
             diags.push(
                 Diagnostic::new(format!("unknown key `{key}` in `@section {section}`"))
                     .at(origin, lineno)
-                    .help(format!("`@section {section}` keys are: {}", keys.join(", "))),
+                    .help(format!(
+                        "`@section {section}` keys are: {}",
+                        keys.join(", ")
+                    )),
             );
             continue;
         };
@@ -608,15 +611,19 @@ impl Policy {
             audit_window: audit_window.0,
             escalate_action: action.0,
         };
-        policy.collect_validation(origin, &[
-            ("site", site.1),
-            ("max_desync_retries", retries.1),
-            ("desyncs_to_quarantine", quarantine.1),
-            ("desync_window", desync_window.1),
-            ("audit_budget", budget.1),
-            ("alarms_to_escalate", alarms.1),
-            ("frame_factor", frame_factor.1),
-        ], &mut diags);
+        policy.collect_validation(
+            origin,
+            &[
+                ("site", site.1),
+                ("max_desync_retries", retries.1),
+                ("desyncs_to_quarantine", quarantine.1),
+                ("desync_window", desync_window.1),
+                ("audit_budget", budget.1),
+                ("alarms_to_escalate", alarms.1),
+                ("frame_factor", frame_factor.1),
+            ],
+            &mut diags,
+        );
         if diags.is_empty() {
             Ok(policy)
         } else {
@@ -704,8 +711,9 @@ impl Policy {
             && (self.identify.frame_factor == 0 || self.identify.max_rounds == 0)
         {
             diags.push(at(
-                Diagnostic::new("`action identify` with a zero identification budget")
-                    .help("set `frame_factor` and `max_rounds` to at least 1, or use `action report`"),
+                Diagnostic::new("`action identify` with a zero identification budget").help(
+                    "set `frame_factor` and `max_rounds` to at least 1, or use `action report`",
+                ),
                 "frame_factor",
             ));
         }
@@ -917,11 +925,19 @@ mod tests {
 
     #[test]
     fn diagnostics_are_rustc_shaped() {
-        let text = Policy::default().to_text().replace("ticks trp", "ticks lora");
+        let text = Policy::default()
+            .to_text()
+            .replace("ticks trp", "ticks lora");
         let err = Policy::parse_named(&text, "bad.twp").unwrap_err();
-        assert!(err.message.starts_with("error: unknown protocol `lora`"), "{err}");
+        assert!(
+            err.message.starts_with("error: unknown protocol `lora`"),
+            "{err}"
+        );
         assert!(err.message.contains("--> bad.twp:"), "{err}");
-        assert!(err.message.contains("= help: `ticks` is `trp` or `utrp`"), "{err}");
+        assert!(
+            err.message.contains("= help: `ticks` is `trp` or `utrp`"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -929,14 +945,27 @@ mod tests {
         assert!(Policy::parse("").is_err());
         assert!(Policy::parse("not a policy\n").is_err());
         let orphan = format!("{POLICY_HEADER}\nname dock\n");
-        assert!(Policy::parse(&orphan).unwrap_err().message.contains("outside any section"));
+        assert!(Policy::parse(&orphan)
+            .unwrap_err()
+            .message
+            .contains("outside any section"));
         let unknown = format!("{POLICY_HEADER}\n@section weather\nrain heavy\n");
-        assert!(Policy::parse(&unknown).unwrap_err().message.contains("unknown section"));
+        assert!(Policy::parse(&unknown)
+            .unwrap_err()
+            .message
+            .contains("unknown section"));
         let missing = format!("{POLICY_HEADER}\n@section site\nname dock\n");
         let err = Policy::parse(&missing).unwrap_err();
-        assert!(err.message.contains("missing `ticks` in `@section protocol`"), "{err}");
+        assert!(
+            err.message
+                .contains("missing `ticks` in `@section protocol`"),
+            "{err}"
+        );
         let dup = Policy::default().to_text() + "@section site\nname again\n";
-        assert!(Policy::parse(&dup).unwrap_err().message.contains("duplicate section"));
+        assert!(Policy::parse(&dup)
+            .unwrap_err()
+            .message
+            .contains("duplicate section"));
     }
 
     #[test]
@@ -955,7 +984,11 @@ mod tests {
             ..Policy::default()
         };
         let err = frozen_quarantine.validate().unwrap_err();
-        assert!(err.message.contains("audit budget of 0 with quarantine enabled"), "{err}");
+        assert!(
+            err.message
+                .contains("audit budget of 0 with quarantine enabled"),
+            "{err}"
+        );
 
         // ...but a zero budget with quarantine off is fine.
         Policy {
@@ -1010,7 +1043,9 @@ mod tests {
         let lines = p.to_flat_lines();
         assert_eq!(lines.len(), 11);
         // Checkpoint-section safe: no `@` markers, no embedded newlines.
-        assert!(lines.iter().all(|l| !l.starts_with('@') && !l.contains('\n')));
+        assert!(lines
+            .iter()
+            .all(|l| !l.starts_with('@') && !l.contains('\n')));
         assert_eq!(Policy::from_flat_lines(&lines).unwrap(), p);
     }
 

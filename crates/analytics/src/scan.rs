@@ -25,22 +25,40 @@
 //! Small scans fall back to the sequential pass: below
 //! [`PARALLEL_THRESHOLD`] active tags, thread fan-out costs more than
 //! the scan itself. A full round's scan sizes shrink as tags retire, so
-//! even million-tag rounds end their tail sequentially.
+//! even million-tag rounds end their tail sequentially. A round that
+//! *starts* below the threshold never fans out at all; the observed
+//! entry point ([`run_round_parallel_observed`]) makes that visible as
+//! an [`ObsEvent::ScalarFallback`] flight event, mirroring the
+//! persistent pool's reporting (see [`crate::pool`]).
+//!
+//! This module remains the *reference* chunked strategy (per-call
+//! scope fan-out, exhaustively tested merge discipline); the
+//! production hot path is [`crate::pool::PooledEngine`], which keeps
+//! the same index-ordered merge but parks its workers between
+//! announcements so dispatch stays cheap.
 
 use tagwatch_core::engine::{sequential_min_scan, ScanJob, ScanStats};
 use tagwatch_core::nonce::NonceSequence;
 use tagwatch_core::{CoreError, RoundScratch};
-use tagwatch_obs::Obs;
+use tagwatch_obs::{Obs, ObsEvent};
 use tagwatch_sim::FrameSize;
 
 use crate::parallel::{parallel_map, worker_threads};
+use crate::pool::POOL_THRESHOLD;
 
 /// Active-set size below which [`parallel_min_scan`] runs sequentially.
 ///
-/// Chosen so the per-announcement thread fan-out (scope spawn + channel
-/// collect, tens of microseconds) cannot dominate the scan it
-/// parallelizes (~1 ns/tag): at 64k tags a scan is ~100 µs of work.
-pub const PARALLEL_THRESHOLD: usize = 1 << 16;
+/// Derived from the dispatch-cost measurements behind the persistent
+/// pool (see `docs/PERFORMANCE.md`). A *parked* worker is woken with
+/// two channel hops, ~5–15 µs per announcement, which puts the pool's
+/// measured break-even near [`POOL_THRESHOLD`] actives. This module's
+/// per-call `std::thread::scope` fan-out additionally pays a thread
+/// spawn + join per worker (~25–60 µs on the perf harness), about 4×
+/// the parked dispatch — so its crossover sits at 4× the pool's
+/// threshold. The old `1 << 16` guess was measured to be roughly 2×
+/// too conservative: scans in the 32k–64k range already win from
+/// fan-out when threads exist, and below 32k the spawn cost dominates.
+pub const PARALLEL_THRESHOLD: usize = 4 * POOL_THRESHOLD;
 
 /// One announcement's minimum scan, chunked across worker threads.
 ///
@@ -107,6 +125,43 @@ pub fn run_round_parallel(
     nonces: &NonceSequence,
 ) -> Result<u64, CoreError> {
     scratch.run_with(f, nonces, parallel_min_scan)
+}
+
+/// [`run_round_parallel`] that reports scalar fallback: when the round
+/// *starts* below [`PARALLEL_THRESHOLD`] (scan sizes only shrink, so
+/// the whole round then runs sequentially), one
+/// [`ObsEvent::ScalarFallback`] lands in `obs`'s flight ring — the
+/// same per-round event the persistent pool emits, so operators can
+/// see which deployments are paying for parallelism they never use.
+/// Scan results are bit-identical to [`run_round_parallel`] (and to
+/// the sequential engine) either way; with a disabled `obs` no event
+/// is recorded.
+///
+/// # Errors
+///
+/// As [`RoundScratch::run`].
+pub fn run_round_parallel_observed(
+    scratch: &mut RoundScratch,
+    f: FrameSize,
+    nonces: &NonceSequence,
+    obs: &Obs,
+) -> Result<u64, CoreError> {
+    let mut opening_len: Option<usize> = None;
+    let announcements = scratch.run_with(f, nonces, |job, members| {
+        if opening_len.is_none() {
+            opening_len = Some(job.len());
+        }
+        parallel_min_scan(job, members)
+    })?;
+    if let Some(opening) = opening_len {
+        if opening > 0 && opening < PARALLEL_THRESHOLD && obs.enabled() {
+            obs.emit(ObsEvent::ScalarFallback {
+                actives: opening as u64,
+                threshold: PARALLEL_THRESHOLD as u64,
+            });
+        }
+    }
+    Ok(announcements)
 }
 
 /// [`chunked_min_scan`] that additionally accumulates probe
@@ -228,6 +283,39 @@ mod tests {
             assert_eq!(*par.bitstring(), seq_bs, "n={n} f={f}");
             assert_eq!(par_ann, seq_ann, "n={n} f={f}");
         }
+    }
+
+    #[test]
+    fn observed_parallel_round_reports_the_scalar_fallback() {
+        let ch = challenge(64, 4);
+        let population = parts(500);
+
+        let mut seq = RoundScratch::new();
+        seq.load_participants(&population);
+        seq.run(ch.frame_size(), ch.nonces()).unwrap();
+        let seq_bs = seq.take_bitstring();
+
+        let obs = Obs::new();
+        let mut par = RoundScratch::new();
+        par.load_participants(&population);
+        run_round_parallel_observed(&mut par, ch.frame_size(), ch.nonces(), &obs).unwrap();
+        assert_eq!(
+            *par.bitstring(),
+            seq_bs,
+            "fallback must not change the scan"
+        );
+        let trace = obs.flight_jsonl();
+        assert!(trace.contains("\"type\":\"scalar_fallback\""), "{trace}");
+        assert!(
+            trace.contains(&format!("\"threshold\":{PARALLEL_THRESHOLD}")),
+            "{trace}"
+        );
+
+        let disabled = Obs::disabled();
+        let mut again = RoundScratch::new();
+        again.load_participants(&population);
+        run_round_parallel_observed(&mut again, ch.frame_size(), ch.nonces(), &disabled).unwrap();
+        assert!(disabled.flight_jsonl().is_empty());
     }
 
     #[test]

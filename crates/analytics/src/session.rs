@@ -47,11 +47,12 @@ use rand::Rng;
 use tagwatch_core::identify::{identify_missing, IdentifyConfig};
 use tagwatch_core::protocol::{Protocol, Trp, Utrp};
 use tagwatch_core::trp::observed_bitstring;
-use tagwatch_core::{CoreError, MonitorReport, MonitorServer, RoundExecutor, RoundScratch};
+use tagwatch_core::{CoreError, MonitorReport, MonitorServer, RoundExecutor};
 use tagwatch_obs::{Obs, ObsEvent};
 use tagwatch_sim::{TagId, TagPopulation};
 
 use crate::policy::{EscalateAction, Policy, PolicyAction};
+use crate::pool::PooledEngine;
 
 /// Which protocol routine ticks use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -306,9 +307,12 @@ pub struct MonitoringSession {
     // decision, parallel to (and as unbounded as) the event log.
     policy_trace: Vec<PolicyAction>,
     // Reusable field-round state: every tick runs its UTRP round in
-    // this scratch, so a long-lived session allocates round buffers
-    // once instead of once per tick.
-    scratch: RoundScratch,
+    // this engine, so a long-lived session allocates round buffers
+    // once instead of once per tick. Single-threaded by default (the
+    // scalar engine, byte-identical to the pre-pool sessions);
+    // `set_threads` swaps in a persistent worker pool for large
+    // populations without changing any observable.
+    engine: PooledEngine,
 }
 
 impl MonitoringSession {
@@ -326,7 +330,7 @@ impl MonitoringSession {
             quarantined: BTreeSet::new(),
             log: Vec::new(),
             policy_trace: Vec::new(),
-            scratch: RoundScratch::new(),
+            engine: PooledEngine::new(1),
         }
     }
 
@@ -368,8 +372,29 @@ impl MonitoringSession {
             quarantined: ladder.quarantined.iter().copied().collect(),
             log: Vec::new(),
             policy_trace: Vec::new(),
-            scratch: RoundScratch::new(),
+            engine: PooledEngine::new(1),
         }
+    }
+
+    /// Sets how many worker threads the session's round engine scans
+    /// with. `1` (the default) is the scalar engine; higher counts
+    /// swap in a persistent worker pool whose shards split the
+    /// active-tag arrays. Purely an execution knob: every observable —
+    /// verdicts, logs, digests, RNG stream — is byte-identical at any
+    /// thread count, so this is deliberately *not* part of the
+    /// declarative [`Policy`] (and never serialized into durable
+    /// state).
+    pub fn set_threads(&mut self, threads: usize) {
+        if self.engine.threads() != threads.max(1) {
+            self.engine = PooledEngine::new(threads);
+        }
+    }
+
+    /// Worker threads the round engine currently scans with (1 =
+    /// scalar).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.engine.threads()
     }
 
     /// Starts a session builder over `server`, with every policy knob
@@ -575,11 +600,11 @@ impl MonitoringSession {
                     &mut self.server,
                     floor,
                     executor,
-                    &mut self.scratch,
+                    &mut self.engine,
                     rng,
                     obs,
                 )?,
-                None => Trp.run_round(&mut self.server, floor, executor, &mut self.scratch, rng)?,
+                None => Trp.run_round(&mut self.server, floor, executor, &mut self.engine, rng)?,
             },
             TickProtocol::Utrp => {
                 let mut attempt = 0u32;
@@ -589,7 +614,7 @@ impl MonitoringSession {
                             &mut self.server,
                             floor,
                             executor,
-                            &mut self.scratch,
+                            &mut self.engine,
                             rng,
                             obs,
                         )?,
@@ -597,7 +622,7 @@ impl MonitoringSession {
                             &mut self.server,
                             floor,
                             executor,
-                            &mut self.scratch,
+                            &mut self.engine,
                             rng,
                         )?,
                     };
@@ -961,18 +986,14 @@ mod tests {
         assert_eq!(session.quarantined(), vec![victim]);
         assert_eq!(session.desync_strikes(victim), 1);
         // The interpreter recorded its decisions declaratively.
-        assert!(session
-            .policy_trace()
-            .contains(&PolicyAction::RetryResync {
-                attempt: 1,
-                suspects: 1
-            }));
-        assert!(session
-            .policy_trace()
-            .contains(&PolicyAction::Quarantine {
-                tags: 1,
-                threshold: 1
-            }));
+        assert!(session.policy_trace().contains(&PolicyAction::RetryResync {
+            attempt: 1,
+            suspects: 1
+        }));
+        assert!(session.policy_trace().contains(&PolicyAction::Quarantine {
+            tags: 1,
+            threshold: 1
+        }));
 
         // The operator audits the tag and returns it to service.
         let released = session.release_quarantined([victim, TagId::new(999)]);

@@ -404,11 +404,7 @@ impl<'a> SoakDriver<'a> {
     /// ladder the pre-policy driver hardcoded, so config-driven runs
     /// keep their digests byte-for-byte.
     pub(crate) fn derive_policy(config: &SoakConfig) -> Policy {
-        let mut policy = Policy::from(
-            SessionPolicy::builder()
-                .protocol(config.protocol)
-                .build(),
-        );
+        let mut policy = Policy::from(SessionPolicy::builder().protocol(config.protocol).build());
         policy.desync_window = config.desync_window;
         policy
     }
@@ -416,6 +412,15 @@ impl<'a> SoakDriver<'a> {
     /// The policy the session is interpreting.
     pub(crate) fn policy(&self) -> &Policy {
         self.session.policy()
+    }
+
+    /// Sets the session round engine's worker-thread count. An
+    /// execution knob, deliberately **not** a [`SoakConfig`] field:
+    /// the config is serialized into durable WAL records, and thread
+    /// count must never influence (or be implied by) a replay — every
+    /// digest is byte-identical at any thread count.
+    pub(crate) fn set_threads(&mut self, threads: usize) {
+        self.session.set_threads(threads);
     }
 
     /// [`new`](Self::new) under an explicit declarative [`Policy`].
@@ -812,8 +817,12 @@ impl<'a> SoakDriver<'a> {
 
             // 4. One monitoring tick through the channel + fault plan.
             let executor = RoundExecutor::new(self.markov.channel(), plan);
-            self.session
-                .tick_with(&mut self.floor, &executor, &mut self.tick_rng, Some(self.obs))?;
+            self.session.tick_with(
+                &mut self.floor,
+                &executor,
+                &mut self.tick_rng,
+                Some(self.obs),
+            )?;
 
             // 5. Digest the tick's events; enforce invariants.
             let (verdict, trace) = self.scan_events(t)?;
@@ -852,7 +861,11 @@ impl<'a> SoakDriver<'a> {
             self.log.push(format!(
                 "t={t:05} level={level_name} events={} verdict={verdict}{}",
                 if trace.is_empty() { "-" } else { &trace },
-                if self.audit_alert { " alert=audit-budget" } else { "" }
+                if self.audit_alert {
+                    " alert=audit-budget"
+                } else {
+                    ""
+                }
             ));
         }
         Ok(())
@@ -1330,8 +1343,28 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, CoreError> {
 ///
 /// See [`run_soak`].
 pub fn run_soak_observed(config: &SoakConfig, obs: &Obs) -> Result<SoakReport, CoreError> {
+    run_soak_observed_threads(config, obs, 1)
+}
+
+/// [`run_soak_observed`] with the session's round engine scanning on
+/// `threads` workers (1 = the scalar engine, byte-identical to
+/// [`run_soak`]). Thread count is an execution knob, not part of
+/// [`SoakConfig`]: the report — log, digest, counts — is byte-identical
+/// at any value, which `tests/determinism_digests.rs` pins against the
+/// committed goldens.
+///
+/// # Errors
+///
+/// See [`run_soak`].
+pub fn run_soak_observed_threads(
+    config: &SoakConfig,
+    obs: &Obs,
+    threads: usize,
+) -> Result<SoakReport, CoreError> {
     config.validate()?;
-    SoakDriver::new(config, obs)?.run()
+    let mut driver = SoakDriver::new(config, obs)?;
+    driver.set_threads(threads);
+    driver.run()
 }
 
 /// [`run_soak`] under an explicit declarative [`Policy`] instead of the
@@ -1361,11 +1394,29 @@ pub fn run_soak_policy_observed(
     policy: &Policy,
     obs: &Obs,
 ) -> Result<SoakReport, CoreError> {
+    run_soak_policy_observed_threads(config, policy, obs, 1)
+}
+
+/// [`run_soak_policy_observed`] on a `threads`-worker round engine,
+/// mirroring [`run_soak_observed_threads`]: same report bytes at any
+/// thread count.
+///
+/// # Errors
+///
+/// See [`run_soak_policy`].
+pub fn run_soak_policy_observed_threads(
+    config: &SoakConfig,
+    policy: &Policy,
+    obs: &Obs,
+    threads: usize,
+) -> Result<SoakReport, CoreError> {
     config.validate()?;
     policy.validate().map_err(|e| CoreError::InvalidParams {
         reason: format!("policy rejected: {e}"),
     })?;
-    SoakDriver::with_policy(config, policy.clone(), obs)?.run()
+    let mut driver = SoakDriver::with_policy(config, policy.clone(), obs)?;
+    driver.set_threads(threads);
+    driver.run()
 }
 
 #[cfg(test)]
@@ -1584,7 +1635,10 @@ mod tests {
             "the scripted incidents must force audits"
         );
         assert!(
-            report.log.iter().any(|l| l.ends_with(" alert=audit-budget")),
+            report
+                .log
+                .iter()
+                .any(|l| l.ends_with(" alert=audit-budget")),
             "a zero budget must flag every auditing tick: {:?}",
             report.log
         );

@@ -20,7 +20,19 @@
 //!
 //! A soak-tick probe times the full session stack (challenge sizing,
 //! round, verify, mirror update) per tick, and a million-tag UTRP
-//! round is run to completion as an acceptance gate.
+//! round is run to completion as an acceptance gate — through both the
+//! scalar engine and the persistent [`PooledEngine`].
+//!
+//! A pooled thread-sweep (the `"scaling"` section) re-runs the same
+//! UTRP round through [`PooledEngine`] at increasing worker counts and
+//! records per-count throughput plus a `parallel_speedup` check key
+//! (best multi-thread rate over the single-thread pooled rate).
+//! `--threads N` narrows the sweep to `{1, N}`. The absolute scaling
+//! gates (million-tag pooled round < 500 ms, speedup ≥ 2.5×) are
+//! **regime-aware**: they only arm when the machine reports ≥ 4
+//! worker threads, and the regime is written into the baseline
+//! (`"gates_enforced"`) so a single-core CI box records honest numbers
+//! instead of failing on physics.
 //!
 //! Output goes to `BENCH_perf.json` (override with `--out PATH`). The
 //! flat `"checks"` object mirrors the headline rates one-per-line so
@@ -47,9 +59,10 @@ use rand::SeedableRng;
 
 use tagwatch_analytics::MonitoringSession;
 use tagwatch_analytics::TickProtocol;
+use tagwatch_analytics::{worker_threads, PooledEngine, POOL_THRESHOLD};
 use tagwatch_core::trp::{self, TrpChallenge};
 use tagwatch_core::utrp::{simulate_round_scratch, SubsetRound, UtrpChallenge, UtrpParticipant};
-use tagwatch_core::{Bitstring, MonitorServer, RoundScratch};
+use tagwatch_core::{Bitstring, MonitorServer, RoundEngine, RoundScratch};
 use tagwatch_obs::Obs;
 use tagwatch_sim::{Counter, FrameSize, TagId, TimingModel};
 
@@ -64,6 +77,9 @@ struct EngineStats {
     elapsed_secs: f64,
     announcements: u64,
 }
+
+/// Pooled-engine stats per swept thread count: `(threads, stats)`.
+type ThreadRows = Vec<(usize, EngineStats)>;
 
 impl EngineStats {
     fn rounds_per_sec(&self) -> f64 {
@@ -143,6 +159,19 @@ fn soa_round_observed(
     announcements
 }
 
+/// One UTRP round through the persistent sharded [`PooledEngine`]
+/// (full cost: load dispatch, scan, counter write-back). At one thread
+/// the engine *is* the scalar scratch; above [`POOL_THRESHOLD`]
+/// actives the parked workers engage.
+fn pooled_round(
+    engine: &mut PooledEngine,
+    parts: &mut [UtrpParticipant],
+    ch: &UtrpChallenge,
+) -> u64 {
+    simulate_round_scratch(engine, parts, ch.frame_size(), ch.nonces())
+        .expect("nonce sequence covers the frame")
+}
+
 /// One UTRP round through the legacy [`SubsetRound`] engine, driven as
 /// the pre-refactor `simulate_round` drove it: clone in, announce /
 /// min-scan / retire per reply, copy-back out.
@@ -192,12 +221,21 @@ fn main() {
     let mut out_path = "BENCH_perf.json".to_owned();
     let mut check_path: Option<String> = None;
     let mut tolerance = 0.30f64;
+    let mut requested_threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--check" => check_path = Some(args.next().expect("--check needs a baseline path")),
+            "--threads" => {
+                let t: usize = args
+                    .next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("thread count must be an integer");
+                requested_threads = Some(t.max(1));
+            }
             "--tolerance" => {
                 tolerance = args
                     .next()
@@ -372,8 +410,97 @@ fn main() {
         observed_best,
     ));
 
+    // Pooled-engine thread sweep: the same dense UTRP round through
+    // the persistent sharded engine at increasing worker counts. A
+    // determinism spot-check asserts the occupancy bitstring is
+    // identical at every count before any timing is trusted. On a
+    // single-core machine the sweep degenerates to {1} and the
+    // absolute scaling gates stay disarmed (recorded in the baseline
+    // as `"gates_enforced": false` so CI on a wider box re-arms them).
+    let machine_threads = worker_threads();
+    let sweep_sizes: &[u64] = if smoke {
+        &[10_000]
+    } else {
+        // The smoke size stays in the full grid so a full baseline
+        // carries every check key a CI smoke run will compare.
+        &[10_000, 100_000]
+    };
+    let sweep_counts: Vec<usize> = match requested_threads {
+        Some(t) => {
+            let mut c = vec![1, t];
+            c.dedup();
+            c
+        }
+        None => {
+            let mut c = vec![1usize];
+            let mut t = 2;
+            while t < machine_threads {
+                c.push(t);
+                t *= 2;
+            }
+            if machine_threads > 1 {
+                c.push(machine_threads);
+            }
+            c
+        }
+    };
+    // (n, frame, per-thread-count stats) per sweep size.
+    let mut sweeps: Vec<(u64, u64, ThreadRows)> = Vec::new();
+    for &sweep_n in sweep_sizes {
+        let sweep_f_raw = (2 * sweep_n).min(FRAME_CAP);
+        eprintln!("pooled scaling sweep: n={sweep_n} f={sweep_f_raw}, threads {sweep_counts:?}...");
+        let sweep_f = FrameSize::new(sweep_f_raw).expect("positive frame");
+        let mut rng = StdRng::seed_from_u64(20_011 + sweep_n);
+        let sweep_ch = UtrpChallenge::generate(sweep_f, &timing, &mut rng);
+        let mut rows: ThreadRows = Vec::new();
+        let mut sweep_bits: Option<Bitstring> = None;
+        for &t in &sweep_counts {
+            let mut parts = participants(sweep_n);
+            let mut engine = PooledEngine::new(t);
+            // Warm-up round doubles as the determinism spot-check:
+            // every thread count sees the same challenge and fresh
+            // counters, so the first round's bitstring must be
+            // byte-identical.
+            pooled_round(&mut engine, &mut parts, &sweep_ch);
+            let bits = engine.take_bitstring();
+            match &sweep_bits {
+                Some(prev) => assert_eq!(*prev, bits, "pooled scan must be thread-invariant"),
+                None => sweep_bits = Some(bits),
+            }
+            let stats = measure(1, || pooled_round(&mut engine, &mut parts, &sweep_ch));
+            eprintln!(
+                "pooled n={sweep_n} t={t}: {:.1} rounds/sec",
+                stats.rounds_per_sec()
+            );
+            checks.push((
+                format!("pooled_rounds_per_sec_n{sweep_n}_t{t}"),
+                stats.rounds_per_sec(),
+            ));
+            rows.push((t, stats));
+        }
+        sweeps.push((sweep_n, sweep_f_raw, rows));
+    }
+    // Speedup from the largest sweep: big rounds amortize dispatch,
+    // so this is the number the scaling gate reasons about.
+    let gate_rows = &sweeps.last().expect("at least one sweep size").2;
+    let pooled_single = gate_rows[0].1.rounds_per_sec();
+    let parallel_speedup = gate_rows
+        .iter()
+        .map(|(_, s)| s.rounds_per_sec())
+        .fold(f64::MIN, f64::max)
+        / pooled_single;
+    checks.push(("parallel_speedup".to_owned(), parallel_speedup));
+    // The absolute gates need the full-grid workload (n = 10⁵ sweep,
+    // million-tag round): the smoke sweep's n = 10⁴ rounds are small
+    // enough that dispatch overhead caps the speedup well below the
+    // floor even on healthy hardware. Smoke runs still compare every
+    // pooled check key against the baseline with the usual tolerance.
+    let scaling_gates = machine_threads >= 4 && !smoke;
+
     // Million-tag acceptance round (full grid only): one UTRP round at
-    // n = 10⁶ must complete through the SoA engine.
+    // n = 10⁶ must complete through the SoA engine, and again through
+    // the pooled engine at the machine's worker count (the < 500 ms
+    // gate applies to the pooled time, when armed).
     let million = if smoke {
         None
     } else {
@@ -388,7 +515,32 @@ fn main() {
         let announcements = soa_round(&mut scratch, &mut parts, &ch);
         let elapsed = start.elapsed().as_secs_f64();
         let occupied = scratch.bitstring().count_ones();
-        Some((n, FRAME_CAP, announcements, occupied, elapsed * 1e3))
+
+        eprintln!("million-tag pooled round (t={machine_threads})...");
+        let mut parts = participants(n);
+        let mut engine = PooledEngine::new(machine_threads);
+        // Warm round faults in the shard arrays; it sees the same
+        // fresh counters as the scalar round above, so it doubles as
+        // the determinism check. The timed round after it is the
+        // steady-state cost a session would pay.
+        pooled_round(&mut engine, &mut parts, &ch);
+        assert_eq!(
+            *engine.bitstring(),
+            *scratch.bitstring(),
+            "pooled million-tag round must match the scalar engine"
+        );
+        let start = Instant::now();
+        pooled_round(&mut engine, &mut parts, &ch);
+        let pooled_ms = start.elapsed().as_secs_f64() * 1e3;
+        eprintln!("million-tag pooled round: {pooled_ms:.1} ms");
+        Some((
+            n,
+            FRAME_CAP,
+            announcements,
+            occupied,
+            elapsed * 1e3,
+            pooled_ms,
+        ))
     };
 
     let mut json = String::new();
@@ -415,11 +567,42 @@ fn main() {
         // lint:allow(d2-float-format): timing floats are machine-varying; the perf baseline is compared numerically with tolerance, not byte-wise
         "  \"telemetry_overhead\": {{\n    \"n\": {overhead_n},\n    \"plain_rounds_per_sec\": {plain_best:.3},\n    \"disabled_obs_rounds_per_sec\": {observed_best:.3},\n    \"overhead_fraction\": {overhead_frac:.5}\n  }},\n"
     );
-    if let Some((n, f, announcements, occupied, ms)) = million {
+    let _ = write!(
+        json,
+        "  \"scaling\": {{\n    \"machine_threads\": {machine_threads},\n    \"pool_threshold\": {POOL_THRESHOLD},\n    \"gates_enforced\": {scaling_gates},\n    \"sweeps\": [\n"
+    );
+    let sweep_blocks: Vec<String> = sweeps
+        .iter()
+        .map(|(n, f_raw, rows)| {
+            let lines: Vec<String> = rows
+                .iter()
+                .map(|(t, s)| {
+                    format!(
+                        // lint:allow(d2-float-format): timing floats are machine-varying; the perf baseline is compared numerically with tolerance, not byte-wise
+                        "          {{ \"threads\": {t}, \"rounds\": {}, \"elapsed_ms\": {:.3}, \"rounds_per_sec\": {:.3} }}",
+                        s.rounds,
+                        s.elapsed_secs * 1e3,
+                        s.rounds_per_sec(),
+                    )
+                })
+                .collect();
+            format!(
+                "      {{\n        \"n\": {n},\n        \"frame\": {f_raw},\n        \"threads\": [\n{}\n        ]\n      }}",
+                lines.join(",\n")
+            )
+        })
+        .collect();
+    json.push_str(&sweep_blocks.join(",\n"));
+    let _ = write!(
+        json,
+        // lint:allow(d2-float-format): timing floats are machine-varying; the perf baseline is compared numerically with tolerance, not byte-wise
+        "\n    ],\n    \"parallel_speedup\": {parallel_speedup:.3}\n  }},\n"
+    );
+    if let Some((n, f, announcements, occupied, ms, pooled_ms)) = million {
         let _ = write!(
             json,
             // lint:allow(d2-float-format): timing floats are machine-varying; the perf baseline is compared numerically with tolerance, not byte-wise
-            "  \"million_tag_round\": {{\n    \"n\": {n},\n    \"frame\": {f},\n    \"announcements\": {announcements},\n    \"occupied_slots\": {occupied},\n    \"elapsed_ms\": {ms:.1}\n  }},\n"
+            "  \"million_tag_round\": {{\n    \"n\": {n},\n    \"frame\": {f},\n    \"announcements\": {announcements},\n    \"occupied_slots\": {occupied},\n    \"elapsed_ms\": {ms:.1},\n    \"pooled_threads\": {machine_threads},\n    \"pooled_elapsed_ms\": {pooled_ms:.1}\n  }},\n"
         );
     }
     json.push_str("  \"checks\": {\n");
@@ -454,6 +637,41 @@ fn main() {
                 "ok telemetry_overhead: {:+.2}% (bound {:.0}%)",
                 overhead_frac * 100.0,
                 OVERHEAD_BOUND * 100.0
+            );
+        }
+        // Absolute scaling gates — armed only in the multi-core
+        // regime (see module docs). The speedup floor compares the
+        // best sweep rate against the single-thread pooled engine;
+        // the wall-clock gate is the pooled million-tag round.
+        if scaling_gates {
+            const SPEEDUP_FLOOR: f64 = 2.5;
+            const MILLION_MS_CEILING: f64 = 500.0;
+            if parallel_speedup < SPEEDUP_FLOOR {
+                eprintln!(
+                    "REGRESSION parallel_speedup: {parallel_speedup:.2}x < {SPEEDUP_FLOOR}x \
+                     at {machine_threads} threads"
+                );
+                regressed = true;
+            } else {
+                eprintln!("ok parallel_speedup: {parallel_speedup:.2}x (floor {SPEEDUP_FLOOR}x)");
+            }
+            if let Some((.., pooled_ms)) = million {
+                if pooled_ms > MILLION_MS_CEILING {
+                    eprintln!(
+                        "REGRESSION million_tag_pooled: {pooled_ms:.1} ms > \
+                         {MILLION_MS_CEILING} ms ceiling"
+                    );
+                    regressed = true;
+                } else {
+                    eprintln!(
+                        "ok million_tag_pooled: {pooled_ms:.1} ms (ceiling {MILLION_MS_CEILING} ms)"
+                    );
+                }
+            }
+        } else {
+            eprintln!(
+                "scaling gates: disarmed (machine_threads = {machine_threads} < 4, \
+                 single-core regime)"
             );
         }
         for (key, current) in &checks {

@@ -166,6 +166,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
             wal_out,
             crash_at,
             policy,
+            threads,
         } => crate::soak::run_soak_command(
             seed,
             ticks,
@@ -176,6 +177,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
             wal_out,
             crash_at,
             policy,
+            threads,
         ),
         Command::Recover { path, report } => crate::recover::run_recover_command(&path, report),
         Command::Inspect { path } => crate::inspect::run_inspect(&path),
@@ -236,6 +238,7 @@ USAGE:
   tagwatch-cli soak [--seed S] [--ticks T] [--protocol trp|utrp] [--report PATH]
                     [--metrics-out PATH] [--trace-out PATH]
                     [--wal-out PATH] [--crash-at T] [--policy FILE]
+                    [--threads N]
                                                     long-horizon soak: Markov channel,
                                                     scripted incidents, invariant
                                                     checks, JSON latency report, and
@@ -248,7 +251,10 @@ USAGE:
                                                     --policy runs the session under a
                                                     tagwatch-policy v1 document (the
                                                     WAL carries it, so recover replays
-                                                    under the same policy)
+                                                    under the same policy);
+                                                    --threads scans rounds on a worker
+                                                    pool (report bytes identical at
+                                                    any count)
   tagwatch-cli recover <wal> [--report PATH]        warm-restart a soak from its WAL,
                                                     re-verify every recorded tick, run
                                                     to completion, print the verified
@@ -295,6 +301,7 @@ mod tests {
             "--wal-out",
             "--crash-at",
             "--policy",
+            "--threads",
             "registry",
         ] {
             assert!(text.contains(word), "help missing `{word}`");

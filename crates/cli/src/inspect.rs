@@ -271,8 +271,11 @@ mod tests {
         // A malformed document is detected as a policy and rejected
         // with the parser's diagnostic, not the generic "neither" error.
         let bad = dir.join("bad.twp");
-        std::fs::write(&bad, "tagwatch-policy v1\n@section thresholds\nalarms_to_escalate nope\n")
-            .unwrap();
+        std::fs::write(
+            &bad,
+            "tagwatch-policy v1\n@section thresholds\nalarms_to_escalate nope\n",
+        )
+        .unwrap();
         let e = run_inspect(&bad.to_string_lossy()).unwrap_err();
         assert!(!e.message.contains("neither"), "{e}");
         std::fs::remove_dir_all(&dir).ok();

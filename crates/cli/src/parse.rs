@@ -116,6 +116,10 @@ pub enum Command {
         /// policy owns the protocol choice, so it conflicts with
         /// `--protocol`.
         policy: Option<String>,
+        /// Worker threads for the session's round engine (default 1 =
+        /// the scalar engine). Pure execution knob: the report and
+        /// every digest are byte-identical at any value.
+        threads: u64,
     },
     /// `recover <wal> [--report PATH]` — warm-restart a soak from its
     /// WAL, re-verify every recorded tick, run it to completion, and
@@ -298,6 +302,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--policy conflicts with --protocol (the policy document declares the protocol)",
                 ));
             }
+            let threads = flag(args, "--threads", 1)?;
+            if threads == 0 {
+                return Err(err("--threads must be at least 1"));
+            }
+            if threads > 1 && wal_out.is_some() {
+                return Err(err(
+                    "--threads applies to in-memory runs only (durable WAL runs are single-threaded)",
+                ));
+            }
             Ok(Command::Soak {
                 seed: flag(args, "--seed", 1)?,
                 ticks: flag(args, "--ticks", 5000)?,
@@ -308,6 +321,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 wal_out,
                 crash_at,
                 policy,
+                threads,
             })
         }
         "recover" => Ok(Command::Recover {
@@ -501,6 +515,7 @@ mod tests {
                 wal_out: None,
                 crash_at: None,
                 policy: None,
+                threads: 1,
             }
         );
         // Defaults: seed 1, 5000 UTRP ticks, derived report path.
@@ -516,6 +531,7 @@ mod tests {
                 wal_out: None,
                 crash_at: None,
                 policy: None,
+                threads: 1,
             }
         );
         assert!(matches!(

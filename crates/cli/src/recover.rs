@@ -109,6 +109,7 @@ mod tests {
             None,
             None,
             None,
+            1,
         )
         .unwrap();
         let digest_line = full
@@ -127,6 +128,7 @@ mod tests {
             Some(wal_str.clone()),
             Some(29),
             None,
+            1,
         )
         .unwrap();
         let report_path = dir.join("recovered.json");
@@ -155,6 +157,7 @@ mod tests {
             Some(wal_str.clone()),
             Some(40),
             None,
+            1,
         )
         .unwrap();
         // Chop the tail the way a truncated flush would.
@@ -193,6 +196,7 @@ mod tests {
             None,
             None,
             Some(policy_str.clone()),
+            1,
         )
         .unwrap();
         let digest_line = full
@@ -213,6 +217,7 @@ mod tests {
             Some(wal_str.clone()),
             Some(31),
             Some(policy_str),
+            1,
         )
         .unwrap();
         let out = run_recover_command(&wal_str, None).expect("crashed policy run must recover");

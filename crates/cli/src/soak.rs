@@ -3,7 +3,9 @@
 
 use std::path::PathBuf;
 
-use tagwatch_analytics::soak::{run_soak_observed, run_soak_policy_observed, SoakConfig};
+use tagwatch_analytics::soak::{
+    run_soak_observed_threads, run_soak_policy_observed_threads, SoakConfig,
+};
 use tagwatch_analytics::{run_soak_durable_observed, DurableConfig, Policy, TickProtocol};
 use tagwatch_obs::Obs;
 use tagwatch_sim::StorageFaultPlan;
@@ -70,7 +72,9 @@ pub fn run_soak_command(
     wal_out: Option<String>,
     crash_at: Option<u64>,
     policy_path: Option<String>,
+    threads: u64,
 ) -> Result<String, CliError> {
+    let threads = usize::try_from(threads.max(1)).unwrap_or(usize::MAX);
     let policy = policy_path.as_deref().map(load_policy).transpose()?;
     let config = SoakConfig {
         seed,
@@ -111,9 +115,9 @@ pub fn run_soak_command(
             }
         }
     } else if let Some(policy) = &policy {
-        run_soak_policy_observed(&config, policy, &obs).map_err(to_cli)?
+        run_soak_policy_observed_threads(&config, policy, &obs, threads).map_err(to_cli)?
     } else {
-        run_soak_observed(&config, &obs).map_err(to_cli)?
+        run_soak_observed_threads(&config, &obs, threads).map_err(to_cli)?
     };
 
     let path: PathBuf = match report_path {
@@ -218,6 +222,7 @@ mod tests {
             None,
             None,
             None,
+            1,
         )
         .expect("soak should be clean");
         assert!(out.contains("all soak invariants held"), "{out}");
@@ -251,6 +256,7 @@ mod tests {
                 None,
                 None,
                 None,
+                1,
             )
             .expect("soak should be clean");
             artifacts.push((
@@ -277,7 +283,8 @@ mod tests {
             None,
             None,
             None,
-            None
+            None,
+            1,
         )
         .is_err());
     }
@@ -297,6 +304,7 @@ mod tests {
             Some(wal.to_string_lossy().into_owned()),
             None,
             None,
+            1,
         )
         .expect("soak should be clean");
         assert!(out.contains("all soak invariants held"), "{out}");
@@ -321,6 +329,7 @@ mod tests {
             Some(wal.to_string_lossy().into_owned()),
             Some(33),
             None,
+            1,
         )
         .expect("a scripted crash is not a command failure");
         assert!(out.contains("interrupted at tick 33"), "{out}");

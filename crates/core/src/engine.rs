@@ -35,12 +35,26 @@
 //!
 //! The per-announcement minimum scan is expressed as a [`ScanJob`] so
 //! the reduction strategy is pluggable without `tagwatch-core` growing
-//! a thread-pool dependency: [`sequential_min_scan`] is the default,
-//! and `tagwatch-analytics` provides a chunked parallel scanner over
-//! the same job (deterministic merge: global minimum slot first, then
-//! chunks in index order — member lists come out identical to the
-//! sequential scan's, so results are scanner-independent by
-//! construction; the differential tests pin it).
+//! a thread-pool dependency: [`batched_min_scan`] — the two-pass
+//! blocked kernel of [`ScanJob::scan_range_batched`] — is the default,
+//! [`sequential_min_scan`] is the element-at-a-time reference, and
+//! `tagwatch-analytics` provides chunked parallel scanners plus a
+//! persistent-pool `PooledEngine` over the same job (deterministic
+//! merge: global minimum slot first, then chunks in index order —
+//! member lists come out identical to the sequential scan's, so
+//! results are scanner-independent by construction; the differential
+//! tests pin it).
+//!
+//! ## Engine injection
+//!
+//! One level up, a whole round executor is pluggable through the
+//! [`RoundEngine`] trait (load / run / bitstring / announcements):
+//! [`RoundScratch`] is the scalar implementation, and the pooled
+//! sharded engine in `tagwatch-analytics` implements the same trait
+//! bit-identically, so executors, protocols, the server's verify
+//! mirror, and sessions never know which engine they drive. The serial
+//! skeleton both engines share — nonce order, sub-frame shrinking,
+//! uniform-key collapse — lives in [`SubframeCursor`].
 //!
 //! ## Semantics
 //!
@@ -55,7 +69,7 @@ use tagwatch_sim::{Counter, FrameSize, TagId, TagPopulation};
 
 use crate::bitstring::Bitstring;
 use crate::error::CoreError;
-use crate::nonce::NonceSequence;
+use crate::nonce::{NonceCursor, NonceSequence};
 use crate::utrp::UtrpParticipant;
 
 /// One announcement's minimum-slot scan over the active arrays.
@@ -72,6 +86,50 @@ pub struct ScanJob<'a> {
     advance: u64,
     uniform_key: Option<u64>,
     frame: FastMod,
+}
+
+/// One announcement's scan parameters: the nonce, the counter advance,
+/// the optional collapsed uniform key, and the sub-frame reducer.
+///
+/// Produced by [`SubframeCursor::announce`] and consumed by
+/// [`ScanJob::new`]. All fields are plain `Copy` data, so a parallel
+/// driver can ship a `ScanParams` to worker-owned shards by value and
+/// every shard builds the *same* job over its own slice — the basis of
+/// the pooled engine's bit-identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanParams {
+    /// The announcement nonce `r`.
+    pub nonce: u64,
+    /// The counter advance for this announcement (1-based ordinal).
+    pub advance: u64,
+    /// The pre-collapsed announcement key when every active base
+    /// counter is equal: `r ⊕ mix64(base + advance)`.
+    pub uniform_key: Option<u64>,
+    /// The sub-frame reducer (divisor = slots remaining).
+    pub frame: FastMod,
+}
+
+impl<'a> ScanJob<'a> {
+    /// Builds a scan job over caller-owned active arrays.
+    ///
+    /// `folded` and `bases` must be the same length and aligned
+    /// (element `i` of both describes the same tag). A sharded driver
+    /// passes each worker's own slices here with the `ScanParams` of
+    /// the current announcement; because every scanner bottoms out in
+    /// the same per-tag probe, shard scans are bit-identical to the
+    /// corresponding range of a sequential scan.
+    #[must_use]
+    pub fn new(folded: &'a [u64], bases: &'a [u64], params: &ScanParams) -> Self {
+        debug_assert_eq!(folded.len(), bases.len(), "active arrays must be aligned");
+        ScanJob {
+            folded,
+            bases,
+            nonce: params.nonce,
+            advance: params.advance,
+            uniform_key: params.uniform_key,
+            frame: params.frame,
+        }
+    }
 }
 
 impl ScanJob<'_> {
@@ -130,6 +188,104 @@ impl ScanJob<'_> {
         stats: &mut ScanStats,
     ) -> Option<u64> {
         self.scan_range_impl::<true>(lo, hi, members, stats)
+    }
+
+    /// [`ScanJob::scan_range`] restructured as a batched two-pass
+    /// kernel over fixed blocks of [`SCAN_BATCH`] tags, bit-identical
+    /// by construction (the debug build cross-checks every call
+    /// against [`ScanJob::scan_range`]).
+    ///
+    /// Pass 1 is a straight-line loop with no data-dependent branches
+    /// — `mix64` → Lemire fraction into a stack buffer — which the
+    /// compiler can unroll and autovectorize. Pass 2 only runs when a
+    /// branch-free reduction finds a fraction at or below the
+    /// block-entry candidate threshold; it then replays the exact
+    /// element-order selection of the sequential kernel over the
+    /// block's buffered fractions.
+    ///
+    /// Why skipping whole blocks is exact: the candidate threshold
+    /// only ever *decreases* (it is updated exactly when a new minimum
+    /// is found), so the threshold at block entry is an upper bound on
+    /// the threshold the sequential scan would hold at any element of
+    /// the block. If every fraction in the block exceeds the entry
+    /// threshold, the sequential scan would have filtered every one of
+    /// those probes too — and since filtered probes never update
+    /// `best`, `members`, or the threshold, dropping the block leaves
+    /// the scan state untouched, exactly as the sequential kernel
+    /// would. Blocks with at least one candidate take pass 2, which
+    /// performs the identical updates in the identical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo..hi` is out of bounds for the active arrays.
+    pub fn scan_range_batched(&self, lo: usize, hi: usize, members: &mut Vec<u32>) -> Option<u64> {
+        members.clear();
+        let frame = self.frame;
+        let mut best = u64::MAX;
+        let mut threshold = u128::MAX;
+        let mut fracs = [0u128; SCAN_BATCH];
+        let mut base_j = lo;
+        while base_j < hi {
+            let block_hi = (base_j + SCAN_BATCH).min(hi);
+            let block = &self.folded[base_j..block_hi];
+            let n = block.len();
+            // Pass 1: hash → fraction, straight-line.
+            match self.uniform_key {
+                Some(key) => {
+                    for (k, &fv) in block.iter().enumerate() {
+                        fracs[k] = frame.frac(mix64(fv ^ key));
+                    }
+                }
+                None => {
+                    let bases = &self.bases[base_j..block_hi];
+                    for (k, (&fv, &bv)) in block.iter().zip(bases).enumerate() {
+                        let ct = mix64(bv.wrapping_add(self.advance));
+                        fracs[k] = frame.frac(mix64(fv ^ self.nonce ^ ct));
+                    }
+                }
+            }
+            // Branch-free candidate detection against the block-entry
+            // threshold (a strict upper bound on every element-time
+            // threshold; see above).
+            let mut any = false;
+            for &fr in &fracs[..n] {
+                any |= fr <= threshold;
+            }
+            if any {
+                // Pass 2: the sequential kernel's exact selection, in
+                // element order, over the buffered fractions.
+                for (k, &fr) in fracs[..n].iter().enumerate() {
+                    if fr > threshold {
+                        continue;
+                    }
+                    let s = frame.rem_of_frac(fr);
+                    if s < best {
+                        best = s;
+                        threshold = frame.candidate_threshold(s);
+                        members.clear();
+                        members.push((base_j + k) as u32);
+                    } else if s == best {
+                        members.push((base_j + k) as u32);
+                    }
+                }
+            }
+            base_j = block_hi;
+        }
+        let result = if members.is_empty() { None } else { Some(best) };
+        #[cfg(debug_assertions)]
+        {
+            let mut check_members = Vec::new();
+            let check = self.scan_range(lo, hi, &mut check_members);
+            debug_assert_eq!(
+                check, result,
+                "batched kernel must match the sequential scan"
+            );
+            debug_assert_eq!(
+                &check_members, members,
+                "batched kernel must preserve the replier set"
+            );
+        }
+        result
     }
 
     fn scan_range_impl<const COUNT: bool>(
@@ -261,9 +417,116 @@ impl ScanStats {
     }
 }
 
-/// The default scanner: one linear pass over the whole active set.
+/// Block length of the batched probe kernel
+/// ([`ScanJob::scan_range_batched`]): fractions for this many tags are
+/// buffered on the stack per pass-1 sweep. 64 × 16 bytes = one KiB —
+/// comfortably L1-resident — and long enough for the compiler to
+/// unroll pass 1 aggressively.
+pub const SCAN_BATCH: usize = 64;
+
+/// The reference scanner: one linear pass over the whole active set.
 pub fn sequential_min_scan(job: &ScanJob<'_>, members: &mut Vec<u32>) -> Option<u64> {
     job.scan_range(0, job.len(), members)
+}
+
+/// The default scanner: the batched two-pass kernel over the whole
+/// active set ([`ScanJob::scan_range_batched`]), bit-identical to
+/// [`sequential_min_scan`] by construction.
+pub fn batched_min_scan(job: &ScanJob<'_>, members: &mut Vec<u32>) -> Option<u64> {
+    job.scan_range_batched(0, job.len(), members)
+}
+
+/// Per-announcement sub-frame bookkeeping of one UTRP round: nonce
+/// consumption order, announcement counting, the uniform-key collapse,
+/// the global-slot mapping, and the shrinking sub-frame reducer.
+///
+/// [`RoundScratch::run`] and the pooled engine in `tagwatch-analytics`
+/// both drive their rounds through this one struct, so the serial
+/// skeleton of the round — everything *except* the min-scan itself —
+/// has a single source of truth and cannot drift between the scalar
+/// and sharded implementations.
+#[derive(Debug, Clone)]
+pub struct SubframeCursor {
+    total: u64,
+    subframe_start: u64,
+    announcements: u64,
+    frame: FastMod,
+    done: bool,
+}
+
+impl SubframeCursor {
+    /// Starts a round over frame size `f`: no announcements yet, the
+    /// sub-frame is the whole frame.
+    #[must_use]
+    pub fn new(f: FrameSize) -> Self {
+        SubframeCursor {
+            total: f.get(),
+            subframe_start: 0,
+            announcements: 0,
+            frame: FastMod::new(f),
+            done: false,
+        }
+    }
+
+    /// Announcements made so far.
+    #[must_use]
+    pub fn announcements(&self) -> u64 {
+        self.announcements
+    }
+
+    /// Whether the round is over (frame exhausted or explicit
+    /// [`SubframeCursor::finish`]).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Starts the next announcement: consumes a nonce, advances the
+    /// announcement count, and returns the scan parameters for the
+    /// current sub-frame (collapsing the counter term into the key
+    /// when `uniform_base` says every base is equal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NonceSequenceExhausted`] if `nonces` has
+    /// run out.
+    pub fn announce(
+        &mut self,
+        nonces: &mut NonceCursor<'_>,
+        uniform_base: Option<u64>,
+    ) -> Result<ScanParams, CoreError> {
+        let r = nonces.next_nonce()?.as_u64();
+        self.announcements += 1;
+        let advance = self.announcements;
+        Ok(ScanParams {
+            nonce: r,
+            advance,
+            uniform_key: uniform_base.map(|base| r ^ mix64(base.wrapping_add(advance))),
+            frame: self.frame,
+        })
+    }
+
+    /// Records the winning relative slot of the current announcement
+    /// and returns the global frame slot. Shrinks the sub-frame to the
+    /// slots after the winner; when none remain the round is done.
+    pub fn record_reply(&mut self, rel: u64) -> u64 {
+        let global = self.subframe_start + rel;
+        debug_assert!(global < self.total, "reply slot must lie within the frame");
+        let remaining = self.total - (global + 1);
+        if remaining == 0 {
+            self.done = true;
+        } else {
+            self.subframe_start = global + 1;
+            self.frame = FastMod::from_divisor(remaining);
+        }
+        global
+    }
+
+    /// Ends the round after a silent announcement (no active tag
+    /// replied: the rest of the frame is silence).
+    pub fn finish(&mut self) {
+        self.done = true;
+    }
 }
 
 /// Reusable round state: the struct-of-arrays active set, the member
@@ -404,8 +667,9 @@ impl RoundScratch {
     }
 
     /// Runs one UTRP round over the loaded participants with the
-    /// default sequential scanner, returning the announcement count.
-    /// The bitstring is left in [`RoundScratch::bitstring`].
+    /// default batched kernel ([`batched_min_scan`], bit-identical to
+    /// the sequential reference scan), returning the announcement
+    /// count. The bitstring is left in [`RoundScratch::bitstring`].
     ///
     /// Counters are **not** written back anywhere — the round's only
     /// counter effect is uniform (+announcements for every loaded tag,
@@ -416,7 +680,7 @@ impl RoundScratch {
     /// Returns [`CoreError::NonceSequenceExhausted`] if `nonces` is
     /// shorter than the frame.
     pub fn run(&mut self, f: FrameSize, nonces: &NonceSequence) -> Result<u64, CoreError> {
-        self.run_with(f, nonces, sequential_min_scan)
+        self.run_with(f, nonces, batched_min_scan)
     }
 
     /// [`RoundScratch::run`] with an injected scanner (e.g. the chunked
@@ -499,12 +763,10 @@ impl RoundScratch {
         S: FnMut(&ScanJob<'_>, &mut Vec<u32>) -> Option<u64>,
         F: FnMut(u64, &[u32]),
     {
-        let total = f.get();
         self.bitstring.reset(f.as_usize());
         self.announcements = 0;
         let mut cursor = nonces.cursor();
-        let mut subframe_start = 0u64;
-        let mut frame = FastMod::new(f);
+        let mut walk = SubframeCursor::new(f);
 
         // Zero-alloc contract: the active arrays only shrink during a
         // round (swap_remove), so their capacity must never move.
@@ -516,19 +778,9 @@ impl RoundScratch {
         );
 
         loop {
-            let r = cursor.next_nonce()?.as_u64();
-            self.announcements += 1;
-            let advance = self.announcements;
-            let job = ScanJob {
-                folded: &self.folded,
-                bases: &self.bases,
-                nonce: r,
-                advance,
-                uniform_key: self
-                    .uniform_base
-                    .map(|base| r ^ mix64(base.wrapping_add(advance))),
-                frame,
-            };
+            let params = walk.announce(&mut cursor, self.uniform_base)?;
+            self.announcements = walk.announcements();
+            let job = ScanJob::new(&self.folded, &self.bases, &params);
             let Some(rel) = scanner(&job, &mut self.members) else {
                 // No active tag replies: the rest of the frame is
                 // silence and the round ends (counters advanced once
@@ -536,8 +788,7 @@ impl RoundScratch {
                 break;
             };
 
-            let global = subframe_start + rel;
-            debug_assert!(global < total);
+            let global = walk.record_reply(rel);
             self.bitstring.set(global as usize, true)?;
 
             // Attribution wants original load indices ascending; the
@@ -572,12 +823,9 @@ impl RoundScratch {
                 "active arrays must retire in lockstep"
             );
 
-            let remaining = total - (global + 1);
-            if remaining == 0 {
+            if walk.is_done() {
                 break;
             }
-            subframe_start = global + 1;
-            frame = FastMod::from_divisor(remaining);
         }
         #[cfg(debug_assertions)]
         debug_assert_eq!(
@@ -590,6 +838,113 @@ impl RoundScratch {
             "a round must not reallocate the active arrays"
         );
         Ok(self.announcements)
+    }
+}
+
+/// A pluggable executor of one UTRP round: load an active set, run the
+/// round, read back the bitstring and announcement count.
+///
+/// [`RoundScratch`] is the canonical scalar implementation;
+/// `tagwatch-analytics` provides `PooledEngine`, a sharded multi-core
+/// implementation over a persistent worker pool. Executors, protocols,
+/// the server's verify mirror, and sessions are generic over this
+/// trait, which makes parallelism an implementation detail: every
+/// implementation must be **bit-identical** to [`RoundScratch`] —
+/// same bitstring, same announcement count, same observed probe totals
+/// — at any thread count. The differential and property tests pin it.
+pub trait RoundEngine {
+    /// Loads the round's participants from `(id, counter, mute)`
+    /// triples. Mute tags never reply but still occupy a load index,
+    /// so attribution indices always refer to the caller's original
+    /// order.
+    fn load<I: IntoIterator<Item = (TagId, Counter, bool)>>(&mut self, parts: I);
+
+    /// Runs one UTRP round over the loaded participants, returning the
+    /// announcement count; the bitstring is left in
+    /// [`RoundEngine::bitstring`]. Counters are not written back — the
+    /// round's only counter effect is uniform (+announcements per
+    /// loaded tag), which the caller applies to its own store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NonceSequenceExhausted`] if `nonces` is
+    /// shorter than the frame.
+    fn run(&mut self, f: FrameSize, nonces: &NonceSequence) -> Result<u64, CoreError>;
+
+    /// [`RoundEngine::run`] with telemetry: when `obs` is enabled the
+    /// implementation additionally records probe and candidate-filter
+    /// totals. The round result must be bit-identical either way, and
+    /// the probe total must be chunking- and thread-invariant (it is
+    /// `Σ active_i` for any exact engine).
+    ///
+    /// # Errors
+    ///
+    /// As [`RoundEngine::run`].
+    fn run_observed(
+        &mut self,
+        f: FrameSize,
+        nonces: &NonceSequence,
+        obs: &tagwatch_obs::Obs,
+    ) -> Result<u64, CoreError>;
+
+    /// The occupancy bitstring of the last run.
+    fn bitstring(&self) -> &Bitstring;
+
+    /// Moves the last run's bitstring out, leaving an empty one.
+    fn take_bitstring(&mut self) -> Bitstring;
+
+    /// Announcements made by the last run.
+    fn announcements(&self) -> u64;
+
+    /// Loads from [`UtrpParticipant`]s (counters at pre-round values).
+    fn load_participants(&mut self, parts: &[UtrpParticipant]) {
+        self.load(parts.iter().map(|p| (p.id, p.counter, p.mute)));
+    }
+
+    /// Loads from `(id, counter)` pairs — e.g. the server's registry
+    /// mirror iterated in place.
+    fn load_pairs<I: IntoIterator<Item = (TagId, Counter)>>(&mut self, pairs: I) {
+        self.load(pairs.into_iter().map(|(id, ct)| (id, ct, false)));
+    }
+
+    /// Loads from a physical tag population (detuned tags are mute).
+    fn load_population(&mut self, population: &TagPopulation) {
+        self.load(
+            population
+                .iter()
+                .map(|t| (t.id(), t.counter(), t.is_detuned())),
+        );
+    }
+}
+
+impl RoundEngine for RoundScratch {
+    fn load<I: IntoIterator<Item = (TagId, Counter, bool)>>(&mut self, parts: I) {
+        RoundScratch::load(self, parts);
+    }
+
+    fn run(&mut self, f: FrameSize, nonces: &NonceSequence) -> Result<u64, CoreError> {
+        RoundScratch::run(self, f, nonces)
+    }
+
+    fn run_observed(
+        &mut self,
+        f: FrameSize,
+        nonces: &NonceSequence,
+        obs: &tagwatch_obs::Obs,
+    ) -> Result<u64, CoreError> {
+        RoundScratch::run_observed(self, f, nonces, obs)
+    }
+
+    fn bitstring(&self) -> &Bitstring {
+        RoundScratch::bitstring(self)
+    }
+
+    fn take_bitstring(&mut self) -> Bitstring {
+        RoundScratch::take_bitstring(self)
+    }
+
+    fn announcements(&self) -> u64 {
+        RoundScratch::announcements(self)
     }
 }
 
@@ -730,6 +1085,89 @@ mod tests {
             .unwrap();
         assert_eq!(*chunked.bitstring(), seq_bs);
         assert_eq!(chunked.announcements(), seq_announced);
+    }
+
+    #[test]
+    fn batched_kernel_matches_sequential_scan() {
+        // Full rounds driven by the batched kernel vs the sequential
+        // reference, across sizes straddling SCAN_BATCH boundaries
+        // (empty tail block, exact multiple, one-over) and both the
+        // uniform-key and general counter paths.
+        for (n, f_raw, seed) in [
+            (1u64, 8u64, 21u64),
+            (63, 64, 22),
+            (64, 64, 23),
+            (65, 96, 24),
+            (200, 128, 25),
+            (513, 256, 26),
+        ] {
+            let ch = challenge(f_raw, seed);
+            for mixed in [false, true] {
+                let parts: Vec<UtrpParticipant> = if mixed {
+                    mixed_parts(n)
+                } else {
+                    (1..=n)
+                        .map(|i| UtrpParticipant::new(TagId::from(i), Counter::new(3)))
+                        .collect()
+                };
+                let mut seq = RoundScratch::new();
+                seq.load_participants(&parts);
+                seq.run_with(ch.frame_size(), ch.nonces(), sequential_min_scan)
+                    .unwrap();
+                let mut bat = RoundScratch::new();
+                bat.load_participants(&parts);
+                bat.run_with(ch.frame_size(), ch.nonces(), batched_min_scan)
+                    .unwrap();
+                assert_eq!(*bat.bitstring(), *seq.bitstring(), "n={n} mixed={mixed}");
+                assert_eq!(bat.announcements(), seq.announcements());
+            }
+        }
+    }
+
+    #[test]
+    fn subframe_cursor_replays_reference_bookkeeping() {
+        // Drive a round "by hand" through SubframeCursor + ScanJob::new
+        // over scratch-owned slices — the exact shape of the pooled
+        // driver — and compare to RoundScratch::run.
+        let ch = challenge(128, 31);
+        let parts = mixed_parts(150);
+        let mut expected = RoundScratch::new();
+        expected.load_participants(&parts);
+        expected.run(ch.frame_size(), ch.nonces()).unwrap();
+
+        // Build each job from announce()'s ScanParams over hand-owned
+        // arrays to prove the cursor produces the same parameters
+        // run_inner does.
+        let mut cursor = ch.nonces().cursor();
+        let mut walk = SubframeCursor::new(ch.frame_size());
+        let mut bits = Bitstring::zeros(ch.frame_size().as_usize());
+        let mut folded: Vec<u64> = (0..150u64)
+            .filter(|i| (i + 1) % 13 != 0)
+            .map(|i| TagId::from(i + 1).fold64())
+            .collect();
+        let mut bases: Vec<u64> = (0..150u64)
+            .filter(|i| (i + 1) % 13 != 0)
+            .map(|i| (i + 1) % 5)
+            .collect();
+        let mut members = Vec::new();
+        loop {
+            let params = walk.announce(&mut cursor, None).unwrap();
+            let job = ScanJob::new(&folded, &bases, &params);
+            let Some(rel) = job.scan_range_batched(0, job.len(), &mut members) else {
+                break;
+            };
+            let global = walk.record_reply(rel);
+            bits.set(global as usize, true).unwrap();
+            for &mi in members.iter().rev() {
+                folded.swap_remove(mi as usize);
+                bases.swap_remove(mi as usize);
+            }
+            if walk.is_done() {
+                break;
+            }
+        }
+        assert_eq!(bits, *expected.bitstring());
+        assert_eq!(walk.announcements(), expected.announcements());
     }
 
     #[test]

@@ -27,7 +27,7 @@ use tagwatch_sim::tag::TagReply;
 use tagwatch_sim::{Channel, FaultPlan, TagPopulation, TimingModel};
 
 use crate::bitstring::Bitstring;
-use crate::engine::RoundScratch;
+use crate::engine::{RoundEngine, RoundScratch};
 use crate::error::CoreError;
 use crate::faulty::run_honest_reader_with;
 use crate::trp::{observed_bitstring, TrpChallenge};
@@ -188,21 +188,23 @@ impl RoundExecutor {
     }
 
     /// [`RoundExecutor::run_utrp`] through a caller-owned
-    /// [`RoundScratch`], so long-running drivers (sessions, soak loops)
-    /// reuse the round buffers tick after tick instead of reallocating.
-    /// Identical semantics; the scratch only serves the faultless fast
-    /// path — scripted-fault rounds are cold and keep their own state.
+    /// [`RoundEngine`] (a [`RoundScratch`] or the pooled sharded
+    /// engine), so long-running drivers (sessions, soak loops) reuse
+    /// the round buffers tick after tick instead of reallocating.
+    /// Identical semantics at any thread count; the engine only serves
+    /// the faultless fast path — scripted-fault rounds are cold and
+    /// keep their own state.
     ///
     /// # Errors
     ///
     /// Same as [`RoundExecutor::run_utrp`].
-    pub fn run_utrp_scratch<R: Rng + ?Sized>(
+    pub fn run_utrp_scratch<E: RoundEngine, R: Rng + ?Sized>(
         &self,
         floor: &mut TagPopulation,
         challenge: &UtrpChallenge,
         timing: &TimingModel,
         rng: &mut R,
-        scratch: &mut RoundScratch,
+        scratch: &mut E,
     ) -> Result<UtrpResponse, CoreError> {
         if self.is_faultless() {
             return run_honest_reader_scratch(floor, challenge, timing, scratch);
@@ -260,13 +262,13 @@ impl RoundExecutor {
     /// # Errors
     ///
     /// Same as [`RoundExecutor::run_utrp_scratch`].
-    pub fn run_utrp_scratch_observed<R: Rng + ?Sized>(
+    pub fn run_utrp_scratch_observed<E: RoundEngine, R: Rng + ?Sized>(
         &self,
         floor: &mut TagPopulation,
         challenge: &UtrpChallenge,
         timing: &TimingModel,
         rng: &mut R,
-        scratch: &mut RoundScratch,
+        scratch: &mut E,
         obs: &Obs,
     ) -> Result<UtrpResponse, CoreError> {
         let response = if self.is_faultless() && obs.enabled() {

@@ -24,7 +24,7 @@ use rand::Rng;
 use tagwatch_obs::{Obs, ObsEvent};
 use tagwatch_sim::TagPopulation;
 
-use crate::engine::RoundScratch;
+use crate::engine::RoundEngine;
 use crate::error::CoreError;
 use crate::executor::RoundExecutor;
 use crate::server::MonitorServer;
@@ -43,10 +43,13 @@ pub trait Protocol {
     /// Runs one full round: issue a challenge from `server`, execute it
     /// over `floor` through `executor`, verify, and return the report.
     ///
-    /// `scratch` is the caller's reusable field-round state (see
-    /// [`RoundScratch`]): long-running drivers pass the same scratch
-    /// every tick so rounds stop churning the allocator. It never
-    /// affects semantics — a fresh scratch and a reused one produce
+    /// `scratch` is the caller's reusable round engine (a
+    /// [`RoundScratch`](crate::engine::RoundScratch) or the pooled sharded engine in
+    /// `tagwatch-analytics`): long-running drivers pass the same
+    /// engine every tick so rounds stop churning the allocator, and
+    /// UTRP rounds drive both the field simulation and the server's
+    /// mirror prediction through it. It never affects semantics — a
+    /// fresh engine, a reused one, and any thread count produce
     /// byte-identical rounds. TRP rounds carry no re-seed state and
     /// leave it untouched.
     ///
@@ -55,12 +58,12 @@ pub trait Protocol {
     /// Propagates protocol errors other than the response-shape mapping
     /// described in the module docs (e.g. [`CoreError::CounterDesync`]
     /// when issuing a UTRP challenge over an untrusted mirror).
-    fn run_round<R: Rng + ?Sized>(
+    fn run_round<E: RoundEngine, R: Rng + ?Sized>(
         &self,
         server: &mut MonitorServer,
         floor: &mut TagPopulation,
         executor: &RoundExecutor,
-        scratch: &mut RoundScratch,
+        scratch: &mut E,
         rng: &mut R,
     ) -> Result<MonitorReport, CoreError>;
 
@@ -75,12 +78,12 @@ pub trait Protocol {
     /// # Errors
     ///
     /// Same as [`Protocol::run_round`].
-    fn run_round_observed<R: Rng + ?Sized>(
+    fn run_round_observed<E: RoundEngine, R: Rng + ?Sized>(
         &self,
         server: &mut MonitorServer,
         floor: &mut TagPopulation,
         executor: &RoundExecutor,
-        scratch: &mut RoundScratch,
+        scratch: &mut E,
         rng: &mut R,
         obs: &Obs,
     ) -> Result<MonitorReport, CoreError>;
@@ -140,12 +143,12 @@ impl Protocol for Trp {
         ProtocolKind::Trp
     }
 
-    fn run_round<R: Rng + ?Sized>(
+    fn run_round<E: RoundEngine, R: Rng + ?Sized>(
         &self,
         server: &mut MonitorServer,
         floor: &mut TagPopulation,
         executor: &RoundExecutor,
-        _scratch: &mut RoundScratch,
+        _scratch: &mut E,
         rng: &mut R,
     ) -> Result<MonitorReport, CoreError> {
         let challenge = server.issue_trp_challenge(rng)?;
@@ -154,12 +157,12 @@ impl Protocol for Trp {
         alarm_on_shape_mismatch(server.verify_trp(challenge, &bs), ProtocolKind::Trp, f)
     }
 
-    fn run_round_observed<R: Rng + ?Sized>(
+    fn run_round_observed<E: RoundEngine, R: Rng + ?Sized>(
         &self,
         server: &mut MonitorServer,
         floor: &mut TagPopulation,
         executor: &RoundExecutor,
-        _scratch: &mut RoundScratch,
+        _scratch: &mut E,
         rng: &mut R,
         obs: &Obs,
     ) -> Result<MonitorReport, CoreError> {
@@ -184,12 +187,12 @@ impl Protocol for Utrp {
         ProtocolKind::Utrp
     }
 
-    fn run_round<R: Rng + ?Sized>(
+    fn run_round<E: RoundEngine, R: Rng + ?Sized>(
         &self,
         server: &mut MonitorServer,
         floor: &mut TagPopulation,
         executor: &RoundExecutor,
-        scratch: &mut RoundScratch,
+        scratch: &mut E,
         rng: &mut R,
     ) -> Result<MonitorReport, CoreError> {
         let timing = server.config().timing;
@@ -197,18 +200,18 @@ impl Protocol for Utrp {
         let f = challenge.frame_size().get();
         let response = executor.run_utrp_scratch(floor, &challenge, &timing, rng, scratch)?;
         alarm_on_shape_mismatch(
-            server.verify_utrp(challenge, &response),
+            server.verify_utrp_with(challenge, &response, scratch),
             ProtocolKind::Utrp,
             f,
         )
     }
 
-    fn run_round_observed<R: Rng + ?Sized>(
+    fn run_round_observed<E: RoundEngine, R: Rng + ?Sized>(
         &self,
         server: &mut MonitorServer,
         floor: &mut TagPopulation,
         executor: &RoundExecutor,
-        scratch: &mut RoundScratch,
+        scratch: &mut E,
         rng: &mut R,
         obs: &Obs,
     ) -> Result<MonitorReport, CoreError> {
@@ -218,7 +221,7 @@ impl Protocol for Utrp {
         let response =
             executor.run_utrp_scratch_observed(floor, &challenge, &timing, rng, scratch, obs)?;
         let report = alarm_on_shape_mismatch(
-            server.verify_utrp(challenge, &response),
+            server.verify_utrp_with(challenge, &response, scratch),
             ProtocolKind::Utrp,
             f,
         )?;
@@ -230,6 +233,7 @@ impl Protocol for Utrp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::RoundScratch;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use tagwatch_sim::{Channel, FaultPlan};

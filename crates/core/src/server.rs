@@ -14,7 +14,7 @@ use rand::Rng;
 use tagwatch_sim::{Counter, FrameSize, TagId, TimingModel};
 
 use crate::bitstring::Bitstring;
-use crate::engine::RoundScratch;
+use crate::engine::{RoundEngine, RoundScratch};
 use crate::error::CoreError;
 use crate::frame::{trp_frame_size, utrp_frame_size, UtrpSizing};
 use crate::params::MonitorParams;
@@ -347,6 +347,32 @@ impl MonitorServer {
         challenge: UtrpChallenge,
         response: &UtrpResponse,
     ) -> Result<MonitorReport, CoreError> {
+        // Mirror prediction runs in the server's reusable scratch.
+        // (Taken out of `self` for the duration to keep the borrow
+        // checker happy about the simultaneous registry iteration.)
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let report = self.verify_utrp_with(challenge, response, &mut scratch);
+        self.scratch = scratch;
+        report
+    }
+
+    /// [`MonitorServer::verify_utrp`] with a caller-owned
+    /// [`RoundEngine`] for the mirror prediction — the injection point
+    /// that lets the pooled sharded engine serve the verify side too,
+    /// so a million-tag mirror round parallelizes exactly like the
+    /// field round. Verdicts are engine-independent: every engine is
+    /// bit-identical by contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ResponseShapeMismatch`] for a wrong-length
+    /// bitstring.
+    pub fn verify_utrp_with<E: RoundEngine>(
+        &mut self,
+        challenge: UtrpChallenge,
+        response: &UtrpResponse,
+        engine: &mut E,
+    ) -> Result<MonitorReport, CoreError> {
         let f = challenge.frame_size().get();
         if response.bitstring.len() as u64 != f {
             return Err(CoreError::ResponseShapeMismatch {
@@ -354,16 +380,12 @@ impl MonitorServer {
                 received: response.bitstring.len() as u64,
             });
         }
-        // Mirror prediction runs in the server's reusable scratch: the
-        // registry is streamed straight from the BTreeMap into the
+        // The registry is streamed straight from the BTreeMap into the
         // engine's arrays — no intermediate Vec, no fresh bitstring.
-        // (Taken out of `self` for the duration to keep the borrow
-        // checker happy about the simultaneous registry iteration.)
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.load_pairs(self.registry.iter().map(|(&id, &ct)| (id, ct)));
-        let announcements = scratch.run(challenge.frame_size(), challenge.nonces())?;
+        engine.load_pairs(self.registry.iter().map(|(&id, &ct)| (id, ct)));
+        let announcements = engine.run(challenge.frame_size(), challenge.nonces())?;
         let late = !challenge.timer().accepts(response.elapsed);
-        let mismatched = scratch.bitstring().hamming_distance(&response.bitstring)?;
+        let mismatched = engine.bitstring().hamming_distance(&response.bitstring)?;
 
         let verdict = if late {
             // A blown deadline is the paper's collusion signal; no
@@ -380,7 +402,7 @@ impl MonitorServer {
             if let Some(hypothesis) = self.diagnose_desync(
                 &registry,
                 &challenge,
-                scratch.bitstring(),
+                engine.bitstring(),
                 &response.bitstring,
             )? {
                 let suspects = hypothesis.suspects();
@@ -391,7 +413,6 @@ impl MonitorServer {
                 Verdict::NotIntact
             }
         };
-        self.scratch = scratch;
 
         if verdict.is_intact() {
             for ct in self.registry.values_mut() {

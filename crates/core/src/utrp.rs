@@ -33,7 +33,7 @@ use tagwatch_sim::hash::slot_for_counted;
 use tagwatch_sim::{Counter, FrameSize, Nonce, SimDuration, TagId, TagPopulation, TimingModel};
 
 use crate::bitstring::Bitstring;
-use crate::engine::{sequential_min_scan, RoundScratch};
+use crate::engine::{sequential_min_scan, RoundEngine, RoundScratch};
 use crate::error::CoreError;
 use crate::nonce::NonceSequence;
 use crate::timer::ResponseTimer;
@@ -289,8 +289,10 @@ pub fn simulate_round(
     })
 }
 
-/// [`simulate_round`] through a caller-owned [`RoundScratch`]: loads
-/// the participants into the scratch's arrays, runs the round, and
+/// [`simulate_round`] through a caller-owned [`RoundEngine`]
+/// (typically a [`RoundScratch`], or the pooled sharded engine in
+/// `tagwatch-analytics`): loads the participants into the engine's
+/// arrays, runs the round, and
 /// advances every participant's counter in place by the announcement
 /// count. The bitstring stays in the scratch
 /// ([`RoundScratch::bitstring`]) so repeated rounds allocate nothing.
@@ -299,8 +301,8 @@ pub fn simulate_round(
 ///
 /// Returns [`CoreError::NonceSequenceExhausted`] if the sequence is too
 /// short.
-pub fn simulate_round_scratch(
-    scratch: &mut RoundScratch,
+pub fn simulate_round_scratch<E: RoundEngine>(
+    scratch: &mut E,
     participants: &mut [UtrpParticipant],
     f: FrameSize,
     nonces: &NonceSequence,
@@ -425,8 +427,8 @@ pub fn run_honest_reader(
     run_honest_reader_scratch(population, challenge, timing, &mut scratch)
 }
 
-/// [`run_honest_reader`] through a caller-owned [`RoundScratch`]: the
-/// population is loaded straight into the scratch's arrays (no
+/// [`run_honest_reader`] through a caller-owned [`RoundEngine`]: the
+/// population is loaded straight into the engine's arrays (no
 /// intermediate participant `Vec`), and the only per-round allocation
 /// left is the response bitstring itself — the owned artifact handed
 /// to the server.
@@ -434,11 +436,11 @@ pub fn run_honest_reader(
 /// # Errors
 ///
 /// Propagates round-simulation errors.
-pub fn run_honest_reader_scratch(
+pub fn run_honest_reader_scratch<E: RoundEngine>(
     population: &mut TagPopulation,
     challenge: &UtrpChallenge,
     timing: &TimingModel,
-    scratch: &mut RoundScratch,
+    scratch: &mut E,
 ) -> Result<UtrpResponse, CoreError> {
     scratch.load_population(population);
     let announcements = scratch.run(challenge.frame_size(), challenge.nonces())?;
@@ -465,11 +467,11 @@ pub fn run_honest_reader_scratch(
 /// # Errors
 ///
 /// Propagates round-simulation errors.
-pub fn run_honest_reader_scratch_observed(
+pub fn run_honest_reader_scratch_observed<E: RoundEngine>(
     population: &mut TagPopulation,
     challenge: &UtrpChallenge,
     timing: &TimingModel,
-    scratch: &mut RoundScratch,
+    scratch: &mut E,
     obs: &tagwatch_obs::Obs,
 ) -> Result<UtrpResponse, CoreError> {
     scratch.load_population(population);

@@ -9,37 +9,32 @@ use rand::SeedableRng;
 
 use tagwatch::analytics::scan::run_round_chunked_observed;
 use tagwatch::analytics::soak::{run_soak_observed, SoakConfig};
-use tagwatch::analytics::TickProtocol;
+use tagwatch::analytics::{worker_threads, PooledEngine, TickProtocol};
 use tagwatch::core::utrp::{UtrpChallenge, UtrpParticipant};
-use tagwatch::core::{MonitorServer, Protocol, RoundExecutor, RoundScratch, Trp, Utrp};
+use tagwatch::core::{
+    MonitorServer, Protocol, RoundEngine, RoundExecutor, RoundScratch, Trp, Utrp,
+};
 use tagwatch::obs::Obs;
 use tagwatch::sim::{Channel, Counter, FrameSize, TagId, TagPopulation, TimingModel};
 
-/// Drives `rounds` observed rounds of `protocol` against a fresh
-/// server/floor pair and returns the two export artifacts.
-fn run_observed_rounds<P: Protocol>(
+/// Drives `rounds` observed rounds of `protocol` through `engine`
+/// against a fresh server/floor pair and returns the export artifacts.
+fn run_observed_rounds_with<P: Protocol, E: RoundEngine>(
     protocol: &P,
     seed: u64,
     rounds: usize,
+    engine: &mut E,
 ) -> (String, String, u64) {
     let n = 150usize;
     let floor_src = TagPopulation::with_sequential_ids(n);
     let mut floor = floor_src.clone();
     let mut server = MonitorServer::new(floor_src.ids(), 4, 0.95).expect("valid params");
     let executor = RoundExecutor::new(Channel::ideal(), None);
-    let mut scratch = RoundScratch::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let obs = Obs::new();
     for _ in 0..rounds {
         let report = protocol
-            .run_round_observed(
-                &mut server,
-                &mut floor,
-                &executor,
-                &mut scratch,
-                &mut rng,
-                &obs,
-            )
+            .run_round_observed(&mut server, &mut floor, &executor, engine, &mut rng, &obs)
             .expect("round runs");
         assert!(report.verdict.is_intact(), "nothing is missing");
     }
@@ -48,6 +43,15 @@ fn run_observed_rounds<P: Protocol>(
         obs.snapshot_json(),
         obs.snapshot_digest(),
     )
+}
+
+/// [`run_observed_rounds_with`] through the scalar scratch engine.
+fn run_observed_rounds<P: Protocol>(
+    protocol: &P,
+    seed: u64,
+    rounds: usize,
+) -> (String, String, u64) {
+    run_observed_rounds_with(protocol, seed, rounds, &mut RoundScratch::new())
 }
 
 #[test]
@@ -71,6 +75,57 @@ fn utrp_exports_are_byte_identical_across_same_seed_runs() {
     assert_eq!(digest_a, digest_b);
     assert!(trace_a.contains("\"type\":\"round_completed\",\"proto\":\"utrp\""));
     assert!(trace_a.contains("\"type\":\"verified\""));
+}
+
+/// Pulls one counter's export line out of a metrics snapshot.
+fn counter_line(snapshot: &str, key: &str) -> String {
+    snapshot
+        .lines()
+        .find(|l| l.contains(key))
+        .unwrap_or_else(|| panic!("snapshot lacks {key}"))
+        .to_owned()
+}
+
+/// The pooled round engine, forced into its sharded path (threshold
+/// lowered below the 150-tag population), must reproduce the scalar
+/// engine's observable behavior at every thread count: the flight
+/// trace (bitstrings, announcements, verdicts, re-seed counts —
+/// including UTRP's mid-round retirements) byte for byte, and the
+/// probe total exactly. `probes_filtered` is the one deliberate
+/// exception: the candidate-filter warm-up is per-shard, so its count
+/// is strategy-dependent (the same contract
+/// `chunked_min_scan_counting` documents for chunking) — full
+/// snapshot byte-equality is therefore only owed at one thread,
+/// where the pooled engine *is* the scalar engine.
+#[test]
+fn pooled_exports_are_thread_invariant_for_trp_and_utrp() {
+    let thread_counts = [1, 2, 3, worker_threads()];
+    let scalar_trp = run_observed_rounds(&Trp, 17, 6);
+    let scalar_utrp = run_observed_rounds(&Utrp, 23, 6);
+    for t in thread_counts {
+        // TRP never touches the engine, so everything matches.
+        let mut engine = PooledEngine::with_threshold(t, 64);
+        let pooled = run_observed_rounds_with(&Trp, 17, 6, &mut engine);
+        assert_eq!(
+            pooled, scalar_trp,
+            "TRP exports must be thread-invariant (t={t})"
+        );
+
+        let mut engine = PooledEngine::with_threshold(t, 64);
+        let (trace, snapshot, digest) = run_observed_rounds_with(&Utrp, 23, 6, &mut engine);
+        assert_eq!(
+            trace, scalar_utrp.0,
+            "UTRP flight trace must be thread-invariant (t={t})"
+        );
+        assert_eq!(
+            counter_line(&snapshot, "\"probes_total\""),
+            counter_line(&scalar_utrp.1, "\"probes_total\""),
+            "probe accounting must be thread-invariant (t={t})"
+        );
+        if t == 1 {
+            assert_eq!((snapshot, digest), (scalar_utrp.1.clone(), scalar_utrp.2));
+        }
+    }
 }
 
 #[test]

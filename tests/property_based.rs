@@ -2,16 +2,37 @@
 
 use proptest::prelude::*;
 
+use tagwatch::analytics::PooledEngine;
 use tagwatch::core::utrp::{
     simulate_round, simulate_round_reference, UtrpChallenge, UtrpParticipant,
 };
-use tagwatch::core::{trp, Bitstring, NonceSequence, TrpChallenge};
+use tagwatch::core::{trp, Bitstring, NonceSequence, RoundEngine, RoundScratch, TrpChallenge};
+use tagwatch::obs::Obs;
 use tagwatch::prelude::*;
 use tagwatch::sim::aloha::{predicted_occupancy, FramePlan};
 use tagwatch::sim::{slot_for, slot_for_counted};
 
 fn bits(max_len: usize) -> impl Strategy<Value = Vec<bool>> {
     prop::collection::vec(any::<bool>(), 0..max_len)
+}
+
+/// One observed UTRP round through `engine`: the triple every exact
+/// engine must agree on (occupancy, announcements, probe total).
+fn observed_round<E: RoundEngine>(
+    engine: &mut E,
+    parts: &[UtrpParticipant],
+    ch: &UtrpChallenge,
+) -> (Bitstring, u64, u64) {
+    let obs = Obs::new();
+    engine.load_participants(parts);
+    let announcements = engine
+        .run_observed(ch.frame_size(), ch.nonces(), &obs)
+        .expect("nonce sequence covers the frame");
+    (
+        engine.take_bitstring(),
+        announcements,
+        obs.counter(obs.m.probes_total),
+    )
 }
 
 proptest! {
@@ -150,6 +171,43 @@ proptest! {
         let b = simulate_round_reference(&mut reference, ch.frame_size(), ch.nonces()).unwrap();
         prop_assert_eq!(a, b);
         prop_assert_eq!(fast, reference);
+    }
+
+    // The pooled engine is an exact engine: for any population
+    // (scattered counters, mute tags), any frame, and any worker
+    // count, its sharded scan must reproduce the scalar engine's
+    // bitstring, announcement count, AND observed probe total — the
+    // probe accounting is `Σ active_i`, so it is chunking- and
+    // thread-invariant by contract. The threshold is forced down so
+    // the workers actually engage at proptest-sized populations.
+    #[test]
+    fn pooled_engine_matches_scalar_at_any_thread_count(
+        n in 1usize..300,
+        f in 8u64..200,
+        seed in any::<u64>(),
+        threads in 1usize..5,
+        mute_mod in 1u64..12,
+        ct0 in 0u64..50,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ch = UtrpChallenge::generate(
+            FrameSize::new(f).unwrap(),
+            &TimingModel::gen2(),
+            &mut rng,
+        );
+        let parts: Vec<UtrpParticipant> = (1..=n as u64)
+            .map(|i| {
+                let mut p = UtrpParticipant::new(TagId::from(i), Counter::new(ct0 + i % 7));
+                p.mute = i % mute_mod == 0;
+                p
+            })
+            .collect();
+
+        let expected = observed_round(&mut RoundScratch::new(), &parts, &ch);
+        let mut engine = PooledEngine::with_threshold(threads, 16);
+        let got = observed_round(&mut engine, &parts, &ch);
+        prop_assert_eq!(&got, &expected, "threads={}", threads);
     }
 
     #[test]
