@@ -400,6 +400,7 @@ impl PooledEngine {
             return Err(pool_disconnected());
         };
         let count = obs.is_some_and(Obs::enabled);
+        let spans_on = obs.is_some_and(Obs::spans_enabled);
         self.bitstring.reset(f.as_usize());
         self.announcements = 0;
         let mut cursor = nonces.cursor();
@@ -409,6 +410,7 @@ impl PooledEngine {
         loop {
             let params = walk.announce(&mut cursor, self.uniform_base)?;
             self.announcements = walk.announcements();
+            let probes_before = stats.probes;
             for tx in &self.cmd_txs {
                 if tx
                     .send(Cmd::Scan {
@@ -433,6 +435,23 @@ impl PooledEngine {
                     (Some(b), Some(m)) => Some(b.min(m)),
                     (b, m) => b.or(m),
                 };
+            }
+            if spans_on {
+                if let Some(obs) = obs {
+                    // Identical phase attribution to the scalar
+                    // engine's observed path: slots telescope to the
+                    // frame size, probes are the merged (shard-order-
+                    // independent) per-announcement delta.
+                    let slots = best.map_or_else(|| params.frame.divisor(), |r| r + 1);
+                    let probes = stats.probes - probes_before;
+                    obs.span_phase(tagwatch_obs::Phase::SubFrameSetup, 0, 0);
+                    let phase = if self.announcements == 1 {
+                        tagwatch_obs::Phase::MinScan
+                    } else {
+                        tagwatch_obs::Phase::ReSeed
+                    };
+                    obs.span_phase(phase, slots, probes);
+                }
             }
             let Some(rel) = best else {
                 // Silent announcement: the rest of the frame is

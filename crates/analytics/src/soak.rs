@@ -288,22 +288,31 @@ impl SoakReport {
         }
         out.push_str("},\n");
 
+        let hi = (self.config.detection_deadline.max(10)) as f64;
+        let mut hist = Histogram::new(0.0, hi, 10);
+        hist.extend(self.recovery_latencies.iter().map(|&l| l as f64));
         let lat_json = |q: f64| self.latency_percentile(q).map_or("null".into(), json_f64);
+        // Exact quantiles come from the retained samples; the `_est`
+        // variants are what the same fixed-bucket estimator a live
+        // scrape sees would report, so operators can calibrate
+        // dashboard quantiles against ground truth.
+        let est_json = |q: f64| hist.percentile(q).map_or("null".into(), json_f64);
         out.push_str(&format!(
             "  \"recovery_latency\": {{\"samples\": {}, \"p50\": {}, \"p90\": {}, \
-             \"p99\": {}, \"max\": {}, \"histogram\": [",
+             \"p99\": {}, \"p50_est\": {}, \"p90_est\": {}, \"p99_est\": {}, \
+             \"max\": {}, \"histogram\": [",
             self.recovery_latencies.len(),
             lat_json(0.50),
             lat_json(0.90),
             lat_json(0.99),
+            est_json(0.50),
+            est_json(0.90),
+            est_json(0.99),
             self.recovery_latencies
                 .iter()
                 .max()
                 .map_or("null".into(), u64::to_string),
         ));
-        let hi = (self.config.detection_deadline.max(10)) as f64;
-        let mut hist = Histogram::new(0.0, hi, 10);
-        hist.extend(self.recovery_latencies.iter().map(|&l| l as f64));
         for (i, count) in hist.bins().iter().enumerate() {
             let (lo, up) = hist.bin_range(i);
             if i > 0 {
@@ -446,6 +455,9 @@ impl<'a> SoakDriver<'a> {
         let session = MonitoringSession::new(server, policy);
         let markov = MarkovChannel::presets();
         let levels = markov.levels().len();
+        // The whole run is one session span; every tick span nests
+        // under it. `finish` closes it (and any stragglers).
+        obs.span_open(tagwatch_obs::SpanKind::Session);
         Ok(SoakDriver {
             config,
             obs,
@@ -796,6 +808,15 @@ impl<'a> SoakDriver<'a> {
     /// appends (and scripted crashes) between ticks. Appends one line
     /// to the log.
     pub(crate) fn step(&mut self, t: u64) -> Result<(), CoreError> {
+        // Bracket the tick in a span; close on the error path too so a
+        // failed tick never leaves the recorder's stack misaligned.
+        self.obs.span_open(tagwatch_obs::SpanKind::Tick);
+        let result = self.step_inner(t);
+        self.obs.span_close();
+        result
+    }
+
+    fn step_inner(&mut self, t: u64) -> Result<(), CoreError> {
         {
             self.audit_alert = false;
 
@@ -899,6 +920,10 @@ impl<'a> SoakDriver<'a> {
             );
             self.violate(self.config.ticks - 1, 2, message);
         }
+
+        // Seal the span tree: the session span opened in the
+        // constructor, plus anything an aborted tick left open.
+        self.obs.span_close_all();
 
         let level_ticks = self
             .markov
@@ -1217,6 +1242,10 @@ impl<'a> SoakDriver<'a> {
         let latencies = nums("latencies")?;
         let audit_ticks = nums("audit_ticks")?;
         let violations = section(doc, "violations")?.to_vec();
+
+        // A restored run gets its own session span (span trees are
+        // in-memory only — they do not ride the checkpoint).
+        obs.span_open(tagwatch_obs::SpanKind::Session);
 
         Ok(SoakDriver {
             config,

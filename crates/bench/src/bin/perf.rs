@@ -410,6 +410,64 @@ fn main() {
         observed_best,
     ));
 
+    // Span-recording cost probe: the same observed round against a
+    // metrics-only registry and against a full registry with span
+    // charging on (no tree is built here — the engine charges phases
+    // to the rollup, which is the per-round cost a soak pays inside
+    // its tick spans). Same pairwise-median design as above. This one
+    // is informational: span recording is opt-in, so it gets a check
+    // key for the tolerance compare but no same-run bound.
+    eprintln!("span-recording overhead probe: n={overhead_n}...");
+    let metrics_only_obs = Obs::metrics_only();
+    let spans_probe_obs = Obs::new();
+    let mut parts_metrics = participants(overhead_n);
+    let mut parts_spans = participants(overhead_n);
+    soa_round_observed(
+        &mut scratch,
+        &mut parts_metrics,
+        &overhead_ch,
+        &metrics_only_obs,
+    );
+    soa_round_observed(
+        &mut scratch,
+        &mut parts_spans,
+        &overhead_ch,
+        &spans_probe_obs,
+    );
+    let mut spans_min = f64::INFINITY;
+    let mut span_ratios = Vec::with_capacity(30);
+    for _ in 0..30 {
+        let start = Instant::now();
+        soa_round_observed(
+            &mut scratch,
+            &mut parts_metrics,
+            &overhead_ch,
+            &metrics_only_obs,
+        );
+        let metrics_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        soa_round_observed(
+            &mut scratch,
+            &mut parts_spans,
+            &overhead_ch,
+            &spans_probe_obs,
+        );
+        let spans_secs = start.elapsed().as_secs_f64();
+        spans_min = spans_min.min(spans_secs);
+        span_ratios.push(spans_secs / metrics_secs);
+    }
+    span_ratios.sort_by(f64::total_cmp);
+    let span_overhead_frac = span_ratios[span_ratios.len() / 2] - 1.0;
+    let spans_best = 1.0 / spans_min;
+    eprintln!(
+        "span recording: {spans_best:.1} r/s with spans on ({:+.2}% vs metrics-only)",
+        span_overhead_frac * 100.0
+    );
+    checks.push((
+        format!("utrp_soa_spans_obs_rounds_per_sec_n{overhead_n}"),
+        spans_best,
+    ));
+
     // Pooled-engine thread sweep: the same dense UTRP round through
     // the persistent sharded engine at increasing worker counts. A
     // determinism spot-check asserts the occupancy bitstring is
@@ -533,6 +591,32 @@ fn main() {
         pooled_round(&mut engine, &mut parts, &ch);
         let pooled_ms = start.elapsed().as_secs_f64() * 1e3;
         eprintln!("million-tag pooled round: {pooled_ms:.1} ms");
+
+        // Span-attribution acceptance: the same million-tag round
+        // through the span-charging entry point must attribute every
+        // slot and probe the cost clock counted to a named phase —
+        // the telescoping identity, at the largest workload the
+        // harness runs (the acceptance floor is 95%; the identity
+        // makes it exactly 100%).
+        eprintln!("million-tag span attribution check...");
+        let attr_obs = Obs::new();
+        let mut parts = participants(n);
+        soa_round_observed(&mut scratch, &mut parts, &ch, &attr_obs);
+        let rollup = attr_obs.span_rollup();
+        let scan_slots = rollup.phase(tagwatch_obs::Phase::MinScan).slots
+            + rollup.phase(tagwatch_obs::Phase::ReSeed).slots;
+        let slots_total = attr_obs.counter(attr_obs.m.slots_total);
+        assert_eq!(
+            scan_slots, slots_total,
+            "span rollup must attribute every engine slot to a phase"
+        );
+        assert_eq!(
+            rollup.probes(),
+            attr_obs.counter(attr_obs.m.probes_total),
+            "span rollup must attribute every probe to a phase"
+        );
+        eprintln!("span attribution: {scan_slots}/{slots_total} slots, 100%");
+
         Some((
             n,
             FRAME_CAP,
@@ -565,7 +649,7 @@ fn main() {
     let _ = write!(
         json,
         // lint:allow(d2-float-format): timing floats are machine-varying; the perf baseline is compared numerically with tolerance, not byte-wise
-        "  \"telemetry_overhead\": {{\n    \"n\": {overhead_n},\n    \"plain_rounds_per_sec\": {plain_best:.3},\n    \"disabled_obs_rounds_per_sec\": {observed_best:.3},\n    \"overhead_fraction\": {overhead_frac:.5}\n  }},\n"
+        "  \"telemetry_overhead\": {{\n    \"n\": {overhead_n},\n    \"plain_rounds_per_sec\": {plain_best:.3},\n    \"disabled_obs_rounds_per_sec\": {observed_best:.3},\n    \"overhead_fraction\": {overhead_frac:.5},\n    \"spans_obs_rounds_per_sec\": {spans_best:.3},\n    \"span_overhead_fraction\": {span_overhead_frac:.5}\n  }},\n"
     );
     let _ = write!(
         json,

@@ -154,8 +154,9 @@ pub fn run(command: Command) -> Result<String, CliError> {
             trials,
             seed,
             metrics_out,
+            prom_out,
             policy,
-        } => crate::faults::run_faults(quick, trials, seed, metrics_out, policy),
+        } => crate::faults::run_faults(quick, trials, seed, metrics_out, prom_out, policy),
         Command::Soak {
             seed,
             ticks,
@@ -163,24 +164,31 @@ pub fn run(command: Command) -> Result<String, CliError> {
             report,
             metrics_out,
             trace_out,
+            prom_out,
+            spans_out,
+            spans_wall,
             wal_out,
             crash_at,
             policy,
             threads,
-        } => crate::soak::run_soak_command(
+        } => crate::soak::run_soak_command(crate::soak::SoakCmd {
             seed,
             ticks,
             utrp,
             report,
             metrics_out,
             trace_out,
+            prom_out,
+            spans_out,
+            spans_wall,
             wal_out,
             crash_at,
             policy,
             threads,
-        ),
+        }),
         Command::Recover { path, report } => crate::recover::run_recover_command(&path, report),
         Command::Inspect { path } => crate::inspect::run_inspect(&path),
+        Command::InspectDiff { a, b } => crate::inspect::run_inspect_diff(&a, &b),
         Command::RegistryNew { n, m, alpha } => {
             let ids: Vec<TagId> = (1..=n).map(TagId::from).collect();
             let server = MonitorServer::new(ids, m, alpha).map_err(to_cli)?;
@@ -232,17 +240,25 @@ USAGE:
   tagwatch-cli simulate utrp <n> <m> [--budget C] [--trials T] [--seed S]
   tagwatch-cli identify <n> [--steal K] [--seed S]  run missing-tag identification
   tagwatch-cli faults [--quick] [--trials T] [--seed S] [--metrics-out PATH]
-                      [--policy FILE]
+                      [--prom-out PATH] [--policy FILE]
                                                     fault-scenario matrix (alarm /
                                                     desync / recovery rates)
   tagwatch-cli soak [--seed S] [--ticks T] [--protocol trp|utrp] [--report PATH]
                     [--metrics-out PATH] [--trace-out PATH]
+                    [--prom-out PATH] [--spans-out PATH] [--spans-wall]
                     [--wal-out PATH] [--crash-at T] [--policy FILE]
                     [--threads N]
                                                     long-horizon soak: Markov channel,
                                                     scripted incidents, invariant
                                                     checks, JSON latency report, and
                                                     optional telemetry exports.
+                                                    --prom-out renders the metrics
+                                                    registry as Prometheus text;
+                                                    --spans-out writes the cost-clock
+                                                    span tree (session > tick > round)
+                                                    as JSONL; --spans-wall decorates
+                                                    it with wall-clock nanoseconds
+                                                    (artifact no longer byte-stable);
                                                     --wal-out journals the run to a
                                                     durable write-ahead log (flushed
                                                     even on a violation exit);
@@ -265,8 +281,15 @@ USAGE:
                                                     invariant violations
   tagwatch-cli inspect <path>                       summarize an exported artifact
                                                     (metrics snapshot, JSONL event
-                                                    trace, or tagwatch-policy v1
-                                                    document, auto-detected)
+                                                    trace, span tree, or
+                                                    tagwatch-policy v1 document,
+                                                    auto-detected)
+  tagwatch-cli inspect diff <a> <b>                 compare two artifacts of the same
+                                                    kind and report the first
+                                                    divergence (event, span, or
+                                                    metric) - the postmortem tool for
+                                                    two runs that should have been
+                                                    identical
   tagwatch-cli registry new <n> <m> <alpha>         print a fresh registry snapshot
   tagwatch-cli registry info < snapshot.txt         summarize a snapshot from stdin
   tagwatch-cli help
@@ -277,7 +300,9 @@ EXAMPLES:
   tagwatch-cli soak --ticks 500 --metrics-out results/soak_metrics.json
   tagwatch-cli soak --ticks 200 --wal-out results/run.wal --crash-at 137
   tagwatch-cli recover results/run.wal --report results/recovered.json
+  tagwatch-cli soak --ticks 200 --prom-out results/soak.prom --spans-out results/spans.jsonl
   tagwatch-cli inspect results/soak_metrics.json
+  tagwatch-cli inspect diff results/spans_a.jsonl results/spans_b.jsonl
 ";
 
 #[cfg(test)]
@@ -296,8 +321,12 @@ mod tests {
             "soak",
             "recover",
             "inspect",
+            "inspect diff",
             "--metrics-out",
             "--trace-out",
+            "--prom-out",
+            "--spans-out",
+            "--spans-wall",
             "--wal-out",
             "--crash-at",
             "--policy",

@@ -122,7 +122,8 @@ struct Tally {
 /// Runs the full scenario matrix and renders the report. With
 /// `--metrics-out`, every round's verdict and recovery action also
 /// streams into a telemetry registry whose deterministic snapshot is
-/// written to the given path. With `--policy`, the policy document's
+/// written to the given path; `--prom-out` renders the same registry
+/// as Prometheus text exposition. With `--policy`, the policy document's
 /// desync window replaces the matrix's built-in one (the scenarios
 /// drive the server layer directly, so the window is the knob a policy
 /// owns here).
@@ -137,6 +138,7 @@ pub fn run_faults(
     trials: u64,
     seed: u64,
     metrics_out: Option<String>,
+    prom_out: Option<String>,
     policy_path: Option<String>,
 ) -> Result<String, CliError> {
     if trials == 0 {
@@ -150,7 +152,7 @@ pub fn run_faults(
         .transpose()?;
     let desync_window = policy.as_ref().map_or(DESYNC_WINDOW, |p| p.desync_window);
     let trials = if quick { trials.min(20) } else { trials };
-    let obs = if metrics_out.is_some() {
+    let obs = if metrics_out.is_some() || prom_out.is_some() {
         Obs::new()
     } else {
         Obs::disabled()
@@ -206,6 +208,13 @@ pub fn run_faults(
             "metrics snapshot ({} rounds, digest fnv64:{:016x}) -> {path}\n",
             obs.counter(obs.m.rounds_total),
             obs.snapshot_digest(),
+        ));
+    }
+    if let Some(path) = &prom_out {
+        crate::soak::write_artifact(path, &tagwatch_obs::to_prometheus_text(&obs))?;
+        out.push_str(&format!(
+            "prometheus exposition ({} rounds) -> {path}\n",
+            obs.counter(obs.m.rounds_total),
         ));
     }
     Ok(out)
@@ -355,7 +364,7 @@ mod tests {
 
     #[test]
     fn matrix_runs_and_reports_every_scenario() {
-        let report = run_faults(true, 5, 1, None, None).unwrap();
+        let report = run_faults(true, 5, 1, None, None, None).unwrap();
         for scenario in SCENARIOS {
             assert!(
                 report.lines().any(|l| l.starts_with(scenario.name())),
@@ -367,7 +376,7 @@ mod tests {
 
     #[test]
     fn baseline_is_quiet_and_theft_detects() {
-        let report = run_faults(true, 10, 2, None, None).unwrap();
+        let report = run_faults(true, 10, 2, None, None, None).unwrap();
         let baseline = rates(scenario_line(&report, "baseline"));
         assert_eq!(baseline, vec![0.0, 0.0, 0.0, 1.0], "{report}");
         let theft = rates(scenario_line(&report, "theft(m+1)"));
@@ -376,7 +385,7 @@ mod tests {
 
     #[test]
     fn desync_recovery_is_diagnosed_without_audits() {
-        let report = run_faults(true, 10, 3, None, None).unwrap();
+        let report = run_faults(true, 10, 3, None, None, None).unwrap();
         let row = rates(scenario_line(&report, "desync-recovery"));
         let (alarm, desync, audit, recovered) = (row[0], row[1], row[2], row[3]);
         assert_eq!(alarm, 0.0, "{report}");
@@ -387,7 +396,7 @@ mod tests {
 
     #[test]
     fn crash_truncation_and_skew_alarm_but_recover() {
-        let report = run_faults(true, 8, 4, None, None).unwrap();
+        let report = run_faults(true, 8, 4, None, None, None).unwrap();
         for name in ["reader-crash", "truncation", "clock-skew"] {
             let row = rates(scenario_line(&report, name));
             assert_eq!(row[0], 1.0, "{name} must alarm: {report}");
@@ -397,8 +406,8 @@ mod tests {
 
     #[test]
     fn matrix_is_deterministic_per_seed() {
-        let a = run_faults(true, 5, 7, None, None).unwrap();
-        let b = run_faults(true, 5, 7, None, None).unwrap();
+        let a = run_faults(true, 5, 7, None, None, None).unwrap();
+        let b = run_faults(true, 5, 7, None, None, None).unwrap();
         assert_eq!(a, b);
     }
 }

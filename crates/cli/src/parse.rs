@@ -85,6 +85,8 @@ pub enum Command {
         seed: u64,
         /// Where to write the telemetry metrics snapshot, if anywhere.
         metrics_out: Option<String>,
+        /// Where to write the Prometheus text exposition, if anywhere.
+        prom_out: Option<String>,
         /// Path of a `tagwatch-policy v1` document the scenario
         /// sessions run under (default: legacy session defaults).
         policy: Option<String>,
@@ -105,6 +107,14 @@ pub enum Command {
         metrics_out: Option<String>,
         /// Where to write the flight-recorder JSONL trace, if anywhere.
         trace_out: Option<String>,
+        /// Where to write the Prometheus text exposition, if anywhere.
+        prom_out: Option<String>,
+        /// Where to write the span-tree JSONL, if anywhere.
+        spans_out: Option<String>,
+        /// Decorate spans with I/O-shell wall-clock nanoseconds. The
+        /// cost clock stays authoritative; this trades the span
+        /// artifact's byte-stability for latency readings.
+        spans_wall: bool,
         /// Where to persist the durable write-ahead log, if anywhere.
         /// The WAL is flushed before any non-zero exit, so an
         /// invariant violation still leaves a resumable artifact.
@@ -131,10 +141,19 @@ pub enum Command {
         report: Option<String>,
     },
     /// `inspect <path>` — summarize an exported telemetry artifact (a
-    /// metrics snapshot or a JSONL event trace, auto-detected).
+    /// metrics snapshot, a JSONL event trace, a span tree, or a policy
+    /// document, auto-detected).
     Inspect {
         /// Path of the artifact to summarize.
         path: String,
+    },
+    /// `inspect diff <a> <b>` — compare two artifacts of the same kind
+    /// and report the first divergence (event, span, or metric).
+    InspectDiff {
+        /// Path of the baseline artifact.
+        a: String,
+        /// Path of the artifact to compare against it.
+        b: String,
     },
     /// `registry new <n> <m> <alpha>` — print a fresh snapshot.
     RegistryNew {
@@ -278,6 +297,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             trials: flag(args, "--trials", 100)?,
             seed: flag(args, "--seed", 1)?,
             metrics_out: path_flag(args, "--metrics-out")?,
+            prom_out: path_flag(args, "--prom-out")?,
             policy: path_flag(args, "--policy")?,
         }),
         "soak" => {
@@ -318,6 +338,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 report: path_flag(args, "--report")?,
                 metrics_out: path_flag(args, "--metrics-out")?,
                 trace_out: path_flag(args, "--trace-out")?,
+                prom_out: path_flag(args, "--prom-out")?,
+                spans_out: path_flag(args, "--spans-out")?,
+                spans_wall: args.iter().any(|a| a == "--spans-wall"),
                 wal_out,
                 crash_at,
                 policy,
@@ -332,12 +355,22 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .ok_or_else(|| err("usage: recover <wal> [--report PATH]"))?,
             report: path_flag(args, "--report")?,
         }),
-        "inspect" => Ok(Command::Inspect {
-            path: args
-                .get(1)
-                .cloned()
-                .ok_or_else(|| err("usage: inspect <path>"))?,
-        }),
+        "inspect" => match args.get(1).map(String::as_str) {
+            Some("diff") => Ok(Command::InspectDiff {
+                a: args
+                    .get(2)
+                    .cloned()
+                    .ok_or_else(|| err("usage: inspect diff <a> <b>"))?,
+                b: args
+                    .get(3)
+                    .cloned()
+                    .ok_or_else(|| err("usage: inspect diff <a> <b>"))?,
+            }),
+            Some(path) => Ok(Command::Inspect {
+                path: path.to_owned(),
+            }),
+            None => Err(err("usage: inspect <path> | inspect diff <a> <b>")),
+        },
         "identify" => Ok(Command::Identify {
             n: want(args, 1, "n")?,
             steal: flag(args, "--steal", 5)?,
@@ -476,6 +509,7 @@ mod tests {
                 trials: 10,
                 seed: 3,
                 metrics_out: None,
+                prom_out: None,
                 policy: None,
             }
         );
@@ -487,6 +521,7 @@ mod tests {
                 trials: 100,
                 seed: 1,
                 metrics_out: None,
+                prom_out: None,
                 policy: None,
             }
         );
@@ -512,6 +547,9 @@ mod tests {
                 report: Some("out.json".into()),
                 metrics_out: None,
                 trace_out: None,
+                prom_out: None,
+                spans_out: None,
+                spans_wall: false,
                 wal_out: None,
                 crash_at: None,
                 policy: None,
@@ -528,6 +566,9 @@ mod tests {
                 report: None,
                 metrics_out: None,
                 trace_out: None,
+                prom_out: None,
+                spans_out: None,
+                spans_wall: false,
                 wal_out: None,
                 crash_at: None,
                 policy: None,
@@ -619,6 +660,45 @@ mod tests {
         );
         let e = parse(&argv("inspect")).unwrap_err();
         assert!(e.message.contains("inspect <path>"));
+    }
+
+    #[test]
+    fn parses_inspect_diff() {
+        assert_eq!(
+            parse(&argv("inspect diff a.jsonl b.jsonl")).unwrap(),
+            Command::InspectDiff {
+                a: "a.jsonl".into(),
+                b: "b.jsonl".into(),
+            }
+        );
+        let e = parse(&argv("inspect diff a.jsonl")).unwrap_err();
+        assert!(e.message.contains("inspect diff <a> <b>"));
+        let e = parse(&argv("inspect diff")).unwrap_err();
+        assert!(e.message.contains("inspect diff <a> <b>"));
+    }
+
+    #[test]
+    fn parses_observability_out_flags() {
+        assert!(matches!(
+            parse(&argv("soak --prom-out m.prom --spans-out s.jsonl")).unwrap(),
+            Command::Soak { prom_out: Some(p), spans_out: Some(s), .. }
+                if p == "m.prom" && s == "s.jsonl"
+        ));
+        assert!(matches!(
+            parse(&argv("faults --quick --prom-out f.prom")).unwrap(),
+            Command::Faults { prom_out: Some(p), .. } if p == "f.prom"
+        ));
+        assert!(matches!(
+            parse(&argv("soak --spans-out s.jsonl --spans-wall")).unwrap(),
+            Command::Soak {
+                spans_wall: true,
+                ..
+            }
+        ));
+        let e = parse(&argv("soak --prom-out")).unwrap_err();
+        assert!(e.message.contains("--prom-out"));
+        let e = parse(&argv("soak --spans-out")).unwrap_err();
+        assert!(e.message.contains("--spans-out"));
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub fn run_recover_command(path: &str, report_out: Option<String>) -> Result<Str
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::soak::run_soak_command;
+    use crate::soak::{run_soak_command, SoakCmd};
 
     fn temp_dir(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!(
@@ -99,18 +99,12 @@ mod tests {
         let wal_str = wal.to_string_lossy().into_owned();
 
         // Baseline digest from the same soak run uninterrupted.
-        let full = run_soak_command(
-            3,
-            60,
-            true,
-            Some(dir.join("full.json").to_string_lossy().into_owned()),
-            None,
-            None,
-            None,
-            None,
-            None,
-            1,
-        )
+        let full = run_soak_command(SoakCmd {
+            seed: 3,
+            ticks: 60,
+            report: Some(dir.join("full.json").to_string_lossy().into_owned()),
+            ..SoakCmd::default()
+        })
         .unwrap();
         let digest_line = full
             .lines()
@@ -118,18 +112,13 @@ mod tests {
             .unwrap()
             .to_owned();
 
-        run_soak_command(
-            3,
-            60,
-            true,
-            None,
-            None,
-            None,
-            Some(wal_str.clone()),
-            Some(29),
-            None,
-            1,
-        )
+        run_soak_command(SoakCmd {
+            seed: 3,
+            ticks: 60,
+            wal_out: Some(wal_str.clone()),
+            crash_at: Some(29),
+            ..SoakCmd::default()
+        })
         .unwrap();
         let report_path = dir.join("recovered.json");
         let out = run_recover_command(&wal_str, Some(report_path.to_string_lossy().into_owned()))
@@ -147,18 +136,13 @@ mod tests {
         let dir = temp_dir("damage");
         let wal = dir.join("run.wal");
         let wal_str = wal.to_string_lossy().into_owned();
-        run_soak_command(
-            3,
-            60,
-            true,
-            None,
-            None,
-            None,
-            Some(wal_str.clone()),
-            Some(40),
-            None,
-            1,
-        )
+        run_soak_command(SoakCmd {
+            seed: 3,
+            ticks: 60,
+            wal_out: Some(wal_str.clone()),
+            crash_at: Some(40),
+            ..SoakCmd::default()
+        })
         .unwrap();
         // Chop the tail the way a truncated flush would.
         let mut bytes = std::fs::read(&wal).unwrap();
@@ -186,18 +170,14 @@ mod tests {
         let policy_str = policy_path.to_string_lossy().into_owned();
 
         // Baseline: the same policy run uninterrupted.
-        let full = run_soak_command(
-            7,
-            60,
-            false,
-            Some(dir.join("full.json").to_string_lossy().into_owned()),
-            None,
-            None,
-            None,
-            None,
-            Some(policy_str.clone()),
-            1,
-        )
+        let full = run_soak_command(SoakCmd {
+            seed: 7,
+            ticks: 60,
+            utrp: false,
+            report: Some(dir.join("full.json").to_string_lossy().into_owned()),
+            policy: Some(policy_str.clone()),
+            ..SoakCmd::default()
+        })
         .unwrap();
         let digest_line = full
             .lines()
@@ -207,18 +187,15 @@ mod tests {
 
         let wal = dir.join("run.wal");
         let wal_str = wal.to_string_lossy().into_owned();
-        run_soak_command(
-            7,
-            60,
-            false,
-            None,
-            None,
-            None,
-            Some(wal_str.clone()),
-            Some(31),
-            Some(policy_str),
-            1,
-        )
+        run_soak_command(SoakCmd {
+            seed: 7,
+            ticks: 60,
+            utrp: false,
+            wal_out: Some(wal_str.clone()),
+            crash_at: Some(31),
+            policy: Some(policy_str),
+            ..SoakCmd::default()
+        })
         .unwrap();
         let out = run_recover_command(&wal_str, None).expect("crashed policy run must recover");
         assert!(out.contains("policy: site `dock-9`"), "{out}");

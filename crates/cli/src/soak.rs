@@ -7,7 +7,7 @@ use tagwatch_analytics::soak::{
     run_soak_observed_threads, run_soak_policy_observed_threads, SoakConfig,
 };
 use tagwatch_analytics::{run_soak_durable_observed, DurableConfig, Policy, TickProtocol};
-use tagwatch_obs::Obs;
+use tagwatch_obs::{to_prometheus_text, Obs};
 use tagwatch_sim::StorageFaultPlan;
 
 use crate::parse::CliError;
@@ -38,16 +38,105 @@ pub(crate) fn write_artifact(path: &str, content: &str) -> Result<(), CliError> 
     std::fs::write(&path, content).map_err(to_cli)
 }
 
+/// The wall clock of the CLI's I/O shell: monotonic nanoseconds since
+/// construction. Injected into the span recorder only on explicit
+/// request (`--spans-wall`) because wall-decorated span artifacts are
+/// *not* byte-stable — the library layers below never see this type,
+/// which is what keeps the d1 determinism lint clean.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: std::time::Instant,
+}
+
+impl WallClock {
+    /// Anchors the clock at "now".
+    #[must_use]
+    pub fn new() -> Self {
+        WallClock {
+            epoch: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl tagwatch_obs::Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Everything the `soak` subcommand was asked to do; mirrors
+/// [`crate::parse::Command::Soak`] field for field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakCmd {
+    /// Root seed (the whole run is deterministic in it).
+    pub seed: u64,
+    /// Monitoring ticks to drive.
+    pub ticks: u64,
+    /// Routine-tick protocol (`true` = UTRP).
+    pub utrp: bool,
+    /// Report path override (default `results/soak_<seed>.json`).
+    pub report: Option<String>,
+    /// Where to write the metrics snapshot, if anywhere.
+    pub metrics_out: Option<String>,
+    /// Where to write the flight-recorder JSONL trace, if anywhere.
+    pub trace_out: Option<String>,
+    /// Where to write the Prometheus text exposition, if anywhere.
+    pub prom_out: Option<String>,
+    /// Where to write the span-tree JSONL, if anywhere.
+    pub spans_out: Option<String>,
+    /// Decorate spans with wall-clock nanoseconds (artifact is then
+    /// not byte-stable).
+    pub spans_wall: bool,
+    /// Where to persist the durable write-ahead log, if anywhere.
+    pub wal_out: Option<String>,
+    /// Scripted crash: stop just before this tick.
+    pub crash_at: Option<u64>,
+    /// Path of a `tagwatch-policy v1` document to run under.
+    pub policy: Option<String>,
+    /// Worker threads for the session's round engine.
+    pub threads: u64,
+}
+
+impl Default for SoakCmd {
+    /// The parser's defaults for a bare `tagwatch-cli soak`.
+    fn default() -> Self {
+        SoakCmd {
+            seed: 1,
+            ticks: 5000,
+            utrp: true,
+            report: None,
+            metrics_out: None,
+            trace_out: None,
+            prom_out: None,
+            spans_out: None,
+            spans_wall: false,
+            wal_out: None,
+            crash_at: None,
+            policy: None,
+            threads: 1,
+        }
+    }
+}
+
 /// Runs a soak and writes the JSON report (default path
 /// `results/soak_<seed>.json`). Exits non-zero — via the returned
 /// error — if any invariant was violated, so CI fails loudly.
 ///
 /// The run is always instrumented: `--metrics-out` exports the full
 /// metrics snapshot (violation and quarantine counts included, so the
-/// exit status has queryable context) and `--trace-out` the
-/// flight-recorder JSONL window. Both artifacts are byte-deterministic
-/// in the seed. On a violation the artifacts are written *before* the
-/// error returns.
+/// exit status has queryable context), `--trace-out` the
+/// flight-recorder JSONL window, `--prom-out` the Prometheus text
+/// exposition of the whole registry, and `--spans-out` the cost-clock
+/// span tree. All four artifacts are byte-deterministic in the seed
+/// (spans excepted under `--spans-wall`, which decorates them with
+/// I/O-shell wall-clock nanoseconds). On a violation the artifacts
+/// are written *before* the error returns.
 ///
 /// With `--wal-out` the run goes through the durable engine (same tick
 /// sequence, same report, same telemetry) and persists its write-ahead
@@ -61,19 +150,22 @@ pub(crate) fn write_artifact(path: &str, content: &str) -> Result<(), CliError> 
 ///
 /// Returns a [`CliError`] for invalid configs, report I/O failures, or
 /// invariant violations.
-#[allow(clippy::too_many_arguments)]
-pub fn run_soak_command(
-    seed: u64,
-    ticks: u64,
-    utrp: bool,
-    report_path: Option<String>,
-    metrics_out: Option<String>,
-    trace_out: Option<String>,
-    wal_out: Option<String>,
-    crash_at: Option<u64>,
-    policy_path: Option<String>,
-    threads: u64,
-) -> Result<String, CliError> {
+pub fn run_soak_command(cmd: SoakCmd) -> Result<String, CliError> {
+    let SoakCmd {
+        seed,
+        ticks,
+        utrp,
+        report: report_path,
+        metrics_out,
+        trace_out,
+        prom_out,
+        spans_out,
+        spans_wall,
+        wal_out,
+        crash_at,
+        policy: policy_path,
+        threads,
+    } = cmd;
     let threads = usize::try_from(threads.max(1)).unwrap_or(usize::MAX);
     let policy = policy_path.as_deref().map(load_policy).transpose()?;
     let config = SoakConfig {
@@ -87,6 +179,10 @@ pub fn run_soak_command(
         ..SoakConfig::default()
     };
     let obs = Obs::new();
+    if spans_wall {
+        // Wall time enters here, at the I/O shell, and nowhere deeper.
+        obs.set_span_clock(std::rc::Rc::new(WallClock::new()));
+    }
     let report = if let Some(wal_path) = &wal_out {
         let mut fault = StorageFaultPlan::new();
         if let Some(t) = crash_at {
@@ -135,6 +231,12 @@ pub fn run_soak_command(
     }
     if let Some(p) = &trace_out {
         write_artifact(p, &obs.flight_jsonl())?;
+    }
+    if let Some(p) = &prom_out {
+        write_artifact(p, &to_prometheus_text(&obs))?;
+    }
+    if let Some(p) = &spans_out {
+        write_artifact(p, &obs.spans_jsonl())?;
     }
 
     let c = &report.counts;
@@ -212,18 +314,12 @@ mod tests {
     fn soak_command_writes_a_report_and_summarizes() {
         let dir = std::env::temp_dir().join("tagwatch-soak-cli-test");
         let path = dir.join("soak_cli.json");
-        let out = run_soak_command(
-            3,
-            60,
-            true,
-            Some(path.to_string_lossy().into_owned()),
-            None,
-            None,
-            None,
-            None,
-            None,
-            1,
-        )
+        let out = run_soak_command(SoakCmd {
+            seed: 3,
+            ticks: 60,
+            report: Some(path.to_string_lossy().into_owned()),
+            ..SoakCmd::default()
+        })
         .expect("soak should be clean");
         assert!(out.contains("all soak invariants held"), "{out}");
         assert!(out.contains("digest: fnv1a:"));
@@ -236,32 +332,31 @@ mod tests {
     #[test]
     fn soak_command_exports_deterministic_telemetry_artifacts() {
         let dir = std::env::temp_dir().join("tagwatch-soak-cli-telemetry-test");
-        let paths = |tag: &str| {
-            (
-                dir.join(format!("report_{tag}.json")),
-                dir.join(format!("metrics_{tag}.json")),
-                dir.join(format!("trace_{tag}.jsonl")),
-            )
-        };
+        let paths = |tag: &str, ext: &str| dir.join(format!("{tag}.{ext}"));
         let mut artifacts = Vec::new();
         for tag in ["a", "b"] {
-            let (report, metrics, trace) = paths(tag);
-            run_soak_command(
-                5,
-                50,
-                true,
-                Some(report.to_string_lossy().into_owned()),
-                Some(metrics.to_string_lossy().into_owned()),
-                Some(trace.to_string_lossy().into_owned()),
-                None,
-                None,
-                None,
-                1,
-            )
+            let (metrics, trace, prom, spans) = (
+                paths(tag, "metrics.json"),
+                paths(tag, "trace.jsonl"),
+                paths(tag, "prom.txt"),
+                paths(tag, "spans.jsonl"),
+            );
+            run_soak_command(SoakCmd {
+                seed: 5,
+                ticks: 50,
+                report: Some(paths(tag, "report.json").to_string_lossy().into_owned()),
+                metrics_out: Some(metrics.to_string_lossy().into_owned()),
+                trace_out: Some(trace.to_string_lossy().into_owned()),
+                prom_out: Some(prom.to_string_lossy().into_owned()),
+                spans_out: Some(spans.to_string_lossy().into_owned()),
+                ..SoakCmd::default()
+            })
             .expect("soak should be clean");
             artifacts.push((
                 std::fs::read_to_string(&metrics).unwrap(),
                 std::fs::read_to_string(&trace).unwrap(),
+                std::fs::read_to_string(&prom).unwrap(),
+                std::fs::read_to_string(&spans).unwrap(),
             ));
         }
         assert_eq!(artifacts[0], artifacts[1], "telemetry must be seed-stable");
@@ -269,23 +364,46 @@ mod tests {
             .0
             .contains("\"schema\": \"tagwatch-obs-metrics-v1\""));
         assert!(artifacts[0].1.contains("\"type\":\"tick_completed\""));
+        assert!(artifacts[0]
+            .2
+            .contains("# TYPE tagwatch_rounds_total counter"));
+        assert!(artifacts[0].3.contains("\"kind\":\"session\""));
+        assert!(
+            artifacts[0].3.contains("\"wall_ns\":null"),
+            "no --spans-wall: spans must stay undecorated"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spans_wall_decorates_the_span_artifact() {
+        let dir = std::env::temp_dir().join("tagwatch-soak-cli-wall-test");
+        let spans = dir.join("wall_spans.jsonl");
+        run_soak_command(SoakCmd {
+            seed: 5,
+            ticks: 20,
+            report: Some(dir.join("report.json").to_string_lossy().into_owned()),
+            spans_out: Some(spans.to_string_lossy().into_owned()),
+            spans_wall: true,
+            ..SoakCmd::default()
+        })
+        .expect("soak should be clean");
+        let jsonl = std::fs::read_to_string(&spans).unwrap();
+        assert!(
+            !jsonl.contains("\"wall_ns\":null"),
+            "--spans-wall must stamp every span"
+        );
+        assert!(jsonl.contains("\"wall_ns\":"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn soak_command_rejects_zero_ticks() {
-        assert!(run_soak_command(
-            1,
-            0,
-            true,
-            Some("/tmp/unused.json".into()),
-            None,
-            None,
-            None,
-            None,
-            None,
-            1,
-        )
+        assert!(run_soak_command(SoakCmd {
+            ticks: 0,
+            report: Some("/tmp/unused.json".into()),
+            ..SoakCmd::default()
+        })
         .is_err());
     }
 
@@ -294,18 +412,13 @@ mod tests {
         let dir = std::env::temp_dir().join("tagwatch-soak-cli-wal-test");
         let report = dir.join("report.json");
         let wal = dir.join("run.wal");
-        let out = run_soak_command(
-            3,
-            60,
-            true,
-            Some(report.to_string_lossy().into_owned()),
-            None,
-            None,
-            Some(wal.to_string_lossy().into_owned()),
-            None,
-            None,
-            1,
-        )
+        let out = run_soak_command(SoakCmd {
+            seed: 3,
+            ticks: 60,
+            report: Some(report.to_string_lossy().into_owned()),
+            wal_out: Some(wal.to_string_lossy().into_owned()),
+            ..SoakCmd::default()
+        })
         .expect("soak should be clean");
         assert!(out.contains("all soak invariants held"), "{out}");
         let bytes = std::fs::read(&wal).unwrap();
@@ -319,18 +432,13 @@ mod tests {
     fn crashed_soak_writes_wal_and_reports_interruption() {
         let dir = std::env::temp_dir().join("tagwatch-soak-cli-crash-test");
         let wal = dir.join("crashed.wal");
-        let out = run_soak_command(
-            3,
-            60,
-            true,
-            None,
-            None,
-            None,
-            Some(wal.to_string_lossy().into_owned()),
-            Some(33),
-            None,
-            1,
-        )
+        let out = run_soak_command(SoakCmd {
+            seed: 3,
+            ticks: 60,
+            wal_out: Some(wal.to_string_lossy().into_owned()),
+            crash_at: Some(33),
+            ..SoakCmd::default()
+        })
         .expect("a scripted crash is not a command failure");
         assert!(out.contains("interrupted at tick 33"), "{out}");
         assert!(out.contains("tagwatch-cli recover"), "{out}");

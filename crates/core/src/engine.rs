@@ -721,8 +721,29 @@ impl RoundScratch {
             return self.run(f, nonces);
         }
         let mut stats = ScanStats::default();
+        let spans_on = obs.spans_enabled();
+        let mut announcement = 0u64;
         let announcements = self.run_with(f, nonces, |job, members| {
-            job.scan_range_counting(0, job.len(), members, &mut stats)
+            announcement += 1;
+            let probes_before = stats.probes;
+            let rel = job.scan_range_counting(0, job.len(), members, &mut stats);
+            if spans_on {
+                // Phase attribution by the cost clock. Slots charged
+                // per announcement telescope exactly to the frame size:
+                // a reply at relative slot `rel` elapses `rel + 1`
+                // slots of its sub-frame; silence elapses the whole
+                // remaining sub-frame (the divisor) and ends the round.
+                let slots = rel.map_or_else(|| job.frame().divisor(), |r| r + 1);
+                let probes = stats.probes - probes_before;
+                obs.span_phase(tagwatch_obs::Phase::SubFrameSetup, 0, 0);
+                let phase = if announcement == 1 {
+                    tagwatch_obs::Phase::MinScan
+                } else {
+                    tagwatch_obs::Phase::ReSeed
+                };
+                obs.span_phase(phase, slots, probes);
+            }
+            rel
         })?;
         obs.add(obs.m.probes_total, stats.probes);
         obs.add(obs.m.probes_filtered, stats.filtered);

@@ -240,6 +240,11 @@ impl RoundExecutor {
             obs.add(obs.m.slots_occupied, occupied);
             obs.set_gauge(obs.m.last_frame_size, frame);
             obs.observe(obs.m.frame_size, frame as f64);
+            // One framed announcement, then the reader walks every
+            // slot: the whole frame is min-scan cost on the cost
+            // clock. TRP never touches the probe engine.
+            obs.span_phase(tagwatch_obs::Phase::SubFrameSetup, 0, 0);
+            obs.span_phase(tagwatch_obs::Phase::MinScan, frame, 0);
             obs.emit(ObsEvent::RoundCompleted {
                 proto: ProtoKind::Trp,
                 frame,

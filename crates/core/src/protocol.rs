@@ -102,6 +102,10 @@ fn record_report(obs: &Obs, report: &MonitorReport) {
         Verdict::NotIntact => obs.inc(obs.m.verify_alarm),
         Verdict::Desynced { .. } => obs.inc(obs.m.verify_desynced),
     }
+    // Verification re-walks the mirror frame slot by slot, so the
+    // phase's deterministic cost is the frame size; it issues no
+    // scan-engine probes.
+    obs.span_phase(tagwatch_obs::Phase::Verify, report.frame_size, 0);
     obs.observe(obs.m.hamming_distance, report.mismatched_slots as f64);
     obs.emit(ObsEvent::Verified {
         proto: report.protocol.obs_kind(),
@@ -166,13 +170,20 @@ impl Protocol for Trp {
         rng: &mut R,
         obs: &Obs,
     ) -> Result<MonitorReport, CoreError> {
-        let challenge = server.issue_trp_challenge(rng)?;
-        let f = challenge.frame_size().get();
-        let bs = executor.run_trp_observed(floor, &challenge, rng, obs)?;
-        let report =
-            alarm_on_shape_mismatch(server.verify_trp(challenge, &bs), ProtocolKind::Trp, f)?;
-        record_report(obs, &report);
-        Ok(report)
+        // The round span brackets challenge, field round and verify so
+        // phase costs inside attribute to it; close on error paths too.
+        obs.span_open(tagwatch_obs::SpanKind::Round);
+        let result = (|| {
+            let challenge = server.issue_trp_challenge(rng)?;
+            let f = challenge.frame_size().get();
+            let bs = executor.run_trp_observed(floor, &challenge, rng, obs)?;
+            let report =
+                alarm_on_shape_mismatch(server.verify_trp(challenge, &bs), ProtocolKind::Trp, f)?;
+            record_report(obs, &report);
+            Ok(report)
+        })();
+        obs.span_close();
+        result
     }
 }
 
@@ -215,18 +226,23 @@ impl Protocol for Utrp {
         rng: &mut R,
         obs: &Obs,
     ) -> Result<MonitorReport, CoreError> {
-        let timing = server.config().timing;
-        let challenge = server.issue_utrp_challenge(rng)?;
-        let f = challenge.frame_size().get();
-        let response =
-            executor.run_utrp_scratch_observed(floor, &challenge, &timing, rng, scratch, obs)?;
-        let report = alarm_on_shape_mismatch(
-            server.verify_utrp_with(challenge, &response, scratch),
-            ProtocolKind::Utrp,
-            f,
-        )?;
-        record_report(obs, &report);
-        Ok(report)
+        obs.span_open(tagwatch_obs::SpanKind::Round);
+        let result = (|| {
+            let timing = server.config().timing;
+            let challenge = server.issue_utrp_challenge(rng)?;
+            let f = challenge.frame_size().get();
+            let response = executor
+                .run_utrp_scratch_observed(floor, &challenge, &timing, rng, scratch, obs)?;
+            let report = alarm_on_shape_mismatch(
+                server.verify_utrp_with(challenge, &response, scratch),
+                ProtocolKind::Utrp,
+                f,
+            )?;
+            record_report(obs, &report);
+            Ok(report)
+        })();
+        obs.span_close();
+        result
     }
 }
 

@@ -23,6 +23,7 @@ pub struct Histogram {
     underflow: u64,
     overflow: u64,
     count: u64,
+    sum: f64,
 }
 
 impl Histogram {
@@ -44,6 +45,7 @@ impl Histogram {
             underflow: 0,
             overflow: 0,
             count: 0,
+            sum: 0.0,
         }
     }
 
@@ -54,6 +56,12 @@ impl Histogram {
     /// distribution without any trace.
     pub fn record(&mut self, value: f64) {
         self.count += 1;
+        // Non-finite observations are excluded from the sum: one NaN
+        // or infinity would otherwise poison `_sum` forever while the
+        // bucket counts stayed healthy.
+        if value.is_finite() {
+            self.sum += value;
+        }
         if value < self.lo {
             self.underflow += 1;
         } else if value >= self.hi || value.is_nan() {
@@ -77,6 +85,13 @@ impl Histogram {
     /// Adds every count of `other` into `self` — the reduction step
     /// when per-shard histograms are combined into one report.
     ///
+    /// Counts saturate instead of wrapping: near-`u64::MAX` inputs
+    /// would otherwise overflow-panic in debug builds and silently
+    /// wrap in release builds, and a saturated (pinned-at-max) count
+    /// is the only rendering of that state that cannot masquerade as
+    /// a small healthy value. The sum saturates to `f64::MAX` the
+    /// same way (IEEE addition already does).
+    ///
     /// # Panics
     ///
     /// Panics if the two histograms have different bounds or bin
@@ -94,11 +109,12 @@ impl Histogram {
             other.bins.len(),
         );
         for (b, o) in self.bins.iter_mut().zip(&other.bins) {
-            *b += o;
+            *b = b.saturating_add(*o);
         }
-        self.underflow += other.underflow;
-        self.overflow += other.overflow;
-        self.count += other.count;
+        self.underflow = self.underflow.saturating_add(other.underflow);
+        self.overflow = self.overflow.saturating_add(other.overflow);
+        self.count = self.count.saturating_add(other.count);
+        self.sum += other.sum;
     }
 
     /// The `q`-quantile (0 ≤ q ≤ 1) estimated from bin counts by the
@@ -136,6 +152,14 @@ impl Histogram {
     #[must_use]
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of every finite observation recorded (the Prometheus
+    /// `_sum` series; non-finite observations are excluded — see
+    /// [`Histogram::record`]).
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
     }
 
     /// Observations below the range.
@@ -276,7 +300,56 @@ mod tests {
         let mut b = Histogram::new(0.0, 10.0, 4);
         b.extend(ys);
         a.merge(&b);
-        assert_eq!(a, combined);
+        assert_eq!(a.bins(), combined.bins());
+        assert_eq!(a.underflow(), combined.underflow());
+        assert_eq!(a.overflow(), combined.overflow());
+        assert_eq!(a.count(), combined.count());
+        // Sums associate differently across the merge; equality holds
+        // only up to float rounding.
+        assert!((a.sum() - combined.sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping_near_u64_max() {
+        let mut a = Histogram::new(0.0, 10.0, 2);
+        let mut b = Histogram::new(0.0, 10.0, 2);
+        // Drive every counter near the ceiling by hand: recording
+        // u64::MAX observations is not a thing a test can do.
+        for h in [&mut a, &mut b] {
+            h.bins = vec![u64::MAX - 1, 3];
+            h.underflow = u64::MAX - 2;
+            h.overflow = u64::MAX;
+            h.count = u64::MAX - 1;
+        }
+        a.merge(&b);
+        assert_eq!(a.bins(), &[u64::MAX, 6]);
+        assert_eq!(a.underflow(), u64::MAX);
+        assert_eq!(a.overflow(), u64::MAX);
+        assert_eq!(a.count(), u64::MAX);
+        // Merging again must stay pinned, not wrap back around.
+        a.merge(&b);
+        assert_eq!(a.bins(), &[u64::MAX, 9]);
+        assert_eq!(a.count(), u64::MAX);
+    }
+
+    #[test]
+    fn sum_tracks_finite_observations_only() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.extend([1.0, 4.0, 12.0, -2.0]);
+        assert_eq!(h.sum(), 15.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.sum(), 15.0, "non-finite observations leave sum alone");
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn single_in_range_bucket_percentiles_hit_its_upper_edge() {
+        let mut h = Histogram::new(0.0, 10.0, 1);
+        h.extend([1.0, 5.0, 9.0]);
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Some(10.0));
+        }
     }
 
     #[test]
@@ -363,5 +436,34 @@ mod tests {
     #[should_panic(expected = "quantile must be in [0, 1]")]
     fn bad_quantile_panics() {
         let _ = percentile(&[1.0], 1.5);
+    }
+
+    mod quantile_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The fixed-bucket estimate returns the upper edge of the
+            /// bin holding the nearest-rank observation, so it can
+            /// never stray more than one bucket width above the exact
+            /// sorted-sample quantile (and never below it).
+            #[test]
+            fn estimate_within_one_bucket_width_of_exact(
+                samples in prop::collection::vec(0.0f64..100.0, 1..200),
+            ) {
+                const BINS: usize = 20;
+                let width = 100.0 / BINS as f64;
+                let mut h = Histogram::new(0.0, 100.0, BINS);
+                h.extend(samples.iter().copied());
+                for q in [0.5, 0.99] {
+                    let est = h.percentile(q).expect("non-empty");
+                    let exact = percentile(&samples, q).expect("non-empty");
+                    prop_assert!(
+                        est >= exact && est - exact <= width,
+                        "q={q}: estimate {est} vs exact {exact} (width {width})"
+                    );
+                }
+            }
+        }
     }
 }

@@ -17,10 +17,17 @@
 //!   desynced verdicts, quarantine transitions). The [`EventSink`]
 //!   trait is the common mouth this ring shares with
 //!   `tagwatch_sim::Trace`.
-//! - **Deterministic export** — [`Obs::snapshot_json`] and
-//!   [`FlightRecorder::to_jsonl`] render byte-stable artifacts with
-//!   embedded FNV-1a digests ([`fnv1a_lines`]), so two runs with the
-//!   same seed diff clean and CI can pin a golden fingerprint.
+//! - **[`SpanRecorder`]** — deterministic span tracing: a session →
+//!   tick → round tree whose spans are timed by the *cost clock*
+//!   (slots elapsed, probes issued, ticks) instead of wall time, with
+//!   per-phase attribution (sub-frame setup, min-scan, verify,
+//!   re-seed). Wall-clock decoration is opt-in via the [`Clock`]
+//!   trait and lives only in the CLI/bench I/O shell.
+//! - **Deterministic export** — [`Obs::snapshot_json`],
+//!   [`FlightRecorder::to_jsonl`] and [`to_prometheus_text`] render
+//!   byte-stable artifacts with embedded FNV-1a digests
+//!   ([`fnv1a_lines`]), so two runs with the same seed diff clean and
+//!   CI can pin a golden fingerprint.
 //!
 //! The crate is std-only and sits below every other workspace crate;
 //! any layer can record into it without dependency cycles.
@@ -32,9 +39,16 @@ pub mod export;
 pub mod histogram;
 pub mod metrics;
 pub mod recorder;
+pub mod span;
 
 pub use event::{EventSink, NullSink, ObsEvent, ProtoKind, VerdictKind};
-pub use export::{fnv1a_bytes, fnv1a_lines, json_escape, json_f64, FNV_OFFSET_BASIS, FNV_PRIME};
+pub use export::{
+    fnv1a_bytes, fnv1a_lines, json_escape, json_f64, to_prometheus_text, FNV_OFFSET_BASIS,
+    FNV_PRIME, PROM_PREFIX,
+};
 pub use histogram::{percentile, Histogram};
 pub use metrics::{CounterId, FlightDump, GaugeId, HistogramId, Obs, StandardMetrics};
 pub use recorder::{FlightRecorder, DEFAULT_RING_CAPACITY};
+pub use span::{
+    Clock, Phase, PhaseCost, SpanKind, SpanRecorder, SpanRollup, DEFAULT_SPAN_CAPACITY, PHASES,
+};

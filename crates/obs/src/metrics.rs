@@ -25,11 +25,13 @@
 
 use std::cell::{Cell, RefCell};
 use std::fmt::Write as _;
+use std::rc::Rc;
 
 use crate::event::ObsEvent;
-use crate::export::{fnv1a_lines, json_escape};
+use crate::export::{fnv1a_lines, json_escape, json_f64};
 use crate::histogram::Histogram;
 use crate::recorder::FlightRecorder;
+use crate::span::{Clock, Phase, SpanKind, SpanRecorder, SpanRollup};
 
 /// Handle to a registered counter (monotonic `u64`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,10 +121,13 @@ pub struct StandardMetrics {
 #[derive(Debug, Default)]
 struct Registry {
     counter_names: Vec<&'static str>,
+    counter_help: Vec<&'static str>,
     counters: Vec<Cell<u64>>,
     gauge_names: Vec<&'static str>,
+    gauge_help: Vec<&'static str>,
     gauges: Vec<Cell<u64>>,
     histogram_names: Vec<&'static str>,
+    histogram_help: Vec<&'static str>,
     histograms: Vec<RefCell<Histogram>>,
 }
 
@@ -131,8 +136,10 @@ struct Registry {
 #[derive(Debug)]
 pub struct Obs {
     enabled: bool,
+    span_on: bool,
     reg: Registry,
     recorder: RefCell<FlightRecorder>,
+    spans: RefCell<SpanRecorder>,
     dump: RefCell<Option<FlightDump>>,
     /// Pre-resolved handles for the standard catalog.
     pub m: StandardMetrics,
@@ -154,7 +161,7 @@ impl Obs {
     /// Panics if `capacity == 0`.
     #[must_use]
     pub fn with_ring_capacity(capacity: usize) -> Self {
-        Self::build(true, capacity)
+        Self::build(true, true, capacity)
     }
 
     /// Creates a disabled `Obs`: every record method reduces to one
@@ -163,60 +170,122 @@ impl Obs {
     #[must_use]
     pub fn disabled() -> Self {
         // Capacity 1 keeps the unused ring allocation negligible.
-        Self::build(false, 1)
+        Self::build(false, false, 1)
     }
 
-    fn build(enabled: bool, ring_capacity: usize) -> Self {
+    /// Creates an enabled `Obs` with span tracing switched off:
+    /// metrics, events and dumps record as usual, but every span call
+    /// is one untaken branch and no tree is retained. For callers
+    /// that want the registry without per-round span bookkeeping.
+    #[must_use]
+    pub fn metrics_only() -> Self {
+        Self::build(true, false, crate::recorder::DEFAULT_RING_CAPACITY)
+    }
+
+    fn build(enabled: bool, spans: bool, ring_capacity: usize) -> Self {
         let mut reg = Registry::default();
-        let mut counter = |name| {
+        let mut counter = |name, help| {
             reg.counter_names.push(name);
+            reg.counter_help.push(help);
             reg.counters.push(Cell::new(0));
             CounterId(reg.counters.len() - 1)
         };
-        let rounds_total = counter("rounds_total");
-        let rounds_trp = counter("rounds_trp");
-        let rounds_utrp = counter("rounds_utrp");
-        let slots_total = counter("slots_total");
-        let slots_occupied = counter("slots_occupied");
-        let reseeds_total = counter("reseeds_total");
-        let probes_total = counter("probes_total");
-        let probes_filtered = counter("probes_filtered");
-        let verify_intact = counter("verify_intact");
-        let verify_alarm = counter("verify_alarm");
-        let verify_desynced = counter("verify_desynced");
-        let resync_attempts = counter("resync_attempts");
-        let resync_successes = counter("resync_successes");
-        let escalations = counter("escalations");
-        let quarantine_events = counter("quarantine_events");
-        let audits_total = counter("audits_total");
-        let soak_ticks = counter("soak_ticks");
-        let soak_violations = counter("soak_violations");
-        let events_dropped = counter("events_dropped");
+        let rounds_total = counter("rounds_total", "Rounds executed, either protocol.");
+        let rounds_trp = counter("rounds_trp", "TRP rounds executed.");
+        let rounds_utrp = counter("rounds_utrp", "UTRP rounds executed.");
+        let slots_total = counter("slots_total", "Frame slots issued across all rounds.");
+        let slots_occupied = counter("slots_occupied", "Slots that carried a reply.");
+        let reseeds_total = counter(
+            "reseeds_total",
+            "UTRP re-seeds (announcements beyond the first).",
+        );
+        let probes_total = counter(
+            "probes_total",
+            "Per-tag slot probes evaluated by the scan engine.",
+        );
+        let probes_filtered = counter(
+            "probes_filtered",
+            "Probes skipped by the candidate pre-filter.",
+        );
+        let verify_intact = counter("verify_intact", "Verifications that returned Intact.");
+        let verify_alarm = counter("verify_alarm", "Verifications that returned NotIntact.");
+        let verify_desynced = counter("verify_desynced", "Verifications that returned Desynced.");
+        let resync_attempts = counter("resync_attempts", "Resync ladder rungs attempted.");
+        let resync_successes = counter("resync_successes", "Resync rungs that restored sync.");
+        let escalations = counter("escalations", "Session escalations to full identification.");
+        let quarantine_events = counter(
+            "quarantine_events",
+            "Quarantine transitions (batches, not tags).",
+        );
+        let audits_total = counter("audits_total", "Quarantine audits performed.");
+        let soak_ticks = counter("soak_ticks", "Soak ticks completed.");
+        let soak_violations = counter("soak_violations", "Soak invariant violations observed.");
+        let events_dropped = counter(
+            "events_dropped",
+            "Events dropped by bounded sinks (flight ring, sim traces).",
+        );
 
-        let mut gauge = |name| {
+        let mut gauge = |name, help| {
             reg.gauge_names.push(name);
+            reg.gauge_help.push(help);
             reg.gauges.push(Cell::new(0));
             GaugeId(reg.gauges.len() - 1)
         };
-        let quarantine_occupancy = gauge("quarantine_occupancy");
-        let last_frame_size = gauge("last_frame_size");
+        let quarantine_occupancy = gauge(
+            "quarantine_occupancy",
+            "Current quarantine occupancy (tags).",
+        );
+        let last_frame_size = gauge("last_frame_size", "Frame size of the most recent round.");
 
-        let mut hist = |name, lo: f64, hi: f64, bins: usize| {
+        let mut hist = |name, help, lo: f64, hi: f64, bins: usize| {
             reg.histogram_names.push(name);
+            reg.histogram_help.push(help);
             reg.histograms
                 .push(RefCell::new(Histogram::new(lo, hi, bins)));
             HistogramId(reg.histograms.len() - 1)
         };
-        let frame_size = hist("frame_size", 0.0, 4096.0, 32);
-        let hamming_distance = hist("hamming_distance", 0.0, 64.0, 16);
-        let resync_depth = hist("resync_depth", 0.0, 8.0, 8);
-        let audit_latency_ticks = hist("audit_latency_ticks", 0.0, 64.0, 16);
-        let round_elapsed_ms = hist("round_elapsed_ms", 0.0, 1000.0, 20);
+        let frame_size = hist(
+            "frame_size",
+            "Distribution of round frame sizes.",
+            0.0,
+            4096.0,
+            32,
+        );
+        let hamming_distance = hist(
+            "hamming_distance",
+            "Distribution of verify hamming distances (mismatched slots).",
+            0.0,
+            64.0,
+            16,
+        );
+        let resync_depth = hist(
+            "resync_depth",
+            "Distribution of resync ladder depths (attempts per recovery).",
+            0.0,
+            8.0,
+            8,
+        );
+        let audit_latency_ticks = hist(
+            "audit_latency_ticks",
+            "Distribution of quarantine audit latencies in ticks.",
+            0.0,
+            64.0,
+            16,
+        );
+        let round_elapsed_ms = hist(
+            "round_elapsed_ms",
+            "Distribution of round scanning times in milliseconds.",
+            0.0,
+            1000.0,
+            20,
+        );
 
         Obs {
             enabled,
+            span_on: enabled && spans,
             reg,
             recorder: RefCell::new(FlightRecorder::with_capacity(ring_capacity)),
+            spans: RefCell::new(SpanRecorder::new(enabled && spans)),
             dump: RefCell::new(None),
             m: StandardMetrics {
                 rounds_total,
@@ -326,6 +395,67 @@ impl Obs {
         self.recorder.borrow().dropped()
     }
 
+    /// Whether span tracing is active — instrumented loops may hoist
+    /// this single branch out of per-announcement work.
+    #[inline]
+    #[must_use]
+    pub fn spans_enabled(&self) -> bool {
+        self.span_on
+    }
+
+    /// Opens a span of `kind` (see [`SpanRecorder::open`]).
+    #[inline]
+    pub fn span_open(&self, kind: SpanKind) {
+        if self.span_on {
+            self.spans.borrow_mut().open(kind);
+        }
+    }
+
+    /// Closes the innermost open span.
+    #[inline]
+    pub fn span_close(&self) {
+        if self.span_on {
+            self.spans.borrow_mut().close();
+        }
+    }
+
+    /// Closes every open span — the driver finish hook.
+    pub fn span_close_all(&self) {
+        if self.span_on {
+            self.spans.borrow_mut().close_all();
+        }
+    }
+
+    /// Charges `slots`/`probes` of deterministic cost to `phase` on
+    /// the innermost open span and the whole-run rollup.
+    #[inline]
+    pub fn span_phase(&self, phase: Phase, slots: u64, probes: u64) {
+        if self.span_on {
+            self.spans.borrow_mut().phase(phase, slots, probes);
+        }
+    }
+
+    /// Injects a wall clock into the span recorder. I/O-shell only:
+    /// decorated span artifacts are not byte-stable (see
+    /// [`SpanRecorder::set_clock`]).
+    pub fn set_span_clock(&self, clock: Rc<dyn Clock>) {
+        self.spans.borrow_mut().set_clock(clock);
+    }
+
+    /// The exact per-phase cost rollup (all-zero when spans are off).
+    #[must_use]
+    pub fn span_rollup(&self) -> SpanRollup {
+        self.spans.borrow().rollup()
+    }
+
+    /// Serializes the span tree as JSONL (see
+    /// [`SpanRecorder::to_jsonl`]). Byte-deterministic unless a wall
+    /// clock was injected.
+    #[must_use]
+    pub fn spans_jsonl(&self) -> String {
+        self.spans.borrow().to_jsonl()
+    }
+
     /// Captures a flight-recorder dump if none has been captured yet.
     /// The *first* failure wins: later triggers in the same run keep
     /// the postmortem closest to the original fault. No-op when
@@ -347,6 +477,42 @@ impl Obs {
     #[must_use]
     pub fn dump(&self) -> Option<FlightDump> {
         self.dump.borrow().clone()
+    }
+
+    /// Walks every counter in registration order as
+    /// `(name, help, value)` — the exposition surface
+    /// [`crate::export::to_prometheus_text`] renders.
+    pub fn counters_iter(&self) -> impl Iterator<Item = (&'static str, &'static str, u64)> + '_ {
+        self.reg
+            .counter_names
+            .iter()
+            .zip(&self.reg.counter_help)
+            .zip(&self.reg.counters)
+            .map(|((&name, &help), cell)| (name, help, cell.get()))
+    }
+
+    /// Walks every gauge in registration order as `(name, help, value)`.
+    pub fn gauges_iter(&self) -> impl Iterator<Item = (&'static str, &'static str, u64)> + '_ {
+        self.reg
+            .gauge_names
+            .iter()
+            .zip(&self.reg.gauge_help)
+            .zip(&self.reg.gauges)
+            .map(|((&name, &help), cell)| (name, help, cell.get()))
+    }
+
+    /// Walks every histogram in registration order as
+    /// `(name, help, state)`. The state is cloned: histograms are tiny
+    /// (tens of bins) and the caller gets a consistent snapshot.
+    pub fn histograms_iter(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, &'static str, Histogram)> + '_ {
+        self.reg
+            .histogram_names
+            .iter()
+            .zip(&self.reg.histogram_help)
+            .zip(&self.reg.histograms)
+            .map(|((&name, &help), h)| (name, help, h.borrow().clone()))
     }
 
     /// Renders every metric, in registration order, as a
@@ -419,12 +585,21 @@ impl Obs {
                 }
                 let _ = write!(line, "{b}");
             }
+            let quantile = |q| {
+                h.percentile(q)
+                    .map_or_else(|| "null".into(), crate::export::json_f64)
+            };
             let _ = write!(
                 line,
-                "], \"underflow\": {}, \"overflow\": {}, \"count\": {}}}{comma}",
+                "], \"underflow\": {}, \"overflow\": {}, \"count\": {}, \"sum\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}}}{comma}",
                 h.underflow(),
                 h.overflow(),
-                h.count()
+                h.count(),
+                json_f64(h.sum()),
+                quantile(0.50),
+                quantile(0.90),
+                quantile(0.99),
             );
             lines.push(line);
         }
