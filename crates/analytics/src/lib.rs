@@ -71,8 +71,7 @@ pub use scan::{
     run_round_parallel, run_round_parallel_observed,
 };
 pub use session::{
-    MonitoringSession, SessionBuilder, SessionEvent, SessionLadderState, SessionPolicy,
-    SessionPolicyBuilder, TickProtocol,
+    MonitoringSession, SessionBuilder, SessionEvent, SessionLadderState, TickProtocol,
 };
 pub use soak::{
     run_soak, run_soak_observed, run_soak_observed_threads, run_soak_policy,

@@ -2,7 +2,7 @@
 //!
 //! The paper's protocols say *when a tag looks missing*; everything
 //! operational — alarm confirmation, desync strikes, quarantine, audit
-//! budgets — used to live in the hardcoded [`SessionPolicy`] ladder.
+//! budgets — used to live in a hardcoded session-policy ladder.
 //! This module replaces that with a versioned, deterministic, text
 //! document (`tagwatch-policy v1`, the same hand-rolled sectioned
 //! format discipline as `tagwatch-checkpoint v1`) parsed into a
@@ -43,7 +43,7 @@
 //!
 //! ## Determinism contract
 //!
-//! [`Policy::default`] equals `Policy::from(SessionPolicy::default())`
+//! [`Policy::default`] carries the legacy ladder defaults
 //! and its document reproduces the committed soak/obs golden digests
 //! byte-for-byte. `Policy::parse(p.to_text()) == p` for every valid
 //! policy, and the flat key–value codec ([`Policy::to_flat_lines`] /
@@ -55,7 +55,7 @@ use std::fmt;
 
 use tagwatch_core::identify::IdentifyConfig;
 
-use crate::session::{SessionPolicy, TickProtocol};
+use crate::session::TickProtocol;
 
 /// Header line of every policy document.
 pub const POLICY_HEADER: &str = "tagwatch-policy v1";
@@ -153,31 +153,18 @@ pub struct Policy {
 }
 
 impl Default for Policy {
-    /// The documented defaults, equal to
-    /// `Policy::from(SessionPolicy::default())`: site `default`, TRP
-    /// ticks, escalate after 2 consecutive alarms (by identification),
-    /// up to 3 in-tick desync retries, quarantine on the 2nd strike,
-    /// desync window 96, unlimited audits counted over 100-tick
-    /// windows.
+    /// The documented defaults: site `default`, TRP ticks, escalate
+    /// after 2 consecutive alarms (by identification), up to 3
+    /// in-tick desync retries, quarantine on the 2nd strike, desync
+    /// window 96, unlimited audits counted over 100-tick windows.
     fn default() -> Self {
-        Policy::from(SessionPolicy::default())
-    }
-}
-
-impl From<SessionPolicy> for Policy {
-    /// Compiles a legacy ladder policy up to the declarative form.
-    /// The legacy `desyncs_to_quarantine` clamp (`values <= 1`
-    /// quarantine on the first offense) is applied eagerly, and the
-    /// fields `SessionPolicy` never carried take their documented
-    /// defaults.
-    fn from(legacy: SessionPolicy) -> Self {
         Policy {
             site: "default".to_string(),
-            protocol: legacy.protocol,
-            alarms_to_escalate: legacy.alarms_to_escalate,
-            max_desync_retries: legacy.max_desync_retries,
-            desyncs_to_quarantine: Some(legacy.desyncs_to_quarantine.max(1)),
-            identify: legacy.identify,
+            protocol: TickProtocol::Trp,
+            alarms_to_escalate: 2,
+            max_desync_retries: 3,
+            desyncs_to_quarantine: Some(2),
+            identify: IdentifyConfig::default(),
             desync_window: DEFAULT_DESYNC_WINDOW,
             audit_budget: None,
             audit_window: DEFAULT_AUDIT_WINDOW,
@@ -867,7 +854,6 @@ mod tests {
     #[test]
     fn default_policy_mirrors_the_legacy_defaults() {
         let p = Policy::default();
-        assert_eq!(p, Policy::from(SessionPolicy::default()));
         assert_eq!(p.site, "default");
         assert_eq!(p.protocol, TickProtocol::Trp);
         assert_eq!(p.alarms_to_escalate, 2);
@@ -881,12 +867,16 @@ mod tests {
     }
 
     #[test]
-    fn legacy_quarantine_clamp_is_applied_eagerly() {
-        let legacy = SessionPolicy {
-            desyncs_to_quarantine: 0,
-            ..SessionPolicy::default()
-        };
-        assert_eq!(Policy::from(legacy).desyncs_to_quarantine, Some(1));
+    fn builder_quarantine_clamp_is_applied_eagerly() {
+        use crate::session::MonitoringSession;
+        use tagwatch_core::MonitorServer;
+        use tagwatch_sim::TagPopulation;
+        let floor = TagPopulation::with_sequential_ids(10);
+        let server = MonitorServer::new(floor.ids(), 1, 0.9).unwrap();
+        let session = MonitoringSession::builder(server)
+            .desyncs_to_quarantine(0)
+            .build();
+        assert_eq!(session.policy().desyncs_to_quarantine, Some(1));
     }
 
     #[test]

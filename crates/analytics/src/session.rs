@@ -37,8 +37,9 @@
 //! each decision it takes — an in-tick resync retry, a quarantine, an
 //! escalation, an audited release — is recorded as a [`PolicyAction`]
 //! on the session's [policy trace](MonitoringSession::policy_trace)
-//! alongside the event log. [`SessionPolicy`] and its builders remain
-//! as thin compatibility shims that compile down to a `Policy`.
+//! alongside the event log. Build a [`Policy`] directly (struct
+//! update over [`Policy::default`], a parsed `tagwatch-policy v1`
+//! document, or the fluent [`SessionBuilder`] knobs).
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -63,147 +64,68 @@ pub enum TickProtocol {
     Utrp,
 }
 
-/// Legacy session policy knobs, kept as a thin shim: new code should
-/// build a declarative [`Policy`] (or parse a `tagwatch-policy v1`
-/// document) instead. A `SessionPolicy` compiles down to a `Policy`
-/// via `From`, with the fields it never carried at their documented
-/// defaults. Build one with [`SessionPolicy::builder`] (or use
-/// [`SessionPolicy::default`] and struct update for tests).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct SessionPolicy {
-    /// Protocol for routine ticks.
-    pub protocol: TickProtocol,
-    /// Consecutive alarming ticks before escalating to identification.
-    pub alarms_to_escalate: u32,
-    /// How many times one tick may re-challenge (fresh nonces) after a
-    /// diagnosed desync before giving up and counting the tick as
-    /// alarming. `0` means a desynced round is never retried in-tick.
-    pub max_desync_retries: u32,
-    /// Desync strikes before a suspect tag is quarantined for physical
-    /// audit (values `<= 1` quarantine on the first offense).
-    pub desyncs_to_quarantine: u32,
-    /// Identification configuration used on escalation.
-    pub identify: IdentifyConfig,
+/// Fluent builder for [`MonitoringSession`]: wraps a server and a
+/// [`Policy`] seeded with the documented defaults, so the common
+/// knobs chain directly without spelling out a whole document. For
+/// anything the knobs don't cover (site label, audit budgets,
+/// escalation action), build the [`Policy`] by struct update or parse
+/// a `tagwatch-policy v1` document and pass it to
+/// [`SessionBuilder::policy`].
+#[derive(Debug)]
+pub struct SessionBuilder {
+    server: MonitorServer,
+    policy: Policy,
 }
 
-impl Default for SessionPolicy {
-    /// The documented defaults: TRP ticks, escalate after 2 consecutive
-    /// alarms, up to 3 in-tick desync retries, quarantine on the 2nd
-    /// desync strike, default identification budget.
-    fn default() -> Self {
-        SessionPolicy {
-            protocol: TickProtocol::Trp,
-            alarms_to_escalate: 2,
-            max_desync_retries: 3,
-            desyncs_to_quarantine: 2,
-            identify: IdentifyConfig::default(),
-        }
-    }
-}
-
-impl SessionPolicy {
-    /// Starts a policy builder seeded with the
-    /// [defaults](SessionPolicy::default).
-    #[must_use]
-    pub fn builder() -> SessionPolicyBuilder {
-        SessionPolicyBuilder {
-            policy: SessionPolicy::default(),
-        }
-    }
-}
-
-/// Expands the policy knob methods onto a builder. Each knob is
-/// declared exactly once here; both [`SessionPolicyBuilder`] (which
-/// mutates its policy directly) and [`SessionBuilder`] (which forwards
-/// to its inner policy builder) get the same surface by providing a
-/// private `apply(self, impl FnOnce(&mut SessionPolicy)) -> Self`.
-macro_rules! policy_knobs {
-    () => {
-        /// Protocol for routine ticks (default [`TickProtocol::Trp`]).
-        #[must_use]
-        pub fn protocol(self, protocol: TickProtocol) -> Self {
-            self.apply(|p| p.protocol = protocol)
-        }
-
-        /// Consecutive alarming ticks before escalation (default 2).
-        #[must_use]
-        pub fn alarms_to_escalate(self, count: u32) -> Self {
-            self.apply(|p| p.alarms_to_escalate = count)
-        }
-
-        /// In-tick desync re-challenge budget (default 3).
-        #[must_use]
-        pub fn max_desync_retries(self, count: u32) -> Self {
-            self.apply(|p| p.max_desync_retries = count)
-        }
-
-        /// Desync strikes before quarantine (default 2).
-        #[must_use]
-        pub fn desyncs_to_quarantine(self, count: u32) -> Self {
-            self.apply(|p| p.desyncs_to_quarantine = count)
-        }
-
-        /// Identification configuration for escalations.
-        #[must_use]
-        pub fn identify(self, config: IdentifyConfig) -> Self {
-            self.apply(|p| p.identify = config)
-        }
-    };
-}
-
-/// Fluent builder for [`SessionPolicy`] (legacy shim — see
-/// [`SessionPolicy`]). Every knob starts at the documented default;
-/// set only what differs.
-#[derive(Debug, Clone, Copy)]
-pub struct SessionPolicyBuilder {
-    policy: SessionPolicy,
-}
-
-impl SessionPolicyBuilder {
-    /// Applies one knob mutation.
-    fn apply(mut self, f: impl FnOnce(&mut SessionPolicy)) -> Self {
+impl SessionBuilder {
+    /// Applies one knob mutation to the policy under construction.
+    fn apply(mut self, f: impl FnOnce(&mut Policy)) -> Self {
         f(&mut self.policy);
         self
     }
 
-    policy_knobs!();
-
-    /// Finalizes the policy.
+    /// Replaces the whole policy at once (e.g. a parsed document).
     #[must_use]
-    pub fn build(self) -> SessionPolicy {
-        self.policy
-    }
-}
-
-/// Fluent builder for [`MonitoringSession`]: wraps a server and a
-/// [`SessionPolicyBuilder`], so policy knobs chain directly (the knob
-/// methods themselves are defined once, on the `policy_knobs!` macro).
-#[derive(Debug)]
-pub struct SessionBuilder {
-    server: MonitorServer,
-    policy: SessionPolicyBuilder,
-}
-
-impl SessionBuilder {
-    /// Forwards one knob mutation to the inner policy builder.
-    fn apply(mut self, f: impl FnOnce(&mut SessionPolicy)) -> Self {
-        self.policy = self.policy.apply(f);
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
         self
     }
 
-    /// Replaces the whole policy at once (e.g. a saved profile).
+    /// Protocol for routine ticks (default [`TickProtocol::Trp`]).
     #[must_use]
-    pub fn policy(mut self, policy: SessionPolicy) -> Self {
-        self.policy = SessionPolicyBuilder { policy };
-        self
+    pub fn protocol(self, protocol: TickProtocol) -> Self {
+        self.apply(|p| p.protocol = protocol)
     }
 
-    policy_knobs!();
+    /// Consecutive alarming ticks before escalation (default 2).
+    #[must_use]
+    pub fn alarms_to_escalate(self, count: u32) -> Self {
+        self.apply(|p| p.alarms_to_escalate = count)
+    }
+
+    /// In-tick desync re-challenge budget (default 3).
+    #[must_use]
+    pub fn max_desync_retries(self, count: u32) -> Self {
+        self.apply(|p| p.max_desync_retries = count)
+    }
+
+    /// Desync strikes before quarantine (default 2; values `<= 1`
+    /// quarantine on the first offense).
+    #[must_use]
+    pub fn desyncs_to_quarantine(self, count: u32) -> Self {
+        self.apply(|p| p.desyncs_to_quarantine = Some(count.max(1)))
+    }
+
+    /// Identification configuration for escalations.
+    #[must_use]
+    pub fn identify(self, config: IdentifyConfig) -> Self {
+        self.apply(|p| p.identify = config)
+    }
 
     /// Finalizes the session.
     #[must_use]
     pub fn build(self) -> MonitoringSession {
-        MonitoringSession::new(self.server, self.policy.build())
+        MonitoringSession::new(self.server, self.policy)
     }
 }
 
@@ -316,15 +238,14 @@ pub struct MonitoringSession {
 }
 
 impl MonitoringSession {
-    /// Starts a session under `policy` — a [`Policy`] or anything that
-    /// compiles down to one (e.g. a legacy [`SessionPolicy`]). Prefer
+    /// Starts a session under a declarative [`Policy`]. Prefer
     /// [`MonitoringSession::builder`] or a parsed policy document in
     /// new code; this remains the primitive they finalize into.
     #[must_use]
-    pub fn new(server: MonitorServer, policy: impl Into<Policy>) -> Self {
+    pub fn new(server: MonitorServer, policy: Policy) -> Self {
         MonitoringSession {
             server,
-            policy: policy.into(),
+            policy,
             consecutive_alarms: 0,
             desync_strikes: BTreeMap::new(),
             quarantined: BTreeSet::new(),
@@ -359,14 +280,10 @@ impl MonitoringSession {
     /// from the uninterrupted session (same verdicts, same RNG draws,
     /// same events appended from here on).
     #[must_use]
-    pub fn restore(
-        server: MonitorServer,
-        policy: impl Into<Policy>,
-        ladder: &SessionLadderState,
-    ) -> Self {
+    pub fn restore(server: MonitorServer, policy: Policy, ladder: &SessionLadderState) -> Self {
         MonitoringSession {
             server,
-            policy: policy.into(),
+            policy,
             consecutive_alarms: ladder.consecutive_alarms,
             desync_strikes: ladder.desync_strikes.iter().copied().collect(),
             quarantined: ladder.quarantined.iter().copied().collect(),
@@ -403,7 +320,7 @@ impl MonitoringSession {
     pub fn builder(server: MonitorServer) -> SessionBuilder {
         SessionBuilder {
             server,
-            policy: SessionPolicy::builder(),
+            policy: Policy::default(),
         }
     }
 
@@ -748,7 +665,7 @@ mod tests {
     use rand::SeedableRng;
     use tagwatch_core::utrp::run_honest_reader;
 
-    fn session(n: usize, m: u64, policy: SessionPolicy) -> (MonitoringSession, TagPopulation) {
+    fn session(n: usize, m: u64, policy: Policy) -> (MonitoringSession, TagPopulation) {
         let floor = TagPopulation::with_sequential_ids(n);
         let server = MonitorServer::new(floor.ids(), m, 0.95).unwrap();
         (MonitoringSession::new(server, policy), floor)
@@ -756,7 +673,7 @@ mod tests {
 
     #[test]
     fn quiet_floor_never_escalates() {
-        let (mut session, mut floor) = session(200, 5, SessionPolicy::default());
+        let (mut session, mut floor) = session(200, 5, Policy::default());
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..15 {
             let event = session.tick(&mut floor, &mut rng).unwrap();
@@ -771,7 +688,7 @@ mod tests {
 
     #[test]
     fn persistent_theft_escalates_and_names_the_tags() {
-        let (mut session, mut floor) = session(300, 5, SessionPolicy::default());
+        let (mut session, mut floor) = session(300, 5, Policy::default());
         let mut rng = StdRng::seed_from_u64(2);
 
         // Warm-up tick, then the theft.
@@ -797,9 +714,9 @@ mod tests {
 
     #[test]
     fn transient_blocking_rides_out_below_threshold() {
-        let policy = SessionPolicy {
+        let policy = Policy {
             alarms_to_escalate: 3,
-            ..SessionPolicy::default()
+            ..Policy::default()
         };
         let (mut session, mut floor) = session(200, 5, policy);
         let mut rng = StdRng::seed_from_u64(3);
@@ -823,9 +740,9 @@ mod tests {
 
     #[test]
     fn utrp_sessions_maintain_the_counter_mirror() {
-        let policy = SessionPolicy {
+        let policy = Policy {
             protocol: TickProtocol::Utrp,
-            ..SessionPolicy::default()
+            ..Policy::default()
         };
         let (mut session, mut floor) = session(100, 3, policy);
         let mut rng = StdRng::seed_from_u64(4);
@@ -858,9 +775,9 @@ mod tests {
         let lost = server.issue_utrp_challenge(&mut rng).unwrap();
         run_honest_reader(&mut floor, &lost, &timing).unwrap();
 
-        let policy = SessionPolicy {
+        let policy = Policy {
             protocol: TickProtocol::Utrp,
-            ..SessionPolicy::default()
+            ..Policy::default()
         };
         let mut session = MonitoringSession::new(server, policy);
         let event = session.tick(&mut floor, &mut rng).unwrap();
@@ -982,11 +899,11 @@ mod tests {
         let lost = server.issue_utrp_challenge(&mut rng).unwrap();
         run_honest_reader(&mut floor, &lost, &timing).unwrap();
 
-        let policy = SessionPolicy {
+        let policy = Policy {
             protocol: TickProtocol::Utrp,
             max_desync_retries: 0,
             alarms_to_escalate: 3,
-            ..SessionPolicy::default()
+            ..Policy::default()
         };
         let mut session = MonitoringSession::new(server, policy);
         let event = session.tick(&mut floor, &mut rng).unwrap();
@@ -1005,9 +922,9 @@ mod tests {
 
     #[test]
     fn escalation_resets_the_alarm_counter() {
-        let policy = SessionPolicy {
+        let policy = Policy {
             alarms_to_escalate: 1,
-            ..SessionPolicy::default()
+            ..Policy::default()
         };
         let (mut session, mut floor) = session(150, 2, policy);
         let mut rng = StdRng::seed_from_u64(5);
@@ -1022,29 +939,28 @@ mod tests {
 
     #[test]
     fn builders_mirror_the_documented_defaults() {
-        assert_eq!(SessionPolicy::builder().build(), SessionPolicy::default());
-        let custom = SessionPolicy::builder()
+        let floor = TagPopulation::with_sequential_ids(20);
+        let server = MonitorServer::new(floor.ids(), 1, 0.9).unwrap();
+        let session = MonitoringSession::builder(server).build();
+        assert_eq!(*session.policy(), Policy::default());
+
+        let expected = Policy {
+            protocol: TickProtocol::Utrp,
+            alarms_to_escalate: 4,
+            max_desync_retries: 1,
+            desyncs_to_quarantine: Some(7),
+            ..Policy::default()
+        };
+        let floor = TagPopulation::with_sequential_ids(20);
+        let server = MonitorServer::new(floor.ids(), 1, 0.9).unwrap();
+        let session = MonitoringSession::builder(server)
             .protocol(TickProtocol::Utrp)
             .alarms_to_escalate(4)
             .max_desync_retries(1)
             .desyncs_to_quarantine(7)
             .build();
-        assert_eq!(
-            custom,
-            SessionPolicy {
-                protocol: TickProtocol::Utrp,
-                alarms_to_escalate: 4,
-                max_desync_retries: 1,
-                desyncs_to_quarantine: 7,
-                identify: IdentifyConfig::default(),
-            }
-        );
-
-        let floor = TagPopulation::with_sequential_ids(20);
-        let server = MonitorServer::new(floor.ids(), 1, 0.9).unwrap();
-        let session = MonitoringSession::builder(server).policy(custom).build();
-        // The legacy knobs compile down to the declarative policy.
-        assert_eq!(*session.policy(), Policy::from(custom));
+        // The fluent knobs build exactly the declarative policy.
+        assert_eq!(*session.policy(), expected);
     }
 
     #[test]
@@ -1054,11 +970,11 @@ mod tests {
         // histories, and RNG streams.
         use rand::Rng as _;
         for protocol in [TickProtocol::Trp, TickProtocol::Utrp] {
-            let policy = SessionPolicy {
+            let policy = Policy {
                 protocol,
-                ..SessionPolicy::default()
+                ..Policy::default()
             };
-            let (mut a, mut floor_a) = session(120, 3, policy);
+            let (mut a, mut floor_a) = session(120, 3, policy.clone());
             let (mut b, mut floor_b) = session(120, 3, policy);
             let mut rng_a = StdRng::seed_from_u64(31);
             let mut rng_b = StdRng::seed_from_u64(31);
@@ -1083,11 +999,11 @@ mod tests {
             (TickProtocol::Utrp, true),
             (TickProtocol::Utrp, false),
         ] {
-            let policy = SessionPolicy {
+            let policy = Policy {
                 protocol,
-                ..SessionPolicy::default()
+                ..Policy::default()
             };
-            let (mut a, mut floor_a) = session(120, 3, policy);
+            let (mut a, mut floor_a) = session(120, 3, policy.clone());
             let (mut b, mut floor_b) = session(120, 3, policy);
             let mut rng_a = StdRng::seed_from_u64(31);
             let mut rng_b = StdRng::seed_from_u64(31);
@@ -1121,9 +1037,9 @@ mod tests {
         let lost = server.issue_utrp_challenge(&mut rng).unwrap();
         run_honest_reader(&mut floor, &lost, &timing).unwrap();
 
-        let policy = SessionPolicy {
+        let policy = Policy {
             protocol: TickProtocol::Utrp,
-            ..SessionPolicy::default()
+            ..Policy::default()
         };
         let mut session = MonitoringSession::new(server, policy);
         let obs = Obs::new();
@@ -1213,12 +1129,12 @@ mod tests {
         use rand::Rng as _;
         use tagwatch_core::{ServerConfig, StateCapture, StateRestore};
 
-        let policy = SessionPolicy {
+        let policy = Policy {
             protocol: TickProtocol::Utrp,
-            desyncs_to_quarantine: 1,
-            ..SessionPolicy::default()
+            desyncs_to_quarantine: Some(1),
+            ..Policy::default()
         };
-        let (mut original, mut floor_a) = session(80, 3, policy);
+        let (mut original, mut floor_a) = session(80, 3, policy.clone());
         let mut rng_a = StdRng::seed_from_u64(21);
         for _ in 0..3 {
             original.tick(&mut floor_a, &mut rng_a).unwrap();
@@ -1293,11 +1209,11 @@ mod tests {
     fn observed_tick_is_byte_identical_to_unobserved() {
         use rand::Rng as _;
         use tagwatch_obs::Obs;
-        let policy = SessionPolicy {
+        let policy = Policy {
             protocol: TickProtocol::Utrp,
-            ..SessionPolicy::default()
+            ..Policy::default()
         };
-        let (mut a, mut floor_a) = session(120, 3, policy);
+        let (mut a, mut floor_a) = session(120, 3, policy.clone());
         let (mut b, mut floor_b) = session(120, 3, policy);
         let mut rng_a = StdRng::seed_from_u64(31);
         let mut rng_b = StdRng::seed_from_u64(31);

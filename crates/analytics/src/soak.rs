@@ -46,9 +46,7 @@ use tagwatch_store::StoreError;
 
 use crate::histogram::{percentile, Histogram};
 use crate::policy::Policy;
-use crate::session::{
-    MonitoringSession, SessionEvent, SessionLadderState, SessionPolicy, TickProtocol,
-};
+use crate::session::{MonitoringSession, SessionEvent, SessionLadderState, TickProtocol};
 
 /// Parameters of one soak run. All randomness derives from `seed`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -413,9 +411,11 @@ impl<'a> SoakDriver<'a> {
     /// ladder the pre-policy driver hardcoded, so config-driven runs
     /// keep their digests byte-for-byte.
     pub(crate) fn derive_policy(config: &SoakConfig) -> Policy {
-        let mut policy = Policy::from(SessionPolicy::builder().protocol(config.protocol).build());
-        policy.desync_window = config.desync_window;
-        policy
+        Policy {
+            protocol: config.protocol,
+            desync_window: config.desync_window,
+            ..Policy::default()
+        }
     }
 
     /// The policy the session is interpreting.

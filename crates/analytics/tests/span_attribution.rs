@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tagwatch_analytics::soak::{run_soak_observed_threads, SoakConfig};
-use tagwatch_analytics::{MonitoringSession, SessionPolicy, TickProtocol};
+use tagwatch_analytics::{MonitoringSession, Policy, TickProtocol};
 use tagwatch_core::executor::RoundExecutor;
 use tagwatch_core::server::MonitorServer;
 use tagwatch_obs::{to_prometheus_text, Obs, Phase};
@@ -18,9 +18,9 @@ use tagwatch_sim::TagPopulation;
 fn session(n: usize, protocol: TickProtocol) -> (MonitoringSession, TagPopulation) {
     let floor = TagPopulation::with_sequential_ids(n);
     let server = MonitorServer::new(floor.ids(), 3, 0.95).expect("valid server");
-    let policy = SessionPolicy {
+    let policy = Policy {
         protocol,
-        ..SessionPolicy::default()
+        ..Policy::default()
     };
     (MonitoringSession::new(server, policy), floor)
 }

@@ -357,6 +357,19 @@ mod tests {
     }
 
     #[test]
+    fn set_plan_swaps_faults_between_rounds() {
+        let mut ex = RoundExecutor::ideal();
+        assert!(ex.is_faultless());
+        ex.set_plan(Some(FaultPlan::new().lose_replies_at(0)));
+        assert!(!ex.is_faultless());
+        assert!(ex.plan().is_some());
+        // Clearing the plan restores the fault-free fast path.
+        ex.set_plan(None);
+        assert!(ex.is_faultless());
+        assert!(ex.plan().is_none());
+    }
+
+    #[test]
     fn faultless_utrp_is_byte_identical_and_rng_free() {
         let ch = utrp_challenge(200, 2);
         let timing = TimingModel::gen2();

@@ -400,6 +400,15 @@ mod tests {
     }
 
     #[test]
+    fn group_names_iterate_in_ascending_order() {
+        let m = monitor_with_two_groups();
+        let names: Vec<&str> = m.group_names().collect();
+        // BTreeMap-backed: deterministic ascending order, so exports
+        // that walk groups never depend on registration order.
+        assert_eq!(names, ["case", "pallet"]);
+    }
+
+    #[test]
     fn duplicate_names_and_shared_tags_are_rejected() {
         let mut m = monitor_with_two_groups();
         assert!(m.add_group("pallet", ids(400..=410), 1, 0.9).is_err());

@@ -1101,4 +1101,21 @@ mod tests {
             Err(CoreError::NoResyncHypothesis)
         ));
     }
+
+    #[test]
+    fn explicit_frame_challenge_honors_the_requested_size() {
+        // `issue_trp_challenge_with_frame` exists for experiments that
+        // sweep f away from Eq. 2's optimum: the challenge must carry
+        // exactly the requested frame, not the sized one.
+        let server = MonitorServer::new(ids(300), 5, 0.95).unwrap();
+        let sized = server.issue_trp_challenge(&mut rng(7)).unwrap();
+        let f = FrameSize::new(64).unwrap();
+        let ch = server.issue_trp_challenge_with_frame(f, &mut rng(7));
+        assert_eq!(ch.frame_size(), f);
+        assert_ne!(
+            ch.frame_size(),
+            sized.frame_size(),
+            "sweep frame accidentally equals the Eq. 2 optimum; pick another"
+        );
+    }
 }

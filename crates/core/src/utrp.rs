@@ -995,4 +995,31 @@ mod tests {
             + timing.empty_slot * 2;
         assert_eq!(d, expected);
     }
+
+    #[test]
+    fn next_reply_members_are_exactly_the_minimal_slot_choosers() {
+        // The about-to-reply set exposed to fault injectors must hold
+        // every active participant whose counted slot equals
+        // `next_reply_rel`, and nobody else.
+        let f_sub = FrameSize::new(16).unwrap();
+        let r = Nonce::new(0xdead_beef);
+        let mut round = SubsetRound::new(participants(40));
+        round.announce(r, f_sub);
+
+        let best = round.next_reply_rel().expect("40 active tags must reply");
+        let expected: Vec<usize> = (0..40usize)
+            .filter(|&i| {
+                // One announcement heard: effective counter is ZERO + 1.
+                let id = TagId::from(i as u64 + 1);
+                slot_for_counted(id, r, Counter::new(1), f_sub) == best
+            })
+            .collect();
+        assert!(!expected.is_empty());
+        assert_eq!(round.next_reply_members(), expected.as_slice());
+
+        // Consuming the reply clears the pending set until re-announced.
+        round.take_reply();
+        assert!(round.next_reply_members().is_empty());
+        assert_eq!(round.next_reply_rel(), None);
+    }
 }

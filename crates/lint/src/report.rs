@@ -29,7 +29,8 @@ impl Analysis {
         self.findings.is_empty()
     }
 
-    /// Rustc-style diagnostics, one block per finding.
+    /// Rustc-style diagnostics, one block per finding. Call-graph
+    /// findings render their sink→source chain as `note:` lines.
     #[must_use]
     pub fn human(&self) -> String {
         let mut out = String::new();
@@ -42,6 +43,13 @@ impl Analysis {
                 f.line,
                 f.col
             ));
+            for (i, hop) in f.chain.iter().enumerate() {
+                if i == 0 {
+                    out.push_str(&format!("  note: call chain: {hop}\n"));
+                } else {
+                    out.push_str(&format!("  note:   -> {hop}\n"));
+                }
+            }
         }
         out
     }
@@ -86,7 +94,7 @@ impl Analysis {
     fn body_lines(&self) -> Vec<String> {
         let mut lines = vec![
             "{".to_string(),
-            "  \"schema\": \"tagwatch-lint/v1\",".to_string(),
+            "  \"schema\": \"tagwatch-lint/v2\",".to_string(),
             format!("  \"files_scanned\": {},", self.files_scanned),
             "  \"rules\": [".to_string(),
         ];
@@ -102,8 +110,18 @@ impl Analysis {
         lines.push("  \"findings\": [".to_string());
         for (i, f) in self.findings.iter().enumerate() {
             let comma = if i + 1 < self.findings.len() { "," } else { "" };
+            let chain = if f.chain.is_empty() {
+                String::new()
+            } else {
+                let hops: Vec<String> = f
+                    .chain
+                    .iter()
+                    .map(|h| format!("\"{}\"", json_escape(h)))
+                    .collect();
+                format!(", \"chain\": [{}]", hops.join(", "))
+            };
             lines.push(format!(
-                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}{comma}",
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"{chain}}}{comma}",
                 f.rule.name(),
                 json_escape(&f.file),
                 f.line,
@@ -140,6 +158,7 @@ mod tests {
                 line: 3,
                 col: 7,
                 message: "`.unwrap(…)` in library code".to_string(),
+                chain: Vec::new(),
             }],
             allows: vec![AllowRecord {
                 rule: RuleId::D1Nondeterminism,

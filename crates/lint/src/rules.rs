@@ -40,20 +40,35 @@ pub enum RuleId {
     /// S4: filesystem access confined to `store/src/io.rs` and the
     /// CLI/tooling layer.
     S4Io,
+    /// D4: no digest/export sink may transitively reach a
+    /// nondeterminism source through the call graph.
+    D4DigestTaint,
+    /// C1: concurrency hygiene — no `static mut`, primitives confined
+    /// to the designated pool modules, merge paths taint-clean.
+    C1PoolDiscipline,
+    /// U1: pub items referenced nowhere in the workspace.
+    U1DeadPub,
     /// Meta-rule: malformed `lint:allow` escapes.
     AllowSyntax,
+    /// Meta-rule: `lint:allow` escapes whose rule no longer fires at
+    /// that site.
+    AllowStale,
 }
 
 impl RuleId {
     /// Every rule, in catalog order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::D1Nondeterminism,
         RuleId::D2FloatFormat,
         RuleId::S1Unsafe,
         RuleId::S2Panic,
         RuleId::S3Doc,
         RuleId::S4Io,
+        RuleId::D4DigestTaint,
+        RuleId::C1PoolDiscipline,
+        RuleId::U1DeadPub,
         RuleId::AllowSyntax,
+        RuleId::AllowStale,
     ];
 
     /// The stable kebab-case name used in diagnostics and allows.
@@ -66,7 +81,11 @@ impl RuleId {
             RuleId::S2Panic => "s2-panic",
             RuleId::S3Doc => "s3-doc",
             RuleId::S4Io => "s4-io",
+            RuleId::D4DigestTaint => "d4-digest-taint",
+            RuleId::C1PoolDiscipline => "c1-pool-discipline",
+            RuleId::U1DeadPub => "u1-dead-pub",
             RuleId::AllowSyntax => "allow-syntax",
+            RuleId::AllowStale => "allow-stale",
         }
     }
 
@@ -100,7 +119,118 @@ impl RuleId {
                  tagwatch_store::io (the workspace's only filesystem touchpoint) or \
                  the CLI layer"
             }
+            RuleId::D4DigestTaint => {
+                "no function reachable from a digest/export sink (FNV digesting, JSON \
+                 report writers, WAL encoders, checkpoint serializers, Prometheus/span \
+                 exporters) may transitively reach a nondeterminism source"
+            }
+            RuleId::C1PoolDiscipline => {
+                "concurrency hygiene: no `static mut`; Mutex/atomics/mpsc/spawn confined \
+                 to analytics::pool and analytics::parallel; merge paths reachable from \
+                 PooledEngine taint-clean"
+            }
+            RuleId::U1DeadPub => {
+                "pub items referenced from no bin, test, or facade path anywhere in the \
+                 workspace are dead API"
+            }
             RuleId::AllowSyntax => "lint:allow escapes must name a known rule and give a reason",
+            RuleId::AllowStale => {
+                "lint:allow escapes whose rule no longer fires on the covered lines are \
+                 stale and must be deleted"
+            }
+        }
+    }
+
+    /// Long-form rationale and remediation guidance for
+    /// `--explain <rule>`.
+    #[must_use]
+    pub fn explain(self) -> &'static str {
+        match self {
+            RuleId::D1Nondeterminism => {
+                "The monitoring engine's contract is byte-exact replay: every digested \
+                 artifact is a pure function of (seed, policy, tag set). Wall clocks, \
+                 unseeded RNGs, scheduler identity, and unordered hash iteration each \
+                 break that pledge invisibly. This rule flags the source tokens \
+                 lexically in library crates. Fix by threading the deterministic \
+                 TimingModel / seeded SplitMix64, or switching to BTreeMap/BTreeSet. \
+                 If a HashMap is lookup-only (never iterated into output), waive with \
+                 lint:allow(d1-nondeterminism) stating exactly that."
+            }
+            RuleId::D2FloatFormat => {
+                "Two exporters formatting the same f64 with different precision forks \
+                 golden digests. Every float that lands in JSON must go through \
+                 tagwatch_obs::json_f64, which renders a canonical shortest-roundtrip \
+                 form. The rule flags float precision specs ({:.3}, {:e}) inside \
+                 JSON-building format strings (strings containing an escaped quote)."
+            }
+            RuleId::S1Unsafe => {
+                "The workspace is 100% safe Rust: crate roots carry \
+                 #![forbid(unsafe_code)] and no file may contain an `unsafe` token. \
+                 There is no waiver — delete the unsafe block or move the operation \
+                 behind a safe abstraction."
+            }
+            RuleId::S2Panic => {
+                "Library crates return Results; panics are reserved for provably \
+                 unreachable states. .unwrap()/.expect()/panic!/todo! in library code \
+                 either becomes an error path or carries a lint:allow(s2-panic) whose \
+                 reason states the invariant making the branch impossible."
+            }
+            RuleId::S3Doc => {
+                "core and protocols are the paper-facing API: every pub item carries a \
+                 doc comment tying it to the concept it implements (TRP/ETRP/MTRP \
+                 rounds, Bloom seeds, false-positive math)."
+            }
+            RuleId::S4Io => {
+                "Byte-buffer-only library crates are what make crash/corruption fault \
+                 injection exact: tagwatch_store::io is the single filesystem \
+                 touchpoint, and the CLI layer owns user-facing paths. std::fs \
+                 anywhere else is a durability hole."
+            }
+            RuleId::D4DigestTaint => {
+                "The v2 call-graph rule behind the headline guarantee. Sinks are \
+                 functions that feed digested or exported bytes: direct callers of \
+                 the FNV-1a primitives, JSON report writers (to_json/to_jsonl), WAL \
+                 record encoders, checkpoint serializers, and the Prometheus text \
+                 exporter. Sources are wall clocks (Instant::now, SystemTime), \
+                 unseeded randomness (thread_rng), scheduler identity \
+                 (thread::current), env reads, and unordered iteration (HashMap/\
+                 HashSet/RandomState). The analyzer builds a conservative workspace \
+                 call graph and reports every sink that can transitively reach a \
+                 source, printing the full call chain. Fix by making the reached \
+                 function pure (preferred), or waive at the sink's fn line when the \
+                 flagged value provably never lands in digested bytes. The bench \
+                 crate is excluded: it measures wall time by design and its check \
+                 digests hash only tick counts."
+            }
+            RuleId::C1PoolDiscipline => {
+                "Determinism at any thread count holds because concurrency is caged: \
+                 worker pools live in analytics::pool (persistent workers, sharded \
+                 min-merge) and analytics::parallel (scoped fan-out), and nowhere \
+                 else. The rule bans `static mut` outright (workspace-wide, tests \
+                 included), flags Mutex/RwLock/Condvar/mpsc/Atomic*/thread::spawn/\
+                 thread::scope tokens in any other library module, and walks the \
+                 call graph from PooledEngine's methods to prove the merge path \
+                 never reaches a nondeterminism source."
+            }
+            RuleId::U1DeadPub => {
+                "A pub item no bin, test, or facade path references is API surface \
+                 that can silently rot — exactly how deprecated shims linger. The \
+                 rule counts identifier references across the whole workspace \
+                 (excluding declarations, use statements, and impl headers); zero \
+                 references means the item is dead. Delete it, demote it to \
+                 pub(crate), or reference it from a test that pins its contract."
+            }
+            RuleId::AllowSyntax => {
+                "lint:allow(rule): reason is a scoped, auditable waiver. An allow \
+                 with an unknown rule name or no reason suppresses nothing and is \
+                 itself a finding, so escapes can't decay into folklore."
+            }
+            RuleId::AllowStale => {
+                "An allow whose rule no longer fires on its two covered lines is a \
+                 waiver guarding nothing — it hides future regressions at that site. \
+                 The workspace pass recomputes raw findings before suppression; any \
+                 allow matching none of them is reported. Delete the escape."
+            }
         }
     }
 }
@@ -118,6 +248,25 @@ pub struct Finding {
     pub col: u32,
     /// Human-readable description of the violation.
     pub message: String,
+    /// For call-graph rules: the sink→source call chain as qualified
+    /// paths (empty for lexical findings). Rendered as `note:` lines
+    /// in human output and a `"chain"` array in the JSON report.
+    pub chain: Vec<String>,
+}
+
+impl Finding {
+    /// A chain-less (lexical) finding.
+    #[must_use]
+    pub fn new(rule: RuleId, file: &str, line: u32, col: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            col,
+            message,
+            chain: Vec::new(),
+        }
+    }
 }
 
 /// One valid `lint:allow` escape encountered during analysis.
@@ -185,7 +334,7 @@ fn in_library_crate(meta: &FileMeta) -> bool {
 /// Code-token view: the full token list with comments filtered out,
 /// so adjacency patterns (`.` `unwrap` `(`) match across interleaved
 /// comments exactly as the compiler would parse them.
-struct Code<'a> {
+pub(crate) struct Code<'a> {
     src: &'a str,
     toks: &'a [Token],
     /// Indices into `toks` of the non-comment tokens.
@@ -193,40 +342,57 @@ struct Code<'a> {
 }
 
 impl<'a> Code<'a> {
-    fn new(src: &'a str, toks: &'a [Token]) -> Self {
+    pub(crate) fn new(src: &'a str, toks: &'a [Token]) -> Self {
         let idx = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
         Code { src, toks, idx }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.idx.len()
     }
 
-    fn tok(&self, k: usize) -> &Token {
+    pub(crate) fn tok(&self, k: usize) -> &Token {
         &self.toks[self.idx[k]]
     }
 
-    fn kind(&self, k: usize) -> Option<TokenKind> {
+    pub(crate) fn kind(&self, k: usize) -> Option<TokenKind> {
         self.idx.get(k).map(|&i| self.toks[i].kind)
     }
 
-    fn text(&self, k: usize) -> &str {
+    pub(crate) fn text(&self, k: usize) -> &str {
         self.tok(k).text(self.src)
     }
 
-    fn is_punct(&self, k: usize, c: char) -> bool {
+    pub(crate) fn is_punct(&self, k: usize, c: char) -> bool {
         self.kind(k) == Some(TokenKind::Punct) && self.text(k).starts_with(c)
     }
 
-    fn is_ident(&self, k: usize, name: &str) -> bool {
+    pub(crate) fn is_ident(&self, k: usize, name: &str) -> bool {
         self.kind(k) == Some(TokenKind::Ident) && self.text(k) == name
     }
 
     /// Full-token index of code token `k` (for backward walks that
     /// need to see comments).
-    fn full_index(&self, k: usize) -> usize {
+    pub(crate) fn full_index(&self, k: usize) -> usize {
         self.idx[k]
     }
+}
+
+/// Pre-suppression result of the lexical pass over one file: the raw
+/// findings (before any `lint:allow` filtering), the valid allow
+/// escapes, and the suppression line sets. The workspace pass uses
+/// this to combine lexical and call-graph findings under one
+/// suppression step and to detect stale allows.
+#[derive(Debug, Clone, Default)]
+pub struct RawAnalysis {
+    /// Lexical findings before allow suppression (`allow-syntax`
+    /// findings included — those are never suppressible).
+    pub findings: Vec<Finding>,
+    /// Valid allow escapes encountered.
+    pub allows: Vec<AllowRecord>,
+    /// Rule → set of suppressed lines (each allow covers its own line
+    /// and the next).
+    pub(crate) allow_lines: AllowLines,
 }
 
 /// Analyzes one file's source. Returns the findings (already
@@ -237,6 +403,38 @@ pub fn analyze_source(
     rel_path: &str,
     src: &str,
 ) -> (Vec<Finding>, Vec<AllowRecord>) {
+    let raw = analyze_source_raw(meta, rel_path, src);
+    let mut findings = raw.findings;
+    apply_allows(&mut findings, |file, rule, line| {
+        debug_assert_eq!(file, rel_path);
+        raw.allow_lines
+            .get(&rule)
+            .is_some_and(|lines| lines.contains(&line))
+    });
+    sort_findings(&mut findings);
+    (findings, raw.allows)
+}
+
+/// Drops suppressible findings for which `allowed(file, rule, line)`
+/// holds. The allow meta-rules are never suppressible.
+pub(crate) fn apply_allows<F>(findings: &mut Vec<Finding>, allowed: F)
+where
+    F: Fn(&str, RuleId, u32) -> bool,
+{
+    findings.retain(|f| {
+        matches!(f.rule, RuleId::AllowSyntax | RuleId::AllowStale)
+            || !allowed(&f.file, f.rule, f.line)
+    });
+}
+
+/// Per-file finding order: (line, col, rule).
+pub(crate) fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| (a.line, a.col, a.rule.name()).cmp(&(b.line, b.col, b.rule.name())));
+}
+
+/// The lexical pass without allow suppression — see [`RawAnalysis`].
+#[must_use]
+pub fn analyze_source_raw(meta: &FileMeta, rel_path: &str, src: &str) -> RawAnalysis {
     let toks = lex(src);
     let code = Code::new(src, &toks);
     let test_ranges = compute_test_ranges(&code);
@@ -253,6 +451,7 @@ pub fn analyze_source(
             line: 1,
             col: 1,
             message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            chain: Vec::new(),
         });
     }
 
@@ -263,6 +462,7 @@ pub fn analyze_source(
             line: tok.line,
             col: tok.col,
             message,
+            chain: Vec::new(),
         });
     };
 
@@ -296,15 +496,11 @@ pub fn analyze_source(
         }
     }
 
-    // ---- apply allows --------------------------------------------
-    findings.retain(|f| {
-        f.rule == RuleId::AllowSyntax
-            || !allow_lines
-                .get(&f.rule)
-                .is_some_and(|lines| lines.contains(&f.line))
-    });
-    findings.sort_by(|a, b| (a.line, a.col, a.rule.name()).cmp(&(b.line, b.col, b.rule.name())));
-    (findings, allow_records)
+    RawAnalysis {
+        findings,
+        allows: allow_records,
+        allow_lines,
+    }
 }
 
 /// S2: panic-family calls in library code.
@@ -612,7 +808,7 @@ fn has_forbid_unsafe(code: &Code<'_>) -> bool {
 
 /// Computes code-index ranges covered by `#[cfg(test)]` / `#[test]`
 /// items (attribute through closing brace of the item body).
-fn compute_test_ranges(code: &Code<'_>) -> Vec<(usize, usize)> {
+pub(crate) fn compute_test_ranges(code: &Code<'_>) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let n = code.len();
     let mut i = 0;
@@ -698,7 +894,7 @@ fn match_brace(code: &Code<'_>, open: usize) -> Option<usize> {
     None
 }
 
-type AllowLines = BTreeMap<RuleId, BTreeSet<u32>>;
+pub(crate) type AllowLines = BTreeMap<RuleId, BTreeSet<u32>>;
 
 /// Parses every `lint:allow(rule): reason` escape out of the comment
 /// tokens. Returns the suppression line sets, the valid records, and
@@ -735,6 +931,7 @@ fn parse_allows(
                     line,
                     col: t.col,
                     message: "unterminated lint:allow( escape".to_string(),
+                    chain: Vec::new(),
                 });
                 continue;
             };
@@ -746,6 +943,7 @@ fn parse_allows(
                     line,
                     col: t.col,
                     message: format!("lint:allow names unknown rule `{rule_name}`"),
+                    chain: Vec::new(),
                 });
                 continue;
             };
@@ -765,6 +963,7 @@ fn parse_allows(
                         rule.name(),
                         rule.name()
                     ),
+                    chain: Vec::new(),
                 });
                 continue;
             }

@@ -1,0 +1,16 @@
+//! Fixture: concurrency primitives escaping the designated pool
+//! modules, plus a `static mut` — both c1-pool-discipline violations.
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+
+static mut ROUNDS: u64 = 0;
+
+/// Guards a counter with a lock that does not belong in this crate.
+pub fn guarded() -> u64 {
+    let m = Mutex::new(7u64);
+    match m.lock() {
+        Ok(v) => *v,
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,6 @@
+//! Pins the fixture's public surface so u1 stays out of the c1 story.
+
+#[test]
+fn guarded_reads_the_counter() {
+    assert_eq!(sim::guarded(), 7);
+}

@@ -1,0 +1,13 @@
+//! JSONL export whose wall-clock stamp is an acknowledged, documented
+//! exception — the escape sits on the sink, where d4 reports.
+
+/// Renders one line per event, stamped with the current time.
+// lint:allow(d4-digest-taint): operator-facing log lines are stamped on purpose; nothing digests this output
+pub fn to_jsonl(events: &[u64]) -> String {
+    let stamp = crate::time::now_ms();
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!("{{\"stamp\":{stamp},\"event\":{e}}}\n"));
+    }
+    out
+}

@@ -1,0 +1,7 @@
+//! Fixture: the `d4_violation` tree with the sink explicitly escaped
+//! via `lint:allow` — the escape must suppress exactly one finding and
+//! register as live.
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod time;

@@ -1,0 +1,11 @@
+//! Wall-clock helper: the taint source lives here, far from the sink.
+
+use std::time::SystemTime;
+
+/// Milliseconds since the epoch — nondeterministic by construction.
+pub fn now_ms() -> u64 {
+    match SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_millis() as u64,
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,7 @@
+//! Pins the fixture's public surface so u1 stays out of the d4 story.
+
+#[test]
+fn jsonl_mentions_every_event() {
+    let out = cli::export::to_jsonl(&[1, 2]);
+    assert_eq!(out.lines().count(), 2);
+}

@@ -1,0 +1,11 @@
+//! JSONL export with an injected timestamp: byte-reproducible, so the
+//! taint walk finds nothing to reach.
+
+/// Renders one line per event under a caller-chosen stamp.
+pub fn to_jsonl(stamp: u64, events: &[u64]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!("{{\"stamp\":{stamp},\"event\":{e}}}\n"));
+    }
+    out
+}

@@ -1,0 +1,5 @@
+//! Fixture: the same export shape as `d4_violation`, with the clock
+//! hoisted out of the digest path — the caller supplies the stamp.
+#![forbid(unsafe_code)]
+
+pub mod export;

@@ -1,0 +1,9 @@
+//! Pins the fixture's public surface so u1 stays out of the d4 story.
+
+#[test]
+fn jsonl_is_reproducible_for_a_fixed_stamp() {
+    assert_eq!(
+        cli::export::to_jsonl(7, &[1]),
+        cli::export::to_jsonl(7, &[1])
+    );
+}

@@ -1,0 +1,13 @@
+//! JSONL export: the digest sink. Nothing in this file is
+//! nondeterministic on its own — the violation is only visible on the
+//! call graph.
+
+/// Renders one line per event, stamped with the current time.
+pub fn to_jsonl(events: &[u64]) -> String {
+    let stamp = crate::time::now_ms();
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!("{{\"stamp\":{stamp},\"event\":{e}}}\n"));
+    }
+    out
+}

@@ -1,0 +1,6 @@
+//! Fixture: a digest sink that transitively reaches a wall-clock
+//! source two hops away — the case per-file lexical rules cannot see.
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod time;

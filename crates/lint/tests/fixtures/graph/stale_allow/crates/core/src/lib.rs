@@ -1,0 +1,10 @@
+//! Fixture: an allow escape whose violation has since been fixed — the
+//! stale-allow audit must flag it instead of letting it linger.
+#![forbid(unsafe_code)]
+
+/// The unwrap this escape once covered is long gone.
+pub fn robust() -> u64 {
+    // lint:allow(s2-panic): the parse below cannot fail on a literal
+    let v: u64 = 7;
+    v
+}

@@ -1,0 +1,6 @@
+//! Pins the fixture's public surface so u1 stays out of the audit.
+
+#[test]
+fn robust_answers() {
+    assert_eq!(core_fixture::robust(), 7);
+}

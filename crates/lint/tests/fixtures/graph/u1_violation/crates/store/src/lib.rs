@@ -1,0 +1,13 @@
+//! Fixture: one live export, one dead one — u1 must name exactly the
+//! dead item and leave the referenced one alone.
+#![forbid(unsafe_code)]
+
+/// Referenced from the integration test below — live.
+pub fn live_api() -> u64 {
+    41
+}
+
+/// Referenced nowhere in any bin, test, or facade — the rule's target.
+pub fn dead_api() -> u64 {
+    42
+}

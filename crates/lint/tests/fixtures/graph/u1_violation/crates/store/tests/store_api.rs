@@ -1,0 +1,6 @@
+//! References `live_api` and only `live_api`.
+
+#[test]
+fn live_api_answers() {
+    assert_eq!(store::live_api(), 41);
+}

@@ -5,7 +5,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
-use tagwatch::analytics::{MonitoringSession, SessionEvent, SessionPolicy, TickProtocol};
+use tagwatch::analytics::{MonitoringSession, Policy, SessionEvent, TickProtocol};
 use tagwatch::attack::rescan::{counterless_round, prescan_attack};
 use tagwatch::core::groups::GroupedMonitor;
 use tagwatch::core::trp::observed_bitstring;
@@ -92,10 +92,13 @@ fn utrp_session_survives_a_snapshot_restore_cycle() {
     let mut rng = StdRng::seed_from_u64(3);
     let mut floor = TagPopulation::with_sequential_ids(150);
     let server = MonitorServer::new(floor.ids(), 4, 0.95).unwrap();
-    let policy = SessionPolicy::builder()
-        .protocol(TickProtocol::Utrp)
+    let policy = Policy {
+        protocol: TickProtocol::Utrp,
+        ..Policy::default()
+    };
+    let mut session = MonitoringSession::builder(server)
+        .policy(policy.clone())
         .build();
-    let mut session = MonitoringSession::builder(server).policy(policy).build();
 
     for _ in 0..3 {
         assert!(!session.tick(&mut floor, &mut rng).unwrap().is_alarm());
